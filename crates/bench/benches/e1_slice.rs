@@ -1,0 +1,33 @@
+//! E1 — SLICE: σ over the materialized `ans(Q)` (Proposition 1) versus
+//! from-scratch evaluation of `Q_SLICE` on the instance, across dataset
+//! scales. Paper claim: the rewriting wins by orders of magnitude and its
+//! cost tracks |ans(Q)|, not |I|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfcube_bench::{blogger_fixture, e1_slice_op, SCALES};
+use rdfcube_core::{apply, rewrite};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_slice");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scale in SCALES {
+        let f = blogger_fixture(scale, 0.1);
+        let sliced = apply(&f.eq, &e1_slice_op()).expect("slice applies");
+
+        group.bench_with_input(BenchmarkId::new("rewrite_sigma_ans", scale), &scale, |b, _| {
+            b.iter(|| {
+                black_box(rewrite::dice_from_ans(&f.ans, sliced.sigma(), f.instance.dict()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", scale), &scale, |b, _| {
+            b.iter(|| black_box(rewrite::from_scratch(&sliced, &f.instance).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E2 — DICE selectivity sweep at a fixed scale: the rewriting's cost is
+//! flat in selectivity (one pass over `ans(Q)`), while from-scratch pays the
+//! full classifier/measure evaluation regardless of how much survives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfcube_bench::{blogger_fixture, e2_dice_op};
+use rdfcube_core::{apply, rewrite};
+use std::hint::black_box;
+
+const SCALE: usize = 100_000;
+const SELECTIVITIES: [usize; 4] = [1, 10, 50, 100];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_dice");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let f = blogger_fixture(SCALE, 0.1);
+    for pct in SELECTIVITIES {
+        let diced = apply(&f.eq, &e2_dice_op(pct)).expect("dice applies");
+        group.bench_with_input(BenchmarkId::new("rewrite_sigma_ans", pct), &pct, |b, _| {
+            b.iter(|| black_box(rewrite::dice_from_ans(&f.ans, diced.sigma(), f.instance.dict())))
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", pct), &pct, |b, _| {
+            b.iter(|| black_box(rewrite::from_scratch(&diced, &f.instance).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

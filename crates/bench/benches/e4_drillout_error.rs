@@ -1,0 +1,36 @@
+//! E4 — the Example 5 trap, timed: Algorithm 1 versus the (incorrect) naive
+//! re-aggregation of `ans(Q)` cells, as the multi-valuedness of the removed
+//! dimension grows. The naive method is faster — `ans(Q)` is much smaller
+//! than `pres(Q)` — which is exactly why the paper must argue correctness,
+//! not speed, against it. The `report` binary prints the wrong-cell
+//! percentages that complete this experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfcube_bench::blogger_fixture;
+use rdfcube_core::rewrite;
+use std::hint::black_box;
+
+const SCALE: usize = 100_000;
+const MULTI_VALUE_PROBS: [f64; 4] = [0.0, 0.1, 0.3, 0.5];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_drillout_error");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for prob in MULTI_VALUE_PROBS {
+        let pct = (prob * 100.0) as usize;
+        // Drill out the multi-valued city dimension (index 1).
+        let f = blogger_fixture(SCALE, prob);
+        group.bench_with_input(BenchmarkId::new("algorithm1", pct), &pct, |b, _| {
+            b.iter(|| black_box(rewrite::drill_out_from_pres(&f.pres, &[1], f.instance.dict())))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_ans_based", pct), &pct, |b, _| {
+            b.iter(|| black_box(rewrite::drill_out_from_ans(&f.ans, &[1], f.instance.dict())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

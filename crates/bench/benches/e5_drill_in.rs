@@ -1,0 +1,58 @@
+//! E5 — DRILL-IN: Algorithm 2 (`q_aux` on the instance, joined with
+//! `pres(Q)`) versus from-scratch evaluation of `Q_DRILL-IN`, across video-
+//! world scales. The auxiliary query touches only the website subgraph, so
+//! Algorithm 2's advantage grows with the fact (video) population.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfcube_bench::{blogger_fixture_with, video_fixture};
+use rdfcube_core::{apply, rewrite, OlapOp};
+use rdfcube_datagen::BloggerConfig;
+use rdfcube_engine::AggFunc;
+use std::hint::black_box;
+
+const VIDEO_SCALES: [usize; 4] = [1_000, 5_000, 20_000, 50_000];
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_drill_in");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n_videos in VIDEO_SCALES {
+        let f = video_fixture(n_videos);
+        let d3 = f.eq.query().classifier().vars().id("d3").expect("?d3");
+        let drilled = apply(&f.eq, &OlapOp::DrillIn { var: "d3".into() }).expect("drill-in");
+
+        group.bench_with_input(BenchmarkId::new("algorithm2", n_videos), &n_videos, |b, _| {
+            b.iter(|| {
+                black_box(rewrite::drill_in_from_pres(f.eq.query(), &f.pres, d3, &f.instance))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", n_videos), &n_videos, |b, _| {
+            b.iter(|| black_box(rewrite::from_scratch(&drilled, &f.instance).unwrap()))
+        });
+    }
+
+    // E5b: best case for Algorithm 2 — the new dimension attaches directly
+    // to the fact, so the auxiliary query is one triple pattern.
+    let cfg = BloggerConfig { multi_city_prob: 0.1, ..BloggerConfig::with_approx_triples(100_000) };
+    let f = blogger_fixture_with(
+        cfg,
+        "c(?x, ?dage) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+        AggFunc::Count,
+    );
+    let dcity = f.eq.query().classifier().vars().id("dcity").expect("?dcity");
+    let drilled = apply(&f.eq, &OlapOp::DrillIn { var: "dcity".into() }).expect("drill-in dcity");
+    group.bench_function("algorithm2_1triple_aux/100000", |b| {
+        b.iter(|| {
+            black_box(rewrite::drill_in_from_pres(f.eq.query(), &f.pres, dcity, &f.instance))
+        })
+    });
+    group.bench_function("from_scratch_1triple_aux/100000", |b| {
+        b.iter(|| black_box(rewrite::from_scratch(&drilled, &f.instance).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

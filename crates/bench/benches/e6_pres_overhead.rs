@@ -1,0 +1,36 @@
+//! E6 — what does materializing `pres(Q)` cost on top of just answering
+//! `Q`? The paper argues pres is (nearly) free because it is the input of
+//! the final aggregation anyway (Equation 1); this benchmark measures the
+//! actual overhead across scales. The `report` binary adds the size side:
+//! |pres(Q)| rows and bytes versus |I| triples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfcube_bench::{blogger_fixture, SCALES};
+use rdfcube_core::{rewrite, PartialResult};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pres_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scale in SCALES {
+        let f = blogger_fixture(scale, 0.1);
+        group.bench_with_input(BenchmarkId::new("ans_only", scale), &scale, |b, _| {
+            b.iter(|| black_box(f.eq.answer(&f.instance).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("ans_plus_pres", scale), &scale, |b, _| {
+            b.iter(|| black_box(rewrite::from_scratch_with_pres(&f.eq, &f.instance).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("pres_to_ans_eq3", scale), &scale, |b, _| {
+            b.iter(|| black_box(f.pres.to_cube(f.instance.dict()).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("pres_compute", scale), &scale, |b, _| {
+            b.iter(|| black_box(PartialResult::compute(&f.eq, &f.instance).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E7 — ablations of this implementation's own design choices:
+//!
+//! * greedy selectivity-based join ordering versus declaration order, on a
+//!   query whose selective pattern is written last (the worst case the
+//!   optimizer exists for);
+//! * Algorithm 1 versus from-scratch as multi-valued fan-out grows — the
+//!   RDF-specific knob the paper's algorithms are designed around.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfcube_bench::blogger_fixture;
+use rdfcube_core::rewrite;
+use rdfcube_engine::{evaluate, evaluate_in_order, parse_query, Semantics};
+use std::hint::black_box;
+
+const SCALE: usize = 100_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    // (a) join ordering: selective pattern (postedOn site0) written last.
+    let mut f = blogger_fixture(SCALE, 0.1);
+    let adversarial = parse_query(
+        "q(?x, ?dcity) :- ?x wrotePost ?p, ?x livesIn ?dcity, ?p postedOn site1",
+        f.instance.dict_mut(),
+    )
+    .expect("ablation query parses");
+    group.bench_function("join_order_greedy/100000", |b| {
+        b.iter(|| black_box(evaluate(&f.instance, &adversarial, Semantics::Set).unwrap()))
+    });
+    group.bench_function("join_order_declared/100000", |b| {
+        b.iter(|| black_box(evaluate_in_order(&f.instance, &adversarial, Semantics::Set).unwrap()))
+    });
+
+    // (c) Σ push-down vs post-filtering on a selective dice.
+    let f2 = blogger_fixture(SCALE, 0.1);
+    let diced = rdfcube_core::apply(&f2.eq, &rdfcube_bench::e2_dice_op(1)).expect("dice applies");
+    group.bench_function("sigma_pushdown/100000", |b| {
+        b.iter(|| black_box(diced.classifier_relation(&f2.instance).unwrap()))
+    });
+    group.bench_function("sigma_postfilter/100000", |b| {
+        b.iter(|| black_box(diced.classifier_relation_postfilter(&f2.instance).unwrap()))
+    });
+
+    // (b) multi-valuedness fan-out: drill out the city dimension.
+    for prob_pct in [0usize, 30, 60] {
+        let f = blogger_fixture(SCALE, prob_pct as f64 / 100.0);
+        group.bench_with_input(
+            BenchmarkId::new("drillout_alg1_mv", prob_pct),
+            &prob_pct,
+            |b, _| {
+                b.iter(|| {
+                    black_box(rewrite::drill_out_from_pres(&f.pres, &[1], f.instance.dict()))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("drillout_scratch_mv", prob_pct),
+            &prob_pct,
+            |b, _| {
+                let drilled = rdfcube_core::apply(
+                    &f.eq,
+                    &rdfcube_core::OlapOp::DrillOut { dims: vec!["dcity".into()] },
+                )
+                .expect("drill-out applies");
+                b.iter(|| black_box(rewrite::from_scratch(&drilled, &f.instance).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Shared fixtures for the benchmark suite (criterion benches and the
+//! `report` binary reproduce the same experiments E1–E7; see DESIGN.md §4
+//! and EXPERIMENTS.md for the experiment ↔ paper-claim mapping).
+
+#![warn(missing_docs)]
+
+use rdfcube_core::{AnalyticalQuery, Cube};
+use rdfcube_core::{ExtendedQuery, OlapOp, PartialResult, ValueSelector};
+use rdfcube_datagen::{BloggerConfig, VideoConfig};
+use rdfcube_engine::AggFunc;
+use rdfcube_rdf::{Graph, Term};
+
+/// Dataset scales (approximate triple counts) used by the sweeps.
+pub const SCALES: [usize; 4] = [10_000, 50_000, 100_000, 250_000];
+
+/// The default age-domain size of the generated blogger worlds (ages run
+/// `18..18+AGE_DOMAIN`); dice selectivities are expressed against it.
+pub const AGE_DOMAIN: usize = 50;
+
+/// A prepared blogger-world fixture: instance + a registered Example 1 cube
+/// (count of sites by age × city), with `ans(Q)` and `pres(Q)` materialized.
+pub struct BloggerFixture {
+    /// The AnS instance.
+    pub instance: Graph,
+    /// The extended query Q.
+    pub eq: ExtendedQuery,
+    /// Materialized `ans(Q)`.
+    pub ans: Cube,
+    /// Materialized `pres(Q)`.
+    pub pres: PartialResult,
+}
+
+/// Builds the blogger fixture at roughly `triples` triples with the given
+/// multi-valuedness for the city dimension.
+pub fn blogger_fixture(triples: usize, multi_city_prob: f64) -> BloggerFixture {
+    let cfg = BloggerConfig {
+        multi_city_prob,
+        ..BloggerConfig::with_approx_triples(triples)
+    };
+    blogger_fixture_with(cfg, rdfcube_datagen::EXAMPLE1_CLASSIFIER, AggFunc::Count)
+}
+
+/// Builds a blogger fixture with an explicit config/classifier/aggregate.
+pub fn blogger_fixture_with(
+    cfg: BloggerConfig,
+    classifier: &str,
+    agg: AggFunc,
+) -> BloggerFixture {
+    let mut instance = rdfcube_datagen::generate_instance(&cfg);
+    let q = AnalyticalQuery::parse(
+        classifier,
+        rdfcube_datagen::EXAMPLE1_MEASURE,
+        agg,
+        instance.dict_mut(),
+    )
+    .expect("fixture query parses");
+    let eq = ExtendedQuery::from_query(q);
+    let pres = PartialResult::compute(&eq, &instance).expect("pres computes");
+    let ans = pres.to_cube(instance.dict()).expect("ans from pres");
+    BloggerFixture { instance, eq, ans, pres }
+}
+
+/// A 3-dimensional classifier (age × city × site) for the drill-out sweeps;
+/// the site dimension is reached through the posts and is naturally
+/// multi-valued.
+pub const CLASSIFIER_3D: &str = "c(?x, ?dage, ?dcity, ?dsite) :- ?x rdf:type Blogger, \
+     ?x hasAge ?dage, ?x livesIn ?dcity, ?x wrotePost ?p, ?p postedOn ?dsite";
+
+/// A video-world fixture for the drill-in experiments: instance + Example 6
+/// cube with materialized results.
+pub struct VideoFixture {
+    /// The instance graph.
+    pub instance: Graph,
+    /// The Example 6 extended query.
+    pub eq: ExtendedQuery,
+    /// Materialized `pres(Q)`.
+    pub pres: PartialResult,
+}
+
+/// Builds the video fixture at the given number of videos.
+pub fn video_fixture(n_videos: usize) -> VideoFixture {
+    let cfg = VideoConfig { n_videos, n_websites: (n_videos / 20).max(10), ..Default::default() };
+    let mut instance = rdfcube_datagen::generate_videos(&cfg);
+    let q = AnalyticalQuery::parse(
+        rdfcube_datagen::EXAMPLE6_CLASSIFIER,
+        rdfcube_datagen::EXAMPLE6_MEASURE,
+        AggFunc::Sum,
+        instance.dict_mut(),
+    )
+    .expect("video query parses");
+    let eq = ExtendedQuery::from_query(q);
+    let pres = PartialResult::compute(&eq, &instance).expect("pres computes");
+    VideoFixture { instance, eq, pres }
+}
+
+/// The SLICE used across E1: bind `dage` to one mid-domain value.
+pub fn e1_slice_op() -> OlapOp {
+    OlapOp::Slice { dim: "dage".into(), value: Term::integer(30) }
+}
+
+/// The DICE of E2 at a given selectivity (% of the age domain admitted).
+pub fn e2_dice_op(selectivity_pct: usize) -> OlapOp {
+    let width = (AGE_DOMAIN * selectivity_pct).div_ceil(100).max(1) as i64;
+    OlapOp::Dice {
+        constraints: vec![(
+            "dage".into(),
+            ValueSelector::IntRange { lo: 18, hi: 18 + width - 1 },
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfcube_core::{apply, rewrite};
+
+    #[test]
+    fn fixtures_build_and_strategies_agree_at_small_scale() {
+        let f = blogger_fixture(5_000, 0.2);
+        assert!(!f.ans.is_empty());
+        // E1's actual comparison, in miniature.
+        let diced = apply(&f.eq, &e1_slice_op()).unwrap();
+        let fast = rewrite::dice_from_ans(&f.ans, diced.sigma(), f.instance.dict());
+        let slow = rewrite::from_scratch(&diced, &f.instance).unwrap();
+        assert!(fast.same_cells(&slow));
+    }
+
+    #[test]
+    fn dice_selectivity_widths_are_monotone() {
+        let f = blogger_fixture(5_000, 0.0);
+        let mut last = 0;
+        for pct in [1, 10, 50, 100] {
+            let diced = apply(&f.eq, &e2_dice_op(pct)).unwrap();
+            let cube = rewrite::dice_from_ans(&f.ans, diced.sigma(), f.instance.dict());
+            assert!(cube.len() >= last, "selectivity {pct}% shrank the cube");
+            last = cube.len();
+        }
+        assert_eq!(last, f.ans.len(), "100% dice must keep every cell");
+    }
+
+    #[test]
+    fn video_fixture_supports_drill_in() {
+        let f = video_fixture(500);
+        let d3 = f.eq.query().classifier().vars().id("d3").unwrap();
+        let (cube, _) =
+            rewrite::drill_in_from_pres(f.eq.query(), &f.pres, d3, &f.instance).unwrap();
+        let drilled = apply(&f.eq, &OlapOp::DrillIn { var: "d3".into() }).unwrap();
+        assert!(cube.same_cells(&rewrite::from_scratch(&drilled, &f.instance).unwrap()));
+    }
+
+    #[test]
+    fn three_dimensional_fixture_builds() {
+        let cfg = BloggerConfig { n_bloggers: 300, ..Default::default() };
+        let f = blogger_fixture_with(cfg, CLASSIFIER_3D, AggFunc::Count);
+        assert_eq!(f.pres.n_dims(), 3);
+        let (cube, _) = rewrite::drill_out_from_pres(&f.pres, &[2], f.instance.dict()).unwrap();
+        let drilled = apply(&f.eq, &OlapOp::DrillOut { dims: vec!["dsite".into()] }).unwrap();
+        assert!(cube.same_cells(&rewrite::from_scratch(&drilled, &f.instance).unwrap()));
+    }
+}

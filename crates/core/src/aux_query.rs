@@ -1,0 +1,201 @@
+//! Auxiliary DRILL-IN queries (Definition 6).
+//!
+//! Drilling in adds a dimension whose values are *not* present in the
+//! materialized results of the original query, so Algorithm 2 must fetch the
+//! missing column from the AnS instance — but only the part of the
+//! classifier that actually constrains the new dimension needs re-evaluating.
+//! Definition 6 carves that part out: `body_aux` is the connected closure of
+//! the classifier triples containing the new dimension, where connectivity
+//! is *via non-distinguished (existential) variables only* — any triple
+//! linked through a distinguished variable can be reached from `pres(Q)` by
+//! the join instead.
+
+use crate::error::CoreError;
+use rdfcube_engine::{Bgp, VarId};
+use rdfcube_rdf::fx::FxHashSet;
+
+/// Builds `q_aux(dvars, d_{n+1})` for classifier `c` and the new dimension
+/// variable `new_dim` (which must be existential in `c`).
+///
+/// The head is the classifier-distinguished variables that occur in
+/// `body_aux` (in classifier-head order), followed by `new_dim`.
+pub fn build_aux_query(c: &Bgp, new_dim: VarId) -> Result<Bgp, CoreError> {
+    let head_vars: FxHashSet<VarId> = c.head().iter().copied().collect();
+    if head_vars.contains(&new_dim) {
+        return Err(CoreError::InvalidOperation(format!(
+            "?{} is distinguished in the classifier; DRILL-IN needs an existential variable",
+            c.vars().name(new_dim)
+        )));
+    }
+    if !c.body().iter().any(|p| p.mentions(new_dim)) {
+        return Err(CoreError::UnknownVariable(format!(
+            "?{} does not occur in the classifier body",
+            c.vars().name(new_dim)
+        )));
+    }
+
+    // Fixpoint: start from the triples containing new_dim; repeatedly add
+    // classifier triples sharing an existential variable with the current
+    // body_aux.
+    let n = c.body().len();
+    let mut in_aux = vec![false; n];
+    let mut frontier_vars: FxHashSet<VarId> = FxHashSet::default();
+    frontier_vars.insert(new_dim);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, pattern) in c.body().iter().enumerate() {
+            if in_aux[i] {
+                continue;
+            }
+            if pattern.vars().any(|v| frontier_vars.contains(&v)) {
+                in_aux[i] = true;
+                changed = true;
+                for v in pattern.vars() {
+                    if !head_vars.contains(&v) {
+                        frontier_vars.insert(v);
+                    }
+                }
+            }
+        }
+    }
+
+    // Head: distinguished variables of c present in body_aux, then new_dim.
+    let mut aux_body_vars: FxHashSet<VarId> = FxHashSet::default();
+    for (i, pattern) in c.body().iter().enumerate() {
+        if in_aux[i] {
+            for v in pattern.vars() {
+                aux_body_vars.insert(v);
+            }
+        }
+    }
+    let mut head: Vec<VarId> =
+        c.head().iter().copied().filter(|v| aux_body_vars.contains(v)).collect();
+    head.push(new_dim);
+
+    let mut aux = c.clone();
+    aux.set_name(format!("{}_aux", c.name()));
+    aux.set_head(head);
+    aux.retain_body(|i, _| in_aux[i]);
+    aux.validate()?;
+    Ok(aux)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfcube_engine::parse_query;
+    use rdfcube_rdf::Dictionary;
+
+    /// Example 6's classifier (with the paper's `uploadedOn` typo normalized
+    /// to `postedOn`, matching its own instance and q_aux).
+    fn example_6_classifier(dict: &mut Dictionary) -> Bgp {
+        parse_query(
+            "c(?x, ?d2) :- ?x rdf:type Video, ?x postedOn ?d1, ?d1 hasUrl ?d2, \
+             ?d1 supportsBrowser ?d3",
+            dict,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_6_aux_query_matches_paper() {
+        let mut dict = Dictionary::new();
+        let c = example_6_classifier(&mut dict);
+        let d3 = c.vars().id("d3").unwrap();
+        let aux = build_aux_query(&c, d3).unwrap();
+
+        // Paper: q_aux(x, d2, d3) :- x postedOn d1, d1 hasUrl d2,
+        //                            d1 supportsBrowser d3.
+        let head_names: Vec<&str> = aux.head().iter().map(|&v| aux.vars().name(v)).collect();
+        assert_eq!(head_names, vec!["x", "d2", "d3"]);
+        assert_eq!(aux.body().len(), 3, "rdf:type Video must NOT be included");
+        let text = aux.to_text(&dict);
+        assert!(!text.contains("type"), "got: {text}");
+        assert!(text.contains("postedOn"));
+        assert!(text.contains("hasUrl"));
+        assert!(text.contains("supportsBrowser"));
+    }
+
+    #[test]
+    fn closure_stops_at_distinguished_variables() {
+        // d_new connects to the rest of the query only through the
+        // distinguished ?x, so q_aux contains exactly one triple.
+        let mut dict = Dictionary::new();
+        let c = parse_query(
+            "c(?x, ?d1) :- ?x rdf:type Blogger, ?x hasAge ?d1, ?x livesIn ?dnew",
+            &mut dict,
+        )
+        .unwrap();
+        let dnew = c.vars().id("dnew").unwrap();
+        let aux = build_aux_query(&c, dnew).unwrap();
+        assert_eq!(aux.body().len(), 1);
+        let head_names: Vec<&str> = aux.head().iter().map(|&v| aux.vars().name(v)).collect();
+        assert_eq!(head_names, vec!["x", "dnew"]);
+    }
+
+    #[test]
+    fn closure_chases_chains_of_existentials() {
+        // dnew ← e2 ← e1 ← x: all three chain triples belong to body_aux.
+        let mut dict = Dictionary::new();
+        let c = parse_query(
+            "c(?x, ?d1) :- ?x hasAge ?d1, ?x p ?e1, ?e1 q ?e2, ?e2 r ?dnew",
+            &mut dict,
+        )
+        .unwrap();
+        let dnew = c.vars().id("dnew").unwrap();
+        let aux = build_aux_query(&c, dnew).unwrap();
+        assert_eq!(aux.body().len(), 3);
+        // hasAge connects via distinguished x/d1 only → excluded.
+        assert!(!aux.to_text(&dict).contains("hasAge"));
+    }
+
+    #[test]
+    fn distinguished_variable_is_rejected() {
+        let mut dict = Dictionary::new();
+        let c = example_6_classifier(&mut dict);
+        let d2 = c.vars().id("d2").unwrap();
+        assert!(matches!(
+            build_aux_query(&c, d2),
+            Err(CoreError::InvalidOperation(_))
+        ));
+    }
+
+    #[test]
+    fn absent_variable_is_rejected() {
+        let mut dict = Dictionary::new();
+        let mut c = example_6_classifier(&mut dict);
+        let ghost = c.var("ghost");
+        assert!(matches!(
+            build_aux_query(&c, ghost),
+            Err(CoreError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn aux_query_evaluates_on_figure_3_instance() {
+        use rdfcube_engine::{evaluate, Semantics};
+        let mut g = rdfcube_rdf::parse_turtle(
+            "<website1> <hasUrl> <URL1> ; <supportsBrowser> <firefox> .
+             <website2> <hasUrl> <URL2> ; <supportsBrowser> <chrome> .
+             <video1> <postedOn> <website1>, <website2> .
+             <video1> rdf:type <Video> ; <viewNum> 7 .",
+        )
+        .unwrap();
+        // Parse the classifier against the instance dictionary.
+        let c = parse_query(
+            "c(?x, ?d2) :- ?x rdf:type Video, ?x postedOn ?d1, ?d1 hasUrl ?d2, \
+             ?d1 supportsBrowser ?d3",
+            g.dict_mut(),
+        )
+        .unwrap();
+        let d3 = c.vars().id("d3").unwrap();
+        let aux = build_aux_query(&c, d3).unwrap();
+        let rel = evaluate(&g, &aux, Semantics::Set).unwrap();
+        // Paper's table: (video1, URL1, firefox), (video1, URL2, chrome).
+        assert_eq!(rel.len(), 2);
+        let url1 = g.dict().iri_id("URL1").unwrap();
+        let firefox = g.dict().iri_id("firefox").unwrap();
+        assert!(rel.rows().any(|r| r[1] == url1 && r[2] == firefox));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the analytics layer.
+
+use rdfcube_engine::EngineError;
+use std::fmt;
+
+/// Errors raised while defining schemas, posing analytical queries, or
+/// applying OLAP operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying query-engine error (parse, validation, aggregation…).
+    Engine(EngineError),
+    /// A dimension name does not exist on the cube being transformed.
+    UnknownDimension(String),
+    /// A variable name does not exist in the classifier being transformed.
+    UnknownVariable(String),
+    /// A dimension would appear twice in a classifier head.
+    DuplicateDimension(String),
+    /// The requested OLAP operation is not applicable
+    /// (e.g. drilling in on a distinguished variable).
+    InvalidOperation(String),
+    /// An analytical query is not homomorphic to the analytical schema, or
+    /// the schema itself is ill-formed.
+    SchemaViolation(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "{e}"),
+            CoreError::UnknownDimension(d) => write!(f, "unknown dimension '{d}'"),
+            CoreError::UnknownVariable(v) => write!(f, "unknown variable '{v}'"),
+            CoreError::DuplicateDimension(d) => write!(f, "duplicate dimension '{d}'"),
+            CoreError::InvalidOperation(m) => write!(f, "invalid OLAP operation: {m}"),
+            CoreError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(EngineError::Validation("boom".into()));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+        assert!(CoreError::UnknownDimension("dage".into()).source().is_none());
+        assert!(CoreError::UnknownDimension("dage".into()).to_string().contains("dage"));
+    }
+}

@@ -1,0 +1,71 @@
+//! # rdfcube-core — RDF analytics with efficient OLAP operations
+//!
+//! A from-scratch implementation of *"Efficient OLAP Operations For RDF
+//! Analytics"* (Akbari-Azirani, Goasdoué, Manolescu, Roatiş — DESWeb @ ICDE
+//! 2015) and the RDF-analytics framework it builds on (WWW 2014):
+//!
+//! * [`schema`] — analytical schemas (AnS): lenses over semantic graphs,
+//!   with instance materialization;
+//! * [`anq`] / [`answer`] — analytical queries (AnQ) `⟨c, m, ⊕⟩` and their
+//!   cube answers (Definition 1);
+//! * [`extended`] — extended AnQs with Σ dimension restrictions
+//!   (Definition 2);
+//! * [`olap`] — SLICE, DICE, DRILL-OUT, DRILL-IN as query rewritings (§2);
+//! * [`pres`] — partial results `pres(Q) = c(I) ⋈ₓ m^k(I)`
+//!   (Definitions 3–4, Equations 1–3);
+//! * [`aux_query`] — auxiliary drill-in queries (Definition 6);
+//! * [`rewrite`] — the optimized operation evaluations: σ_dice
+//!   (Proposition 1), Algorithm 1 (Proposition 2), Algorithm 2
+//!   (Proposition 3), plus baselines;
+//! * [`session`] — materialized-cube sessions that pick the cheapest sound
+//!   strategy per operation automatically.
+//!
+//! ## Quick example — the paper's Example 1 cube, sliced
+//!
+//! ```
+//! use rdfcube_core::{OlapSession, OlapOp, Strategy};
+//! use rdfcube_engine::AggFunc;
+//! use rdfcube_rdf::{parse_turtle, Term};
+//!
+//! let instance = parse_turtle(
+//!     "<user1> rdf:type <Blogger> ; <hasAge> 28 ; <livesIn> \"Madrid\" .
+//!      <user1> <wrotePost> <p1> . <p1> <postedOn> <s1> .",
+//! ).unwrap();
+//! let mut session = OlapSession::new(instance);
+//! let cube = session.register(
+//!     "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+//!     "m(?x, ?vsite) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?vsite",
+//!     AggFunc::Count,
+//! ).unwrap();
+//! let (sliced, strategy) = session.transform(
+//!     cube,
+//!     &OlapOp::Slice { dim: "dage".into(), value: Term::integer(28) },
+//! ).unwrap();
+//! assert_eq!(strategy, Strategy::SelectionOnAns); // Proposition 1 applied
+//! assert_eq!(session.answer(sliced).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod anq;
+pub mod answer;
+pub mod aux_query;
+pub mod error;
+pub mod extended;
+pub mod olap;
+pub mod pres;
+pub mod rewrite;
+pub mod schema;
+pub mod session;
+pub mod signature;
+
+pub use anq::AnalyticalQuery;
+pub use answer::{answer, Cube};
+pub use aux_query::build_aux_query;
+pub use error::CoreError;
+pub use extended::{CompiledSelector, CompiledSigma, ExtendedQuery, Sigma, ValueSelector};
+pub use olap::{apply, OlapOp};
+pub use pres::{PartialResult, PresRow};
+pub use schema::{AnalyticalSchema, EdgeSpec, NodeSpec};
+pub use session::{CubeHandle, MaterializedCube, OlapSession, Strategy};
+pub use signature::{query_signature, BodySignature};

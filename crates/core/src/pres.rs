@@ -1,0 +1,350 @@
+//! Partial results (Definitions 3–4) — the materialized view the paper's
+//! rewriting algorithms consume.
+//!
+//! For a query `Q = ⟨c, m, ⊕⟩`, the *extended measure result* `m^k(I)`
+//! attaches a fresh key `newk()` to every tuple of the bag `m(I)`, so that
+//! identical measure values of one fact stay distinguishable after
+//! relational operations. The *partial result* is
+//!
+//! ```text
+//! pres(Q, I) = c(I) ⋈ₓ m^k(I)      — a table ⟨root, d₁…dₙ, k, v⟩
+//! ```
+//!
+//! `pres(Q)` is exactly the input of the final aggregation of `Q`
+//! (Equation 1), so materializing it while answering `Q` costs almost
+//! nothing extra, and Equation 3 recovers `ans(Q)` from it:
+//! `ans(Q) = γ_{d₁…dₙ,⊕(v)}(π_{x,d₁…dₙ,v}(pres(Q)))`.
+//!
+//! Storage is columnar (`roots / dims / keys / values`), which keeps the
+//! projection-heavy rewriting algorithms cache-friendly and makes the `k`
+//! column a plain `u32` rather than a dictionary term.
+
+use crate::answer::Cube;
+use crate::error::CoreError;
+use crate::extended::ExtendedQuery;
+use rdfcube_engine::{evaluate, AggFunc, Semantics};
+use rdfcube_rdf::fx::FxHashMap;
+use rdfcube_rdf::{Dictionary, Graph, TermId};
+
+/// One row of a partial result, viewed by reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PresRow<'a> {
+    /// The fact (the classifier's root binding).
+    pub root: TermId,
+    /// The dimension values `d₁…dₙ`.
+    pub dims: &'a [TermId],
+    /// The `newk()` key identifying one measure tuple.
+    pub key: u32,
+    /// The measure value `v`.
+    pub value: TermId,
+}
+
+/// The materialized `pres(Q, I)` table.
+#[derive(Debug, Clone)]
+pub struct PartialResult {
+    dim_names: Vec<String>,
+    agg: AggFunc,
+    n_dims: usize,
+    roots: Vec<TermId>,
+    /// Row-major, `n_dims` entries per row.
+    dims: Vec<TermId>,
+    keys: Vec<u32>,
+    values: Vec<TermId>,
+}
+
+impl PartialResult {
+    /// Computes `pres(Q, I)` for an extended query over `instance`.
+    ///
+    /// The classifier is evaluated under set semantics and filtered by Σ;
+    /// the measure under bag semantics with keys assigned in enumeration
+    /// order (the paper's illustrative `newk()` returning 1, 2, 3…).
+    pub fn compute(eq: &ExtendedQuery, instance: &Graph) -> Result<Self, CoreError> {
+        let q = eq.query();
+        let c_rel = eq.classifier_relation(instance)?;
+        let m_rel = evaluate(instance, q.measure(), Semantics::Bag)?;
+
+        // m^k(I): key every measure tuple, grouped by fact for the join.
+        let mut by_fact: FxHashMap<TermId, Vec<(u32, TermId)>> = FxHashMap::default();
+        for (i, row) in m_rel.rows().enumerate() {
+            let key = u32::try_from(i + 1).expect("more than 2^32 measure tuples");
+            by_fact.entry(row[0]).or_default().push((key, row[1]));
+        }
+
+        let n_dims = q.n_dims();
+        let mut pres = PartialResult {
+            dim_names: q.dim_names().iter().map(|s| s.to_string()).collect(),
+            agg: q.agg(),
+            n_dims,
+            roots: Vec::new(),
+            dims: Vec::new(),
+            keys: Vec::new(),
+            values: Vec::new(),
+        };
+        for c_row in c_rel.rows() {
+            let root = c_row[0];
+            let Some(measures) = by_fact.get(&root) else { continue };
+            for &(key, value) in measures {
+                pres.roots.push(root);
+                pres.dims.extend_from_slice(&c_row[1..]);
+                pres.keys.push(key);
+                pres.values.push(value);
+            }
+        }
+        Ok(pres)
+    }
+
+    /// Builds a partial result from raw rows (used by the rewriting
+    /// algorithms to emit the transformed query's pres as a byproduct).
+    pub fn from_rows(
+        dim_names: Vec<String>,
+        agg: AggFunc,
+        rows: impl IntoIterator<Item = (TermId, Vec<TermId>, u32, TermId)>,
+    ) -> Self {
+        let n_dims = dim_names.len();
+        let mut pres = PartialResult {
+            dim_names,
+            agg,
+            n_dims,
+            roots: Vec::new(),
+            dims: Vec::new(),
+            keys: Vec::new(),
+            values: Vec::new(),
+        };
+        for (root, dims, key, value) in rows {
+            debug_assert_eq!(dims.len(), n_dims);
+            pres.roots.push(root);
+            pres.dims.extend_from_slice(&dims);
+            pres.keys.push(key);
+            pres.values.push(value);
+        }
+        pres
+    }
+
+    /// The dimension names, in classifier-head order.
+    pub fn dim_names(&self) -> &[String] {
+        &self.dim_names
+    }
+
+    /// The same table under different dimension names (see
+    /// [`crate::Cube::with_dim_names`]).
+    pub fn with_dim_names(mut self, dim_names: Vec<String>) -> Self {
+        debug_assert_eq!(dim_names.len(), self.dim_names.len());
+        self.dim_names = dim_names;
+        self
+    }
+
+    /// Number of dimensions.
+    pub fn n_dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// The aggregation function of the query this pres belongs to.
+    pub fn agg(&self) -> AggFunc {
+        self.agg
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> PresRow<'_> {
+        PresRow {
+            root: self.roots[i],
+            dims: &self.dims[i * self.n_dims..(i + 1) * self.n_dims],
+            key: self.keys[i],
+            value: self.values[i],
+        }
+    }
+
+    /// Iterates all rows.
+    pub fn rows(&self) -> impl Iterator<Item = PresRow<'_>> {
+        (0..self.len()).map(|i| self.row(i))
+    }
+
+    /// Approximate memory footprint in bytes (reported by the benchmarks
+    /// comparing pres size against instance size).
+    pub fn approx_bytes(&self) -> usize {
+        self.roots.len() * std::mem::size_of::<TermId>()
+            + self.dims.len() * std::mem::size_of::<TermId>()
+            + self.keys.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<TermId>()
+    }
+
+    /// Equation 3: recovers `ans(Q)` from the partial result by grouping on
+    /// the dimension columns (the projection keeps duplicates — bag
+    /// semantics — so repeated measure values aggregate correctly).
+    pub fn to_cube(&self, dict: &Dictionary) -> Result<Cube, CoreError> {
+        let mut groups: FxHashMap<&[TermId], Vec<TermId>> = FxHashMap::default();
+        for i in 0..self.len() {
+            let dims = &self.dims[i * self.n_dims..(i + 1) * self.n_dims];
+            groups.entry(dims).or_default().push(self.values[i]);
+        }
+        let mut cells = Vec::with_capacity(groups.len());
+        for (dims, bag) in groups {
+            let agg = self.agg.apply(&bag, dict)?;
+            cells.push((dims.to_vec(), agg));
+        }
+        Ok(Cube::from_cells(self.dim_names.clone(), self.agg, cells))
+    }
+
+    /// Canonical sorted row list for test comparisons.
+    pub fn sorted_rows(&self) -> Vec<(TermId, Vec<TermId>, u32, TermId)> {
+        let mut rows: Vec<(TermId, Vec<TermId>, u32, TermId)> =
+            self.rows().map(|r| (r.root, r.dims.to_vec(), r.key, r.value)).collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anq::AnalyticalQuery;
+    use crate::answer::answer;
+    use rdfcube_engine::AggValue;
+    use rdfcube_rdf::{parse_turtle, Term};
+
+    fn example_2_setup() -> (Graph, ExtendedQuery) {
+        let mut g = parse_turtle(
+            "<user1> rdf:type <Blogger> ; <hasAge> 28 ; <livesIn> \"Madrid\" .
+             <user3> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user4> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user1> <wrotePost> <p1>, <p2>, <p3> .
+             <p1> <postedOn> <s1> . <p2> <postedOn> <s1> . <p3> <postedOn> <s2> .
+             <user3> <wrotePost> <p4> . <p4> <postedOn> <s2> .
+             <user4> <wrotePost> <p5> . <p5> <postedOn> <s3> .",
+        )
+        .unwrap();
+        let q = AnalyticalQuery::parse(
+            "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+            "m(?x, ?vsite) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?vsite",
+            AggFunc::Count,
+            g.dict_mut(),
+        )
+        .unwrap();
+        (g, ExtendedQuery::from_query(q))
+    }
+
+    #[test]
+    fn pres_has_one_row_per_classifier_measure_pair() {
+        let (g, eq) = example_2_setup();
+        let pres = PartialResult::compute(&eq, &g).unwrap();
+        // user1: 1 classifier row × 3 measures; user3: ×1; user4: ×1.
+        assert_eq!(pres.len(), 5);
+        assert_eq!(pres.n_dims(), 2);
+        assert_eq!(pres.dim_names(), &["dage".to_string(), "dcity".to_string()]);
+    }
+
+    #[test]
+    fn keys_distinguish_identical_measure_values() {
+        // user1's bag {|s1, s1, s2|}: the two s1 tuples carry distinct keys.
+        let (g, eq) = example_2_setup();
+        let pres = PartialResult::compute(&eq, &g).unwrap();
+        let user1 = g.dict().iri_id("user1").unwrap();
+        let s1 = g.dict().iri_id("s1").unwrap();
+        let s1_keys: Vec<u32> = pres
+            .rows()
+            .filter(|r| r.root == user1 && r.value == s1)
+            .map(|r| r.key)
+            .collect();
+        assert_eq!(s1_keys.len(), 2);
+        assert_ne!(s1_keys[0], s1_keys[1]);
+    }
+
+    #[test]
+    fn equation_3_recovers_the_answer() {
+        let (g, eq) = example_2_setup();
+        let pres = PartialResult::compute(&eq, &g).unwrap();
+        let from_pres = pres.to_cube(g.dict()).unwrap();
+        let direct = answer(eq.query(), &g).unwrap();
+        assert!(from_pres.same_cells(&direct));
+    }
+
+    #[test]
+    fn multivalued_dimension_repeats_rows_with_same_key() {
+        // Example 5's shape: a fact multi-valued along one dimension keeps
+        // the same key on both rows.
+        let mut g = parse_turtle(
+            "<x> rdf:type <C> ; <dim> <a>, <b> ; <val> 7 .
+             <y> rdf:type <C> ; <dim> <b> ; <val> 9 .",
+        )
+        .unwrap();
+        let q = AnalyticalQuery::parse(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Sum,
+            g.dict_mut(),
+        )
+        .unwrap();
+        let eq = ExtendedQuery::from_query(q);
+        let pres = PartialResult::compute(&eq, &g).unwrap();
+        assert_eq!(pres.len(), 3);
+        let x = g.dict().iri_id("x").unwrap();
+        let x_keys: Vec<u32> = pres.rows().filter(|r| r.root == x).map(|r| r.key).collect();
+        assert_eq!(x_keys.len(), 2);
+        assert_eq!(x_keys[0], x_keys[1], "same measure tuple ⇒ same key");
+        // Equation 3 still sums x's value once per cell.
+        let cube = pres.to_cube(g.dict()).unwrap();
+        let a = g.dict().iri_id("a").unwrap();
+        let b = g.dict().iri_id("b").unwrap();
+        assert_eq!(cube.get(&[a]), Some(&AggValue::Int(7)));
+        assert_eq!(cube.get(&[b]), Some(&AggValue::Int(16)));
+    }
+
+    #[test]
+    fn sigma_filters_pres_rows() {
+        use crate::extended::{Sigma, ValueSelector};
+        let (mut g, eq) = example_2_setup();
+        let mut sigma = Sigma::all(2);
+        sigma.set(1, ValueSelector::one(Term::literal("NY")));
+        let _ = &mut g;
+        let restricted =
+            ExtendedQuery::with_sigma(eq.query().clone(), sigma).unwrap();
+        let pres = PartialResult::compute(&restricted, &g).unwrap();
+        assert_eq!(pres.len(), 2); // only user3 and user4 rows survive
+    }
+
+    #[test]
+    fn facts_without_measures_are_absent() {
+        let mut g = parse_turtle(
+            "<x> rdf:type <C> ; <dim> <a> .
+             <y> rdf:type <C> ; <dim> <a> ; <val> 1 .",
+        )
+        .unwrap();
+        let q = AnalyticalQuery::parse(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Count,
+            g.dict_mut(),
+        )
+        .unwrap();
+        let pres = PartialResult::compute(&ExtendedQuery::from_query(q), &g).unwrap();
+        let x = g.dict().iri_id("x").unwrap();
+        assert!(pres.rows().all(|r| r.root != x));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_rows() {
+        let (g, eq) = example_2_setup();
+        let pres = PartialResult::compute(&eq, &g).unwrap();
+        assert!(pres.approx_bytes() >= pres.len() * 16);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows = vec![
+            (TermId(1), vec![TermId(10)], 1u32, TermId(20)),
+            (TermId(2), vec![TermId(11)], 2u32, TermId(21)),
+        ];
+        let pres =
+            PartialResult::from_rows(vec!["d".into()], AggFunc::Count, rows.clone());
+        assert_eq!(pres.sorted_rows(), rows);
+    }
+}

@@ -1,0 +1,299 @@
+//! Analytical schemas (AnS) — "lenses" over semantic graphs.
+//!
+//! §2 of the paper: an AnS is a labeled directed graph whose **nodes are
+//! analysis classes** defined by unary BGP queries and whose **edges are
+//! analysis properties** defined by binary BGP queries. Crucially, node and
+//! edge queries are *completely independent*: a resource can belong to a
+//! class instance with or without values for any analysis property, and may
+//! have several values for the same property — the RDF heterogeneity that
+//! motivates the paper's algorithms.
+//!
+//! Queries are stored as text (the paper's notation, see
+//! [`rdfcube_engine::parse_query`]) and parsed against the base graph at
+//! materialization time, so one schema value can be applied to any number of
+//! base graphs.
+
+use crate::error::CoreError;
+use rdfcube_engine::{evaluate, parse_query, Semantics};
+use rdfcube_rdf::fx::FxHashSet;
+use rdfcube_rdf::{vocab, Graph, Term};
+
+/// A node of the analytical schema: an analysis class and the unary query
+/// defining its instances.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// The class IRI this node introduces in the instance (e.g. `Blogger`).
+    pub class: String,
+    /// Unary query text selecting the class's instances from the base graph.
+    pub query: String,
+}
+
+/// An edge of the analytical schema: an analysis property and the binary
+/// query defining its extension.
+#[derive(Debug, Clone)]
+pub struct EdgeSpec {
+    /// The property IRI this edge introduces (e.g. `hasAge`).
+    pub property: String,
+    /// Source analysis class.
+    pub from: String,
+    /// Target analysis class.
+    pub to: String,
+    /// Binary query text selecting `(subject, object)` pairs.
+    pub query: String,
+}
+
+/// An analytical schema: the collection of analysis classes and properties
+/// a data analyst deems interesting (Figure 1 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct AnalyticalSchema {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    edges: Vec<EdgeSpec>,
+}
+
+impl AnalyticalSchema {
+    /// Creates an empty schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        AnalyticalSchema { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
+    }
+
+    /// The schema's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares an analysis class defined by `query` (unary, in the paper's
+    /// notation, e.g. `"n(?x) :- ?x rdf:type Person, ?x wrotePost ?p"`).
+    pub fn add_node(&mut self, class: impl Into<String>, query: impl Into<String>) -> &mut Self {
+        self.nodes.push(NodeSpec { class: class.into(), query: query.into() });
+        self
+    }
+
+    /// Declares an analysis property `from --property--> to` defined by
+    /// `query` (binary).
+    pub fn add_edge(
+        &mut self,
+        property: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        query: impl Into<String>,
+    ) -> &mut Self {
+        self.edges.push(EdgeSpec {
+            property: property.into(),
+            from: from.into(),
+            to: to.into(),
+            query: query.into(),
+        });
+        self
+    }
+
+    /// The declared nodes.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The declared edges.
+    pub fn edges(&self) -> &[EdgeSpec] {
+        &self.edges
+    }
+
+    /// Looks up a node by class name.
+    pub fn node(&self, class: &str) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.class == class)
+    }
+
+    /// Looks up an edge by property name.
+    pub fn edge(&self, property: &str) -> Option<&EdgeSpec> {
+        self.edges.iter().find(|e| e.property == property)
+    }
+
+    /// True if `property` is a declared analysis property.
+    pub fn has_property(&self, property: &str) -> bool {
+        self.edge(property).is_some()
+    }
+
+    /// True if `class` is a declared analysis class.
+    pub fn has_class(&self, class: &str) -> bool {
+        self.node(class).is_some()
+    }
+
+    /// Structural validation: unique class/property names, and every edge
+    /// endpoint refers to a declared class.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let mut classes: FxHashSet<&str> = FxHashSet::default();
+        for n in &self.nodes {
+            if !classes.insert(&n.class) {
+                return Err(CoreError::SchemaViolation(format!(
+                    "class '{}' declared twice",
+                    n.class
+                )));
+            }
+        }
+        let mut props: FxHashSet<&str> = FxHashSet::default();
+        for e in &self.edges {
+            if !props.insert(&e.property) {
+                return Err(CoreError::SchemaViolation(format!(
+                    "property '{}' declared twice",
+                    e.property
+                )));
+            }
+            for endpoint in [&e.from, &e.to] {
+                if !classes.contains(endpoint.as_str()) {
+                    return Err(CoreError::SchemaViolation(format!(
+                        "edge '{}' references undeclared class '{}'",
+                        e.property, endpoint
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the schema's instance over `base`: an RDF graph holding
+    /// `u rdf:type C` for every node answer `u` of class `C`, and `s p o`
+    /// for every edge answer `(s, o)` of property `p`.
+    ///
+    /// `base` is taken mutably only to intern query constants into its
+    /// dictionary; its triples are never modified.
+    pub fn materialize(&self, base: &mut Graph) -> Result<Graph, CoreError> {
+        self.validate()?;
+        let mut instance = Graph::new();
+        let rdf_type = Term::iri(vocab::RDF_TYPE);
+
+        for node in &self.nodes {
+            let q = parse_query(&node.query, base.dict_mut())?;
+            if q.head().len() != 1 {
+                return Err(CoreError::SchemaViolation(format!(
+                    "node query for class '{}' must be unary, has arity {}",
+                    node.class,
+                    q.head().len()
+                )));
+            }
+            let rel = evaluate(base, &q, Semantics::Set)?;
+            let class_term = Term::iri(node.class.as_str());
+            for row in rel.rows() {
+                let member = base.dict().term(row[0]).clone();
+                instance.insert(&member, &rdf_type, &class_term);
+            }
+        }
+
+        for edge in &self.edges {
+            let q = parse_query(&edge.query, base.dict_mut())?;
+            if q.head().len() != 2 {
+                return Err(CoreError::SchemaViolation(format!(
+                    "edge query for property '{}' must be binary, has arity {}",
+                    edge.property,
+                    q.head().len()
+                )));
+            }
+            let rel = evaluate(base, &q, Semantics::Set)?;
+            let prop_term = Term::iri(edge.property.as_str());
+            for row in rel.rows() {
+                let s = base.dict().term(row[0]).clone();
+                let o = base.dict().term(row[1]).clone();
+                instance.insert(&s, &prop_term, &o);
+            }
+        }
+
+        Ok(instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfcube_rdf::parse_turtle;
+
+    /// A miniature version of the Figure 1 schema over heterogeneous data:
+    /// user3 has no age, user2 has no city — both still classify as Bloggers.
+    fn base() -> Graph {
+        parse_turtle(
+            "<user1> rdf:type <Person> ; <age> 28 ; <city> \"Madrid\" .
+             <user2> rdf:type <Person> ; <age> 40 .
+             <user3> rdf:type <Person> ; <city> \"NY\" .
+             <user1> <posted> <p1> . <user2> <posted> <p2> .",
+        )
+        .unwrap()
+    }
+
+    fn schema() -> AnalyticalSchema {
+        let mut s = AnalyticalSchema::new("blog");
+        s.add_node("Blogger", "n(?x) :- ?x rdf:type Person")
+            .add_node("Age", "n(?a) :- ?x age ?a")
+            .add_node("City", "n(?c) :- ?x city ?c")
+            .add_edge("hasAge", "Blogger", "Age", "e(?x, ?a) :- ?x age ?a")
+            .add_edge("livesIn", "Blogger", "City", "e(?x, ?c) :- ?x city ?c");
+        s
+    }
+
+    #[test]
+    fn materializes_nodes_and_edges_independently() {
+        let mut b = base();
+        let inst = schema().materialize(&mut b).unwrap();
+        // 3 Blogger typings + 2 Age typings + 2 City typings + 2 hasAge + 2 livesIn.
+        assert_eq!(inst.len(), 11);
+        // user3 is a Blogger even though it has no age (heterogeneity).
+        assert!(inst.contains(
+            &Term::iri("user3"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("Blogger")
+        ));
+        assert!(inst.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(28)));
+    }
+
+    #[test]
+    fn node_arity_is_checked() {
+        let mut s = AnalyticalSchema::new("bad");
+        s.add_node("C", "n(?x, ?y) :- ?x p ?y");
+        let err = s.materialize(&mut base()).unwrap_err();
+        assert!(matches!(err, CoreError::SchemaViolation(_)));
+    }
+
+    #[test]
+    fn edge_arity_is_checked() {
+        let mut s = AnalyticalSchema::new("bad");
+        s.add_node("C", "n(?x) :- ?x rdf:type Person");
+        s.add_edge("p", "C", "C", "e(?x) :- ?x p ?x");
+        let err = s.materialize(&mut base()).unwrap_err();
+        assert!(matches!(err, CoreError::SchemaViolation(_)));
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut s = AnalyticalSchema::new("bad");
+        s.add_node("C", "n(?x) :- ?x p ?x").add_node("C", "n(?x) :- ?x q ?x");
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn dangling_edge_endpoint_rejected() {
+        let mut s = AnalyticalSchema::new("bad");
+        s.add_node("C", "n(?x) :- ?x p ?x");
+        s.add_edge("e", "C", "Ghost", "e(?x, ?y) :- ?x p ?y");
+        let err = s.validate().unwrap_err();
+        assert!(err.to_string().contains("Ghost"));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = schema();
+        assert!(s.validate().is_ok());
+        assert!(s.has_class("Blogger"));
+        assert!(!s.has_class("Video"));
+        assert!(s.has_property("hasAge"));
+        assert_eq!(s.edge("livesIn").unwrap().to, "City");
+        assert_eq!(s.nodes().len(), 3);
+        assert_eq!(s.edges().len(), 2);
+    }
+
+    #[test]
+    fn instance_is_deduplicated() {
+        // Two query matches producing the same pair collapse to one triple.
+        let mut b = parse_turtle(
+            "<u> rdf:type <Person> . <u> <city> \"NY\" . <u> <city> \"NY\" .",
+        )
+        .unwrap();
+        let inst = schema().materialize(&mut b).unwrap();
+        assert!(inst.contains(&Term::iri("u"), &Term::iri("livesIn"), &Term::literal("NY")));
+    }
+}

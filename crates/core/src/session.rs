@@ -1,0 +1,812 @@
+//! OLAP sessions: materialized cubes + automatic rewriting-based answering.
+//!
+//! The session is the end-to-end embodiment of the paper's Figure 2: it
+//! holds an AnS instance, materializes `ans(Q)` and `pres(Q)` for every
+//! registered cube, and answers each OLAP transformation with the cheapest
+//! strategy that is *provably correct* for it:
+//!
+//! * SLICE/DICE whose Σ refines the source's → σ over `ans(Q)` (Prop. 1),
+//!   with `pres(Q_T)` derived by row selection on `pres(Q)`;
+//! * DRILL-OUT with unrestricted Σ on the removed dimensions → Algorithm 1
+//!   on `pres(Q)` (Prop. 2);
+//! * DRILL-IN → Algorithm 2 on `pres(Q)` plus the instance (Prop. 3);
+//! * anything else → transparent fallback to from-scratch evaluation.
+//!
+//! Every transformation materializes the result, so chains of operations
+//! (slice → drill-out → drill-in → …) keep reusing prior work.
+
+use crate::anq::AnalyticalQuery;
+use crate::answer::Cube;
+use crate::error::CoreError;
+use crate::extended::ExtendedQuery;
+use crate::olap::{apply, resolve_dims, OlapOp};
+use crate::pres::PartialResult;
+use crate::rewrite;
+use crate::signature::{query_signature, BodySignature};
+use rdfcube_engine::{AggFunc, VarId};
+use rdfcube_rdf::Graph;
+use std::fmt;
+
+/// Handle to a materialized cube within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CubeHandle(usize);
+
+/// How a transformed cube's answer was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// σ_dice over the materialized `ans(Q)` (Proposition 1).
+    SelectionOnAns,
+    /// Algorithm 1 over `pres(Q)` (Proposition 2).
+    Algorithm1,
+    /// Algorithm 2 over `pres(Q)` + the instance (Proposition 3).
+    Algorithm2,
+    /// The roll-up composition of Algorithms 1 and 2 over `pres(Q)` + the
+    /// instance (extension; see [`rewrite::roll_up_from_pres`]).
+    RollUpComposition,
+    /// Full re-evaluation on the instance (no sound rewriting available).
+    FromScratch,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::SelectionOnAns => "selection over ans(Q)",
+            Strategy::Algorithm1 => "Algorithm 1 over pres(Q)",
+            Strategy::Algorithm2 => "Algorithm 2 over pres(Q) + instance",
+            Strategy::RollUpComposition => "roll-up composition over pres(Q) + instance",
+            Strategy::FromScratch => "from-scratch evaluation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A cube materialized by the session: its extended query, answer, and
+/// partial result.
+#[derive(Debug, Clone)]
+pub struct MaterializedCube {
+    eq: ExtendedQuery,
+    ans: Cube,
+    pres: PartialResult,
+}
+
+impl MaterializedCube {
+    /// The extended query that defines the cube.
+    pub fn query(&self) -> &ExtendedQuery {
+        &self.eq
+    }
+
+    /// The materialized answer `ans(Q)`.
+    pub fn answer(&self) -> &Cube {
+        &self.ans
+    }
+
+    /// The materialized partial result `pres(Q)`.
+    pub fn pres(&self) -> &PartialResult {
+        &self.pres
+    }
+}
+
+/// An interactive OLAP session over one AnS instance.
+#[derive(Debug)]
+pub struct OlapSession {
+    instance: Graph,
+    cubes: Vec<MaterializedCube>,
+}
+
+impl OlapSession {
+    /// Opens a session over a materialized analytical-schema instance.
+    pub fn new(instance: Graph) -> Self {
+        OlapSession { instance, cubes: Vec::new() }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Graph {
+        &self.instance
+    }
+
+    /// Parses an analytical query from the paper's notation against this
+    /// session's instance (constants are interned into its dictionary),
+    /// without materializing anything. Combine with [`Self::answer_query`]
+    /// or [`ExtendedQuery::with_sigma`].
+    pub fn parse_query(
+        &mut self,
+        classifier: &str,
+        measure: &str,
+        agg: AggFunc,
+    ) -> Result<ExtendedQuery, CoreError> {
+        let q = AnalyticalQuery::parse(classifier, measure, agg, self.instance.dict_mut())?;
+        Ok(ExtendedQuery::from_query(q))
+    }
+
+    /// Parses, validates and materializes a cube from the paper's notation.
+    pub fn register(
+        &mut self,
+        classifier: &str,
+        measure: &str,
+        agg: AggFunc,
+    ) -> Result<CubeHandle, CoreError> {
+        let eq = self.parse_query(classifier, measure, agg)?;
+        self.register_query(eq)
+    }
+
+    /// Materializes an already-built extended query.
+    pub fn register_query(&mut self, eq: ExtendedQuery) -> Result<CubeHandle, CoreError> {
+        let pres = PartialResult::compute(&eq, &self.instance)?;
+        let ans = pres.to_cube(self.instance.dict())?;
+        self.cubes.push(MaterializedCube { eq, ans, pres });
+        Ok(CubeHandle(self.cubes.len() - 1))
+    }
+
+    /// The materialized cube behind `handle`.
+    pub fn cube(&self, handle: CubeHandle) -> &MaterializedCube {
+        &self.cubes[handle.0]
+    }
+
+    /// Shorthand for the answer of `handle`.
+    pub fn answer(&self, handle: CubeHandle) -> &Cube {
+        &self.cubes[handle.0].ans
+    }
+
+    /// Number of materialized cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// True if no cube is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// The paper's problem statement in its general form: answers an
+    /// *arbitrary* extended query by searching the materialized cubes for
+    /// one it can be soundly derived from — same canonical classifier body,
+    /// measure and ⊕ (up to variable renaming and pattern order, see
+    /// [`crate::signature`]) with compatibly related dimensions and Σ —
+    /// and routing through Proposition 1 / Algorithm 1 / Algorithm 2.
+    /// Falls back to from-scratch evaluation when no materialization helps.
+    ///
+    /// The answered query is materialized either way, so it becomes a
+    /// candidate source for future queries.
+    pub fn answer_query(
+        &mut self,
+        eq: ExtendedQuery,
+    ) -> Result<(CubeHandle, Strategy), CoreError> {
+        let derivation = self.find_derivation(&eq);
+        let (ans, pres, strategy) = match derivation {
+            Some((source_idx, d)) => self.derive(source_idx, &eq, d)?,
+            None => {
+                let (ans, pres) = rewrite::from_scratch_with_pres(&eq, &self.instance)?;
+                (ans, pres, Strategy::FromScratch)
+            }
+        };
+        self.cubes.push(MaterializedCube { eq, ans, pres });
+        Ok((CubeHandle(self.cubes.len() - 1), strategy))
+    }
+
+    /// How a target query can be derived from a materialized cube.
+    fn find_derivation(&self, target: &ExtendedQuery) -> Option<(usize, Derivation)> {
+        let t_measure = query_signature(target.query().measure());
+        let t_body = BodySignature::of(target.query().classifier());
+        let t_root = t_body.name_of(target.query().root())?.to_string();
+        let t_dims: Vec<String> = target
+            .query()
+            .dim_vars()
+            .iter()
+            .map(|&v| t_body.name_of(v).unwrap_or("?").to_string())
+            .collect();
+
+        let mut best: Option<(usize, Derivation)> = None;
+        for (idx, cube) in self.cubes.iter().enumerate() {
+            let sq = cube.eq.query();
+            if sq.agg() != target.query().agg()
+                || query_signature(sq.measure()) != t_measure
+            {
+                continue;
+            }
+            let s_body = BodySignature::of(sq.classifier());
+            if s_body.text != t_body.text {
+                continue;
+            }
+            let Some(s_root) = s_body.name_of(sq.root()) else { continue };
+            if s_root != t_root {
+                continue;
+            }
+            let s_dims: Vec<String> = sq
+                .dim_vars()
+                .iter()
+                .map(|&v| s_body.name_of(v).unwrap_or("?").to_string())
+                .collect();
+
+            let candidate = classify_derivation(
+                &s_dims,
+                cube.eq.sigma(),
+                &t_dims,
+                target.sigma(),
+                sq,
+                &s_body,
+            );
+            if let Some(d) = candidate {
+                let rank = d.rank();
+                let better = match &best {
+                    None => true,
+                    Some((_, prev)) => rank < prev.rank(),
+                };
+                if better {
+                    best = Some((idx, d));
+                }
+            }
+        }
+        best
+    }
+
+    /// Executes a derivation against the source cube.
+    fn derive(
+        &self,
+        source_idx: usize,
+        target: &ExtendedQuery,
+        d: Derivation,
+    ) -> Result<(Cube, PartialResult, Strategy), CoreError> {
+        let dict = self.instance.dict();
+        let source = &self.cubes[source_idx];
+        let target_names: Vec<String> =
+            target.query().dim_names().iter().map(|s| s.to_string()).collect();
+        let (mut ans, mut pres, strategy, inherited_sigma) = match d {
+            Derivation::Dice => (
+                rewrite::dice_from_ans(&source.ans, target.sigma(), dict),
+                rewrite::dice_pres(&source.pres, target.sigma(), dict),
+                Strategy::SelectionOnAns,
+                target.sigma().clone(),
+            ),
+            Derivation::DrillOut(removed) => {
+                let (ans, pres) = rewrite::drill_out_from_pres(&source.pres, &removed, dict)?;
+                let inherited = source.eq.sigma().without_dims(&removed);
+                (ans, pres, Strategy::Algorithm1, inherited)
+            }
+            Derivation::DrillIn(var) => {
+                let (ans, pres) =
+                    rewrite::drill_in_from_pres(source.eq.query(), &source.pres, var, &self.instance)?;
+                let inherited = source.eq.sigma().with_new_dim();
+                (ans, pres, Strategy::Algorithm2, inherited)
+            }
+        };
+        if target.sigma() != &inherited_sigma {
+            ans = rewrite::dice_from_ans(&ans, target.sigma(), dict);
+            pres = rewrite::dice_pres(&pres, target.sigma(), dict);
+        }
+        Ok((ans.with_dim_names(target_names.clone()), pres.with_dim_names(target_names), strategy))
+    }
+
+    /// Applies an OLAP operation to a materialized cube, answering the
+    /// transformed query with the cheapest sound strategy; materializes and
+    /// returns the new cube plus the strategy that produced it.
+    pub fn transform(
+        &mut self,
+        handle: CubeHandle,
+        op: &OlapOp,
+    ) -> Result<(CubeHandle, Strategy), CoreError> {
+        // ROLL-UP needs the dictionary to encode its mapping property, so
+        // the rewritten query is built here rather than in bare `apply`.
+        if let OlapOp::RollUp { dim, via } = op {
+            return self.roll_up(handle, dim, via);
+        }
+        let source = &self.cubes[handle.0];
+        let new_eq = apply(&source.eq, op)?;
+        let (cube, pres, strategy) = self.answer_transformed(source, &new_eq, op)?;
+        self.cubes.push(MaterializedCube { eq: new_eq, ans: cube, pres });
+        Ok((CubeHandle(self.cubes.len() - 1), strategy))
+    }
+
+    fn roll_up(
+        &mut self,
+        handle: CubeHandle,
+        dim: &str,
+        via: &str,
+    ) -> Result<(CubeHandle, Strategy), CoreError> {
+        let via_id = self.instance.dict_mut().encode_owned(rdfcube_rdf::Term::iri(via));
+        let source = &self.cubes[handle.0];
+        let new_eq = crate::olap::apply_roll_up_encoded(&source.eq, dim, via_id)?;
+        let dim_idx = source.eq.query().dim_index(dim)?;
+        let coarse_name = new_eq.query().dim_names()[dim_idx].to_string();
+        let (ans, pres) = rewrite::roll_up_from_pres(
+            &source.pres,
+            dim_idx,
+            via_id,
+            &coarse_name,
+            &self.instance,
+        )?;
+        self.cubes.push(MaterializedCube { eq: new_eq, ans, pres });
+        Ok((CubeHandle(self.cubes.len() - 1), Strategy::RollUpComposition))
+    }
+
+    fn answer_transformed(
+        &self,
+        source: &MaterializedCube,
+        new_eq: &ExtendedQuery,
+        op: &OlapOp,
+    ) -> Result<(Cube, PartialResult, Strategy), CoreError> {
+        let dict = self.instance.dict();
+        match op {
+            OlapOp::Slice { .. } | OlapOp::Dice { .. } => {
+                // Proposition 1 applies when the new Σ only narrows the old.
+                if new_eq.sigma().refines(source.eq.sigma()) {
+                    let ans = rewrite::dice_from_ans(&source.ans, new_eq.sigma(), dict);
+                    let pres = rewrite::dice_pres(&source.pres, new_eq.sigma(), dict);
+                    Ok((ans, pres, Strategy::SelectionOnAns))
+                } else {
+                    let (ans, pres) =
+                        rewrite::from_scratch_with_pres(new_eq, &self.instance)?;
+                    Ok((ans, pres, Strategy::FromScratch))
+                }
+            }
+            OlapOp::DrillOut { dims } => {
+                let removed = resolve_dims(&source.eq, dims)?;
+                // Algorithm 1 needs the removed dimensions unrestricted in
+                // the source: pres(Q) lacks the rows a dropped restriction
+                // would re-admit.
+                let unrestricted =
+                    removed.iter().all(|&i| source.eq.sigma().selector(i).is_all());
+                if unrestricted {
+                    let (ans, pres) =
+                        rewrite::drill_out_from_pres(&source.pres, &removed, dict)?;
+                    Ok((ans, pres, Strategy::Algorithm1))
+                } else {
+                    let (ans, pres) =
+                        rewrite::from_scratch_with_pres(new_eq, &self.instance)?;
+                    Ok((ans, pres, Strategy::FromScratch))
+                }
+            }
+            OlapOp::DrillIn { var } => {
+                let vid = source
+                    .eq
+                    .query()
+                    .classifier()
+                    .vars()
+                    .id(var)
+                    .ok_or_else(|| CoreError::UnknownVariable(var.clone()))?;
+                let (ans, pres) = rewrite::drill_in_from_pres(
+                    source.eq.query(),
+                    &source.pres,
+                    vid,
+                    &self.instance,
+                )?;
+                Ok((ans, pres, Strategy::Algorithm2))
+            }
+            OlapOp::RollUp { .. } => {
+                unreachable!("ROLL-UP is dispatched before apply(); see transform()")
+            }
+        }
+    }
+}
+
+/// How a target query relates to a materialized source cube.
+#[derive(Debug, Clone)]
+enum Derivation {
+    /// Same dimensions in the same order; the target Σ refines the source's.
+    Dice,
+    /// Target dimensions are an order-preserving subset; the listed source
+    /// dimension indices are dropped (their source Σ must be unrestricted).
+    DrillOut(Vec<usize>),
+    /// Target has exactly one extra trailing dimension, existential in the
+    /// source classifier (the variable to promote).
+    DrillIn(VarId),
+}
+
+impl Derivation {
+    /// Preference order when several sources apply (cheapest first).
+    fn rank(&self) -> u8 {
+        match self {
+            Derivation::Dice => 0,
+            Derivation::DrillOut(_) => 1,
+            Derivation::DrillIn(_) => 2,
+        }
+    }
+}
+
+/// Decides whether (and how) a cube with canonical dimensions `s_dims` and
+/// restriction `s_sigma` can answer a query with `t_dims`/`t_sigma`, given
+/// that classifier bodies, measures, aggregates and roots already match.
+fn classify_derivation(
+    s_dims: &[String],
+    s_sigma: &crate::extended::Sigma,
+    t_dims: &[String],
+    t_sigma: &crate::extended::Sigma,
+    source_query: &AnalyticalQuery,
+    s_body: &BodySignature,
+) -> Option<Derivation> {
+    if s_dims == t_dims {
+        return t_sigma.refines(s_sigma).then_some(Derivation::Dice);
+    }
+
+    // DrillOut: t_dims is a strict, order-preserving subset of s_dims.
+    if t_dims.len() < s_dims.len() {
+        let mut removed = Vec::new();
+        let mut kept_sigma_ok = true;
+        let mut ti = 0usize;
+        for (si, s_dim) in s_dims.iter().enumerate() {
+            if ti < t_dims.len() && &t_dims[ti] == s_dim {
+                // Kept dimension: the target's restriction must refine the
+                // source's (equal or narrower — a trailing dice fixes up
+                // strict refinement).
+                if !t_sigma.selector(ti).refines(s_sigma.selector(si)) {
+                    kept_sigma_ok = false;
+                    break;
+                }
+                ti += 1;
+            } else {
+                // Dropped dimension: Algorithm 1 needs it unrestricted.
+                if !s_sigma.selector(si).is_all() {
+                    kept_sigma_ok = false;
+                    break;
+                }
+                removed.push(si);
+            }
+        }
+        if kept_sigma_ok && ti == t_dims.len() && !removed.is_empty() {
+            return Some(Derivation::DrillOut(removed));
+        }
+        return None;
+    }
+
+    // DrillIn: t_dims = s_dims + one extra at the end.
+    if t_dims.len() == s_dims.len() + 1 && t_dims[..s_dims.len()] == *s_dims {
+        for ti in 0..s_dims.len() {
+            if !t_sigma.selector(ti).refines(s_sigma.selector(ti)) {
+                return None;
+            }
+        }
+        let extra = &t_dims[s_dims.len()];
+        // Find the source classifier variable with that canonical name; it
+        // must be existential there (not in the head).
+        let var = s_body
+            .var_names
+            .iter()
+            .find(|(_, name)| name.as_str() == extra)
+            .map(|(&v, _)| v)?;
+        if source_query.classifier().head().contains(&var) {
+            return None;
+        }
+        return Some(Derivation::DrillIn(var));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extended::ValueSelector;
+    use rdfcube_engine::AggValue;
+    use rdfcube_rdf::{parse_turtle, Term};
+
+    fn session() -> OlapSession {
+        let instance = parse_turtle(
+            "<user1> rdf:type <Blogger> ; <hasAge> 28 ; <livesIn> \"Madrid\" .
+             <user3> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user4> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user1> <wrotePost> <p1>, <p2>, <p3> .
+             <p1> <postedOn> <s1> . <p2> <postedOn> <s1> . <p3> <postedOn> <s2> .
+             <user3> <wrotePost> <p4> . <p4> <postedOn> <s2> .
+             <user4> <wrotePost> <p5> . <p5> <postedOn> <s3> .",
+        )
+        .unwrap();
+        OlapSession::new(instance)
+    }
+
+    fn register_example_1(s: &mut OlapSession) -> CubeHandle {
+        s.register(
+            "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+            "m(?x, ?vsite) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?vsite",
+            AggFunc::Count,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_materializes_ans_and_pres() {
+        let mut s = session();
+        let h = register_example_1(&mut s);
+        assert_eq!(s.answer(h).len(), 2);
+        assert_eq!(s.cube(h).pres().len(), 5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slice_uses_selection_on_ans() {
+        let mut s = session();
+        let h = register_example_1(&mut s);
+        let (h2, strategy) = s
+            .transform(h, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+            .unwrap();
+        assert_eq!(strategy, Strategy::SelectionOnAns);
+        assert_eq!(s.answer(h2).len(), 1);
+        // Verified against scratch.
+        let scratch = s.cube(h2).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h2).same_cells(&scratch));
+    }
+
+    #[test]
+    fn widening_dice_falls_back_to_scratch() {
+        let mut s = session();
+        let h = register_example_1(&mut s);
+        let (h2, st2) = s
+            .transform(h, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+            .unwrap();
+        assert_eq!(st2, Strategy::SelectionOnAns);
+        // Widen back to {28, 35}: not a refinement → scratch.
+        let (h3, st3) = s
+            .transform(
+                h2,
+                &OlapOp::Dice {
+                    constraints: vec![(
+                        "dage".into(),
+                        ValueSelector::OneOf(vec![Term::integer(28), Term::integer(35)]),
+                    )],
+                },
+            )
+            .unwrap();
+        assert_eq!(st3, Strategy::FromScratch);
+        assert_eq!(s.answer(h3).len(), 2);
+    }
+
+    #[test]
+    fn drill_out_uses_algorithm_1() {
+        let mut s = session();
+        let h = register_example_1(&mut s);
+        let (h2, strategy) =
+            s.transform(h, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
+        assert_eq!(strategy, Strategy::Algorithm1);
+        let scratch = s.cube(h2).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h2).same_cells(&scratch));
+    }
+
+    #[test]
+    fn drill_out_on_sliced_dim_falls_back() {
+        let mut s = session();
+        let h = register_example_1(&mut s);
+        let (h2, _) = s
+            .transform(h, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+            .unwrap();
+        let (h3, strategy) =
+            s.transform(h2, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
+        assert_eq!(strategy, Strategy::FromScratch);
+        // The drill-out dropped the slice: user1's posts are back in scope.
+        let cube = s.answer(h3);
+        let ny = s.instance().dict().id(&Term::literal("NY")).unwrap();
+        let madrid = s.instance().dict().id(&Term::literal("Madrid")).unwrap();
+        assert_eq!(cube.get(&[ny]), Some(&AggValue::Int(2)));
+        assert_eq!(cube.get(&[madrid]), Some(&AggValue::Int(3)));
+    }
+
+    #[test]
+    fn drill_out_on_remaining_restriction_still_uses_algorithm_1() {
+        let mut s = session();
+        let h = register_example_1(&mut s);
+        let (h2, _) = s
+            .transform(h, &OlapOp::Slice { dim: "dcity".into(), value: Term::literal("NY") })
+            .unwrap();
+        // Removing dage (unrestricted) keeps the dcity slice intact.
+        let (h3, strategy) =
+            s.transform(h2, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
+        assert_eq!(strategy, Strategy::Algorithm1);
+        let scratch = s.cube(h3).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h3).same_cells(&scratch));
+    }
+
+    #[test]
+    fn drill_in_uses_algorithm_2_and_chains() {
+        let mut s = session();
+        let h = register_example_1(&mut s);
+        // drill-out dage, then drill it back in: Example 3's round trip.
+        let (h2, _) = s.transform(h, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
+        let (h3, strategy) = s.transform(h2, &OlapOp::DrillIn { var: "dage".into() }).unwrap();
+        assert_eq!(strategy, Strategy::Algorithm2);
+        let scratch = s.cube(h3).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h3).same_cells(&scratch));
+        // Same cells as the original cube, modulo dimension order
+        // (dcity, dage) vs (dage, dcity).
+        assert_eq!(s.answer(h3).len(), s.answer(h).len());
+    }
+
+    /// Helper: an independently-written extended query over the session's
+    /// instance (fresh variable names, different pattern order).
+    fn independent_query(
+        s: &mut OlapSession,
+        classifier: &str,
+        measure: &str,
+        agg: AggFunc,
+    ) -> ExtendedQuery {
+        // Parse against the live instance dictionary through a stub
+        // registration path (dictionary interning only).
+        let mut g = std::mem::replace(&mut s.instance, Graph::new());
+        let q = AnalyticalQuery::parse(classifier, measure, agg, g.dict_mut()).unwrap();
+        s.instance = g;
+        ExtendedQuery::from_query(q)
+    }
+
+    #[test]
+    fn answer_query_recognizes_renamed_dice() {
+        let mut s = session();
+        register_example_1(&mut s);
+        // Same query, different variable names and pattern order, sliced.
+        let mut eq = independent_query(
+            &mut s,
+            "k(?u, ?years, ?town) :- ?u livesIn ?town, ?u hasAge ?years, ?u rdf:type Blogger",
+            "w(?u, ?s) :- ?u wrotePost ?q, ?q postedOn ?s, ?u rdf:type Blogger",
+            AggFunc::Count,
+        );
+        let mut sigma = crate::extended::Sigma::all(2);
+        sigma.set(0, ValueSelector::one(Term::integer(35)));
+        eq = ExtendedQuery::with_sigma(eq.query().clone(), sigma).unwrap();
+
+        let (h, strategy) = s.answer_query(eq).unwrap();
+        assert_eq!(strategy, Strategy::SelectionOnAns);
+        // Stored under the new query's own dimension names.
+        assert_eq!(s.answer(h).dim_names(), &["years".to_string(), "town".to_string()]);
+        let scratch = s.cube(h).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h).same_cells(&scratch));
+    }
+
+    #[test]
+    fn answer_query_derives_drill_out_from_materialization() {
+        let mut s = session();
+        register_example_1(&mut s);
+        // A 1-D query whose body matches the registered 2-D cube.
+        let eq = independent_query(
+            &mut s,
+            "k(?u, ?town) :- ?u rdf:type Blogger, ?u hasAge ?age, ?u livesIn ?town",
+            "w(?u, ?s) :- ?u rdf:type Blogger, ?u wrotePost ?q, ?q postedOn ?s",
+            AggFunc::Count,
+        );
+        let (h, strategy) = s.answer_query(eq).unwrap();
+        assert_eq!(strategy, Strategy::Algorithm1);
+        let scratch = s.cube(h).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h).same_cells(&scratch));
+    }
+
+    #[test]
+    fn answer_query_derives_drill_in_from_materialization() {
+        let mut s = session();
+        // Register a 1-D cube whose classifier mentions the city
+        // existentially…
+        s.register(
+            "c(?x, ?dage) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?c",
+            "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?v",
+            AggFunc::Count,
+        )
+        .unwrap();
+        // …then ask the 2-D version: served by Algorithm 2.
+        let eq = independent_query(
+            &mut s,
+            "k(?u, ?years, ?town) :- ?u rdf:type Blogger, ?u hasAge ?years, ?u livesIn ?town",
+            "w(?u, ?s) :- ?u rdf:type Blogger, ?u wrotePost ?q, ?q postedOn ?s",
+            AggFunc::Count,
+        );
+        let (h, strategy) = s.answer_query(eq).unwrap();
+        assert_eq!(strategy, Strategy::Algorithm2);
+        let scratch = s.cube(h).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h).same_cells(&scratch));
+    }
+
+    #[test]
+    fn answer_query_falls_back_on_unrelated_queries() {
+        let mut s = session();
+        register_example_1(&mut s);
+        // Different measure ⇒ no derivation.
+        let eq = independent_query(
+            &mut s,
+            "k(?u, ?town) :- ?u rdf:type Blogger, ?u livesIn ?town",
+            "w(?u, ?q) :- ?u wrotePost ?q",
+            AggFunc::Count,
+        );
+        let (h, strategy) = s.answer_query(eq).unwrap();
+        assert_eq!(strategy, Strategy::FromScratch);
+        let scratch = s.cube(h).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h).same_cells(&scratch));
+    }
+
+    #[test]
+    fn answer_query_respects_sigma_soundness() {
+        let mut s = session();
+        let h = register_example_1(&mut s);
+        // Slice the source on dage…
+        let (sliced, _) = s
+            .transform(h, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+            .unwrap();
+        let _ = sliced;
+        // …then ask an unrestricted 1-D drill-out of dage. The sliced cube
+        // must NOT be used (its removed dim is restricted); the original
+        // 2-D cube (unrestricted) is a sound source via Algorithm 1.
+        let eq = independent_query(
+            &mut s,
+            "k(?u, ?town) :- ?u rdf:type Blogger, ?u hasAge ?age, ?u livesIn ?town",
+            "w(?u, ?x) :- ?u rdf:type Blogger, ?u wrotePost ?q, ?q postedOn ?x",
+            AggFunc::Count,
+        );
+        let (h2, strategy) = s.answer_query(eq).unwrap();
+        assert_eq!(strategy, Strategy::Algorithm1);
+        let scratch = s.cube(h2).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h2).same_cells(&scratch));
+        let madrid = s.instance().dict().id(&Term::literal("Madrid")).unwrap();
+        // user1's three posts are present — the slice was not leaked.
+        assert_eq!(s.answer(h2).get(&[madrid]), Some(&AggValue::Int(3)));
+    }
+
+    #[test]
+    fn answer_query_combines_drill_out_with_dice() {
+        let mut s = session();
+        register_example_1(&mut s);
+        // 1-D (city) with a restriction on the kept dim: Algorithm 1 then σ.
+        let eq = independent_query(
+            &mut s,
+            "k(?u, ?town) :- ?u rdf:type Blogger, ?u hasAge ?age, ?u livesIn ?town",
+            "w(?u, ?x) :- ?u rdf:type Blogger, ?u wrotePost ?q, ?q postedOn ?x",
+            AggFunc::Count,
+        );
+        let mut sigma = crate::extended::Sigma::all(1);
+        sigma.set(0, ValueSelector::one(Term::literal("NY")));
+        let eq = ExtendedQuery::with_sigma(eq.query().clone(), sigma).unwrap();
+        let (h, strategy) = s.answer_query(eq).unwrap();
+        assert_eq!(strategy, Strategy::Algorithm1);
+        assert_eq!(s.answer(h).len(), 1);
+        let scratch = s.cube(h).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h).same_cells(&scratch));
+    }
+
+    #[test]
+    fn roll_up_in_a_session() {
+        let instance = parse_turtle(
+            "<Madrid> <locatedIn> <Spain> . <NY> <locatedIn> <USA> .
+             <user1> rdf:type <Blogger> ; <livesIn> <Madrid> ; <wrotePost> <p1> .
+             <user3> rdf:type <Blogger> ; <livesIn> <NY> ; <wrotePost> <p2> .
+             <user4> rdf:type <Blogger> ; <livesIn> <NY> ; <wrotePost> <p3> .",
+        )
+        .unwrap();
+        let mut s = OlapSession::new(instance);
+        let h = s
+            .register(
+                "c(?x, ?dcity) :- ?x rdf:type Blogger, ?x livesIn ?dcity",
+                "m(?x, ?p) :- ?x wrotePost ?p",
+                AggFunc::Count,
+            )
+            .unwrap();
+        let (h2, strategy) = s
+            .transform(h, &OlapOp::RollUp { dim: "dcity".into(), via: "locatedIn".into() })
+            .unwrap();
+        assert_eq!(strategy, Strategy::RollUpComposition);
+        let spain = s.instance().dict().id(&Term::iri("Spain")).unwrap();
+        let usa = s.instance().dict().id(&Term::iri("USA")).unwrap();
+        assert_eq!(s.answer(h2).get(&[spain]), Some(&AggValue::Int(1)));
+        assert_eq!(s.answer(h2).get(&[usa]), Some(&AggValue::Int(2)));
+        // Consistent with evaluating Q_ROLL-UP from scratch.
+        let scratch = s.cube(h2).query().answer(s.instance()).unwrap();
+        assert!(s.answer(h2).same_cells(&scratch));
+        // And the materialized roll-up supports further operations.
+        let (h3, st3) = s
+            .transform(h2, &OlapOp::Slice { dim: "dcity_up".into(), value: Term::iri("USA") })
+            .unwrap();
+        assert_eq!(st3, Strategy::SelectionOnAns);
+        assert_eq!(s.answer(h3).len(), 1);
+    }
+
+    #[test]
+    fn long_chain_remains_consistent_with_scratch() {
+        let mut s = session();
+        let h = register_example_1(&mut s);
+        let (h1, _) = s
+            .transform(
+                h,
+                &OlapOp::Dice {
+                    constraints: vec![(
+                        "dage".into(),
+                        ValueSelector::IntRange { lo: 20, hi: 40 },
+                    )],
+                },
+            )
+            .unwrap();
+        let (h2, _) = s.transform(h1, &OlapOp::DrillOut { dims: vec!["dcity".into()] }).unwrap();
+        let (h3, _) = s.transform(h2, &OlapOp::DrillIn { var: "dcity".into() }).unwrap();
+        for hi in [h1, h2, h3] {
+            let scratch = s.cube(hi).query().answer(s.instance()).unwrap();
+            assert!(s.answer(hi).same_cells(&scratch), "handle {hi:?} diverged");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! A small Zipf-distributed integer sampler.
+//!
+//! Post counts per blogger and site popularity are skewed in any realistic
+//! blogging workload; `rand` 0.8 does not ship a Zipf distribution (that
+//! lives in `rand_distr`, not available offline), so we provide a compact
+//! inverse-CDF sampler: O(n) setup, O(log n) sampling, exact for any finite
+//! support.
+
+use rand::Rng;
+
+/// Zipf distribution over `{1, …, n}` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution, `cdf[k-1] = P(X ≤ k)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the distribution. `n ≥ 1`; `s ≥ 0` (0 = uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a value in `{1, …, n}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("CDF is NaN-free")) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// The support size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn skew_prefers_small_values() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ones = 0;
+        let mut big = 0;
+        for _ in 0..10_000 {
+            match z.sample(&mut rng) {
+                1 => ones += 1,
+                v if v > 50 => big += 1,
+                _ => {}
+            }
+        }
+        assert!(ones > big, "rank 1 ({ones}) should dominate ranks >50 ({big})");
+    }
+
+    #[test]
+    fn exponent_zero_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?} not ~uniform");
+        }
+    }
+
+    #[test]
+    fn singleton_support() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert_eq!(z.n(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,436 @@
+//! Aggregation functions (the ⊕ of analytical queries) and grouped
+//! aggregation (the γ operator).
+//!
+//! §3.2 of the paper distinguishes aggregation functions by their
+//! *distributivity* — whether `⊕(a, ⊕(b, c)) = ⊕(⊕(a, b), c)` — because the
+//! correctness argument for drill-out differs between distributive functions
+//! (like `sum`) and non-distributive ones (like `avg`). Each [`AggFunc`]
+//! therefore carries a [`Distributivity`] classification.
+//!
+//! Floating-point sums are folded over a **sorted** copy of the bag, so the
+//! same multiset of values always aggregates to bit-identical results no
+//! matter which evaluation strategy produced it — a requirement for testing
+//! the paper's equivalence propositions exactly.
+
+use crate::error::EngineError;
+use crate::relation::Relation;
+use crate::var::VarId;
+use rdfcube_rdf::fx::{FxHashMap, FxHashSet};
+use rdfcube_rdf::{Dictionary, Term, TermId};
+use std::fmt;
+
+/// An aggregation function applicable to a bag of measure values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Number of values in the bag (duplicates count).
+    Count,
+    /// Number of distinct values in the bag.
+    CountDistinct,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Minimum (numeric when all values are numeric, else lexicographic).
+    Min,
+    /// Maximum (numeric when all values are numeric, else lexicographic).
+    Max,
+}
+
+/// Distributivity classification, per the drill-out discussion in §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distributivity {
+    /// `⊕` can merge partial aggregates: sum, count, min, max.
+    Distributive,
+    /// Computable from a bounded set of distributive aggregates: avg.
+    Algebraic,
+    /// Requires the full bag: count-distinct.
+    Holistic,
+}
+
+impl AggFunc {
+    /// The function's distributivity class.
+    pub fn distributivity(&self) -> Distributivity {
+        match self {
+            AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                Distributivity::Distributive
+            }
+            AggFunc::Avg => Distributivity::Algebraic,
+            AggFunc::CountDistinct => Distributivity::Holistic,
+        }
+    }
+
+    /// The paper's name for the function.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::CountDistinct => "count_distinct",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "average",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Aggregates a non-empty bag of values.
+    ///
+    /// Per Definition 1, an empty bag means the fact does not contribute a
+    /// cube cell at all, so calling this with an empty bag is a logic error
+    /// reported as a validation failure rather than a panic.
+    pub fn apply(&self, values: &[TermId], dict: &Dictionary) -> Result<AggValue, EngineError> {
+        if values.is_empty() {
+            return Err(EngineError::Validation(
+                "aggregate applied to an empty measure bag (the fact should not contribute)"
+                    .into(),
+            ));
+        }
+        match self {
+            AggFunc::Count => Ok(AggValue::Int(values.len() as i64)),
+            AggFunc::CountDistinct => {
+                let distinct: FxHashSet<TermId> = values.iter().copied().collect();
+                Ok(AggValue::Int(distinct.len() as i64))
+            }
+            AggFunc::Sum => numeric_bag(values, dict, self.name()).map(|bag| bag.sum()),
+            AggFunc::Avg => numeric_bag(values, dict, self.name()).map(|bag| bag.avg()),
+            AggFunc::Min => Ok(AggValue::Term(extremum(values, dict, false))),
+            AggFunc::Max => Ok(AggValue::Term(extremum(values, dict, true))),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of an aggregation — one cube-cell value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggValue {
+    /// Exact integer result (count, integer sum, …).
+    Int(i64),
+    /// Floating-point result (averages, mixed-type sums).
+    Float(f64),
+    /// A term from the input bag (min/max).
+    Term(TermId),
+}
+
+impl AggValue {
+    /// Numeric view (`Term` values resolve through `dict`).
+    pub fn as_f64(&self, dict: &Dictionary) -> Option<f64> {
+        match self {
+            AggValue::Int(i) => Some(*i as f64),
+            AggValue::Float(f) => Some(*f),
+            AggValue::Term(id) => dict.get(*id).and_then(Term::as_f64),
+        }
+    }
+
+    /// Renders the value for reports, decoding `Term` against `dict`.
+    pub fn display(&self, dict: &Dictionary) -> String {
+        match self {
+            AggValue::Int(i) => i.to_string(),
+            AggValue::Float(f) => format!("{f}"),
+            AggValue::Term(id) => {
+                dict.get(*id).map_or_else(|| id.to_string(), |t| t.display_compact())
+            }
+        }
+    }
+
+    /// Approximate equality: exact for `Int`/`Term`, ε-relative for floats.
+    pub fn approx_eq(&self, other: &AggValue, eps: f64) -> bool {
+        match (self, other) {
+            (AggValue::Int(a), AggValue::Int(b)) => a == b,
+            (AggValue::Term(a), AggValue::Term(b)) => a == b,
+            (AggValue::Float(a), AggValue::Float(b)) => {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= eps * scale
+            }
+            (AggValue::Int(a), AggValue::Float(b)) | (AggValue::Float(b), AggValue::Int(a)) => {
+                (*a as f64 - b).abs() <= eps * (*a as f64).abs().max(b.abs()).max(1.0)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A bag of numeric values, kept as exact integers when possible.
+enum NumericBag {
+    Ints(Vec<i64>),
+    Floats(Vec<f64>),
+}
+
+impl NumericBag {
+    fn sum(self) -> AggValue {
+        match self {
+            NumericBag::Ints(ints) => {
+                // Fall back to floats on overflow instead of wrapping.
+                let mut acc: i64 = 0;
+                for &i in &ints {
+                    match acc.checked_add(i) {
+                        Some(next) => acc = next,
+                        None => return NumericBag::Floats(to_sorted_floats(&ints)).sum(),
+                    }
+                }
+                AggValue::Int(acc)
+            }
+            NumericBag::Floats(mut floats) => {
+                floats.sort_unstable_by(f64::total_cmp);
+                AggValue::Float(floats.iter().sum())
+            }
+        }
+    }
+
+    fn avg(self) -> AggValue {
+        let n = match &self {
+            NumericBag::Ints(v) => v.len(),
+            NumericBag::Floats(v) => v.len(),
+        };
+        match self.sum() {
+            AggValue::Int(s) => AggValue::Float(s as f64 / n as f64),
+            AggValue::Float(s) => AggValue::Float(s / n as f64),
+            AggValue::Term(_) => unreachable!("sum never yields Term"),
+        }
+    }
+}
+
+fn to_sorted_floats(ints: &[i64]) -> Vec<f64> {
+    let mut f: Vec<f64> = ints.iter().map(|&i| i as f64).collect();
+    f.sort_unstable_by(f64::total_cmp);
+    f
+}
+
+fn numeric_bag(
+    values: &[TermId],
+    dict: &Dictionary,
+    func: &str,
+) -> Result<NumericBag, EngineError> {
+    let mut ints = Vec::with_capacity(values.len());
+    for &id in values {
+        let term = dict
+            .get(id)
+            .ok_or_else(|| EngineError::Schema(format!("unknown term id {id} in aggregate")))?;
+        match term.as_i64() {
+            Some(i) => ints.push(i),
+            None => {
+                // Mixed bag: re-read everything as floats.
+                let mut floats = Vec::with_capacity(values.len());
+                for &id2 in values {
+                    let t2 = dict.get(id2).ok_or_else(|| {
+                        EngineError::Schema(format!("unknown term id {id2} in aggregate"))
+                    })?;
+                    let f = t2.as_f64().filter(|f| !f.is_nan()).ok_or_else(|| {
+                        EngineError::NonNumericAggregate(format!(
+                            "{func} over non-numeric value {t2}"
+                        ))
+                    })?;
+                    floats.push(f);
+                }
+                return Ok(NumericBag::Floats(floats));
+            }
+        }
+    }
+    Ok(NumericBag::Ints(ints))
+}
+
+/// Picks the minimal/maximal term of the bag: numerically when every value
+/// is numeric, otherwise lexicographically on the rendered term. Ties break
+/// on the rendered form then the id, so the result is deterministic across
+/// evaluation strategies.
+fn extremum(values: &[TermId], dict: &Dictionary, want_max: bool) -> TermId {
+    let all_numeric = values.iter().all(|&id| dict.get(id).and_then(Term::as_f64).is_some());
+    let key = |id: TermId| -> (Option<f64>, String, u32) {
+        let term = dict.get(id);
+        let num = if all_numeric { term.and_then(Term::as_f64) } else { None };
+        let text = term.map_or_else(|| id.to_string(), |t| t.to_string());
+        (num, text, id.0)
+    };
+    let cmp = |a: &TermId, b: &TermId| {
+        let (na, ta, ia) = key(*a);
+        let (nb, tb, ib) = key(*b);
+        match (na, nb) {
+            (Some(x), Some(y)) => x.total_cmp(&y).then_with(|| ta.cmp(&tb)).then(ia.cmp(&ib)),
+            _ => ta.cmp(&tb).then(ia.cmp(&ib)),
+        }
+    };
+    let mut best = values[0];
+    for &v in &values[1..] {
+        let ord = cmp(&v, &best);
+        if (want_max && ord == std::cmp::Ordering::Greater)
+            || (!want_max && ord == std::cmp::Ordering::Less)
+        {
+            best = v;
+        }
+    }
+    best
+}
+
+/// γ — grouped aggregation over a relation: groups rows by `group_cols`,
+/// aggregates the `value_col` column of each group with `func`.
+///
+/// Returns `(group key, aggregate)` pairs sorted by key, a canonical order
+/// that makes results directly comparable across strategies.
+pub fn group_aggregate(
+    rel: &Relation,
+    group_cols: &[VarId],
+    value_col: VarId,
+    func: AggFunc,
+    dict: &Dictionary,
+) -> Result<Vec<(Vec<TermId>, AggValue)>, EngineError> {
+    let group_idx: Vec<usize> =
+        group_cols.iter().map(|&v| rel.col_required(v)).collect::<Result<_, _>>()?;
+    let value_idx = rel.col_required(value_col)?;
+
+    let mut groups: FxHashMap<Vec<TermId>, Vec<TermId>> = FxHashMap::default();
+    for row in rel.rows() {
+        let key: Vec<TermId> = group_idx.iter().map(|&i| row[i]).collect();
+        groups.entry(key).or_default().push(row[value_idx]);
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, bag) in groups {
+        let agg = func.apply(&bag, dict)?;
+        out.push((key, agg));
+    }
+    out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfcube_rdf::Term;
+
+    fn dict_with_ints(values: &[i64]) -> (Dictionary, Vec<TermId>) {
+        let mut d = Dictionary::new();
+        let ids = values.iter().map(|&v| d.encode(&Term::integer(v))).collect();
+        (d, ids)
+    }
+
+    #[test]
+    fn count_counts_duplicates() {
+        // Example 2: bag {|s1, s1, s2|} counts to 3.
+        let (d, ids) = dict_with_ints(&[1, 1, 2]);
+        assert_eq!(AggFunc::Count.apply(&ids, &d).unwrap(), AggValue::Int(3));
+        assert_eq!(AggFunc::CountDistinct.apply(&ids, &d).unwrap(), AggValue::Int(2));
+    }
+
+    #[test]
+    fn sum_and_avg_exact_integers() {
+        // Example 4: average of {100, 120, 410} = 210.
+        let (d, ids) = dict_with_ints(&[100, 120, 410]);
+        assert_eq!(AggFunc::Sum.apply(&ids, &d).unwrap(), AggValue::Int(630));
+        assert_eq!(AggFunc::Avg.apply(&ids, &d).unwrap(), AggValue::Float(210.0));
+    }
+
+    #[test]
+    fn sum_overflow_falls_back_to_float() {
+        let (d, ids) = dict_with_ints(&[i64::MAX, i64::MAX]);
+        match AggFunc::Sum.apply(&ids, &d).unwrap() {
+            AggValue::Float(f) => assert!(f > 1e18),
+            other => panic!("expected float fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_numeric_bag_sums_as_float() {
+        let mut d = Dictionary::new();
+        let ids = vec![d.encode(&Term::integer(1)), d.encode(&Term::double(2.5))];
+        assert_eq!(AggFunc::Sum.apply(&ids, &d).unwrap(), AggValue::Float(3.5));
+    }
+
+    #[test]
+    fn non_numeric_sum_is_an_error() {
+        let mut d = Dictionary::new();
+        let ids = vec![d.encode(&Term::literal("Madrid"))];
+        assert!(matches!(
+            AggFunc::Sum.apply(&ids, &d),
+            Err(EngineError::NonNumericAggregate(_))
+        ));
+    }
+
+    #[test]
+    fn empty_bag_is_rejected() {
+        let d = Dictionary::new();
+        assert!(AggFunc::Count.apply(&[], &d).is_err());
+    }
+
+    #[test]
+    fn min_max_numeric() {
+        let (d, ids) = dict_with_ints(&[35, 28, 40]);
+        assert_eq!(AggFunc::Min.apply(&ids, &d).unwrap(), AggValue::Term(ids[1]));
+        assert_eq!(AggFunc::Max.apply(&ids, &d).unwrap(), AggValue::Term(ids[2]));
+    }
+
+    #[test]
+    fn min_max_lexicographic_for_strings() {
+        let mut d = Dictionary::new();
+        let ids = vec![
+            d.encode(&Term::literal("Madrid")),
+            d.encode(&Term::literal("Kyoto")),
+            d.encode(&Term::literal("NY")),
+        ];
+        assert_eq!(AggFunc::Min.apply(&ids, &d).unwrap(), AggValue::Term(ids[1]));
+        assert_eq!(AggFunc::Max.apply(&ids, &d).unwrap(), AggValue::Term(ids[2]));
+    }
+
+    #[test]
+    fn float_sum_is_order_independent() {
+        let mut d = Dictionary::new();
+        let a: Vec<TermId> =
+            [0.1, 0.2, 0.3, 1e10, -1e10].iter().map(|&f| d.encode(&Term::double(f))).collect();
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(AggFunc::Sum.apply(&a, &d).unwrap(), AggFunc::Sum.apply(&b, &d).unwrap());
+    }
+
+    #[test]
+    fn distributivity_classification() {
+        assert_eq!(AggFunc::Sum.distributivity(), Distributivity::Distributive);
+        assert_eq!(AggFunc::Count.distributivity(), Distributivity::Distributive);
+        assert_eq!(AggFunc::Avg.distributivity(), Distributivity::Algebraic);
+        assert_eq!(AggFunc::CountDistinct.distributivity(), Distributivity::Holistic);
+    }
+
+    #[test]
+    fn group_aggregate_groups_and_sorts() {
+        use crate::var::VarId;
+        let mut d = Dictionary::new();
+        let madrid = d.encode(&Term::literal("Madrid"));
+        let ny = d.encode(&Term::literal("NY"));
+        let v100 = d.encode(&Term::integer(100));
+        let v120 = d.encode(&Term::integer(120));
+        let v570 = d.encode(&Term::integer(570));
+
+        let mut rel = Relation::new(vec![VarId(0), VarId(1)]);
+        rel.push_row(&[madrid, v100]);
+        rel.push_row(&[madrid, v120]);
+        rel.push_row(&[ny, v570]);
+
+        let groups =
+            group_aggregate(&rel, &[VarId(0)], VarId(1), AggFunc::Avg, &d).unwrap();
+        assert_eq!(groups.len(), 2);
+        let madrid_avg = groups.iter().find(|(k, _)| k[0] == madrid).unwrap();
+        assert_eq!(madrid_avg.1, AggValue::Float(110.0));
+    }
+
+    #[test]
+    fn group_aggregate_empty_group_cols_is_global() {
+        let (d, ids) = dict_with_ints(&[1, 2, 3]);
+        let mut rel = Relation::new(vec![VarId(0)]);
+        for id in &ids {
+            rel.push_row(&[*id]);
+        }
+        let groups = group_aggregate(&rel, &[], VarId(0), AggFunc::Sum, &d).unwrap();
+        assert_eq!(groups, vec![(vec![], AggValue::Int(6))]);
+    }
+
+    #[test]
+    fn agg_value_display_and_approx_eq() {
+        let mut d = Dictionary::new();
+        let id = d.encode(&Term::literal("NY"));
+        assert_eq!(AggValue::Int(3).display(&d), "3");
+        assert_eq!(AggValue::Term(id).display(&d), "NY");
+        assert!(AggValue::Float(1.0).approx_eq(&AggValue::Float(1.0 + 1e-12), 1e-9));
+        assert!(AggValue::Int(2).approx_eq(&AggValue::Float(2.0), 1e-9));
+        assert!(!AggValue::Int(2).approx_eq(&AggValue::Int(3), 1e-9));
+    }
+}

@@ -1,0 +1,366 @@
+//! Basic graph pattern (BGP) queries.
+//!
+//! The paper's query language is the conjunctive subset of SPARQL:
+//! `q(x̄) :- t₁, …, t_α` with a head (distinguished variables) and a body of
+//! triple patterns. A *rooted* BGP additionally requires every variable to be
+//! reachable from a distinguished root variable by following triple patterns
+//! (§2 of the paper); classifiers and measures of analytical queries must be
+//! rooted in the same analysis-class node.
+
+use crate::error::EngineError;
+use crate::pattern::{PatternTerm, QueryPattern};
+use crate::var::{VarId, VarRegistry};
+use rdfcube_rdf::fx::FxHashSet;
+use rdfcube_rdf::{Dictionary, TermId};
+
+/// A conjunctive query `q(head) :- body`.
+#[derive(Debug, Clone)]
+pub struct Bgp {
+    name: String,
+    head: Vec<VarId>,
+    body: Vec<QueryPattern>,
+    vars: VarRegistry,
+}
+
+impl Bgp {
+    /// Creates an empty query named `name` (e.g. `"c"` for a classifier).
+    pub fn new(name: impl Into<String>) -> Self {
+        Bgp { name: name.into(), head: Vec::new(), body: Vec::new(), vars: VarRegistry::new() }
+    }
+
+    /// The query name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the query.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Interns a variable name (shared across head and body).
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.vars.intern(name)
+    }
+
+    /// Appends a head (distinguished) variable.
+    pub fn push_head(&mut self, v: VarId) {
+        self.head.push(v);
+    }
+
+    /// Replaces the whole head.
+    pub fn set_head(&mut self, head: Vec<VarId>) {
+        self.head = head;
+    }
+
+    /// Appends a body triple pattern.
+    pub fn push_pattern(&mut self, p: QueryPattern) {
+        self.body.push(p);
+    }
+
+    /// Keeps only the body patterns for which `keep` returns true; `keep`
+    /// receives the pattern's original position. Used by the DRILL-IN
+    /// auxiliary-query construction (Definition 6), which extracts a subset
+    /// of the classifier body while preserving the variable registry.
+    pub fn retain_body<F: FnMut(usize, &QueryPattern) -> bool>(&mut self, mut keep: F) {
+        let mut i = 0;
+        self.body.retain(|p| {
+            let keep_it = keep(i, p);
+            i += 1;
+            keep_it
+        });
+    }
+
+    /// The distinguished variables, in head order.
+    pub fn head(&self) -> &[VarId] {
+        &self.head
+    }
+
+    /// The body patterns.
+    pub fn body(&self) -> &[QueryPattern] {
+        &self.body
+    }
+
+    /// The variable registry.
+    pub fn vars(&self) -> &VarRegistry {
+        &self.vars
+    }
+
+    /// Mutable access to the registry (for synthesizing fresh variables).
+    pub fn vars_mut(&mut self) -> &mut VarRegistry {
+        &mut self.vars
+    }
+
+    /// Every distinct variable occurring in the body.
+    pub fn body_vars(&self) -> Vec<VarId> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for p in &self.body {
+            for v in p.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Body variables that are *not* distinguished (the existential ones).
+    pub fn existential_vars(&self) -> Vec<VarId> {
+        let head: FxHashSet<VarId> = self.head.iter().copied().collect();
+        self.body_vars().into_iter().filter(|v| !head.contains(v)).collect()
+    }
+
+    /// Checks structural well-formedness: non-empty body, and every head
+    /// variable occurs in the body.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.body.is_empty() {
+            return Err(EngineError::Validation(format!("query '{}' has an empty body", self.name)));
+        }
+        let body_vars: FxHashSet<VarId> = self.body_vars().into_iter().collect();
+        for &h in &self.head {
+            if !body_vars.contains(&h) {
+                return Err(EngineError::Validation(format!(
+                    "head variable ?{} of query '{}' does not occur in its body",
+                    self.vars.name(h),
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// True if every variable is reachable from `root` following triple
+    /// patterns subject→object (and subject→predicate for predicate
+    /// variables), per the paper's rooted-BGP definition.
+    pub fn is_rooted_in(&self, root: VarId) -> bool {
+        let all: FxHashSet<VarId> = self.body_vars().into_iter().collect();
+        if !all.contains(&root) {
+            return false;
+        }
+        let mut reached: FxHashSet<VarId> = FxHashSet::default();
+        reached.insert(root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &self.body {
+                // A pattern whose subject is reached (a reached variable, or
+                // a constant — constants are trivially "grounded") extends
+                // reachability to its object and predicate variables.
+                let subject_ok = match p.s {
+                    PatternTerm::Var(v) => reached.contains(&v),
+                    PatternTerm::Const(_) => false,
+                };
+                if subject_ok {
+                    for pos in [p.p, p.o] {
+                        if let PatternTerm::Var(v) = pos {
+                            if reached.insert(v) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        all.iter().all(|v| reached.contains(v))
+    }
+
+    /// Convenience: the root of a rooted query is, by the paper's
+    /// convention, its first head variable.
+    pub fn root(&self) -> Option<VarId> {
+        self.head.first().copied()
+    }
+
+    /// Validates and checks rootedness in the first head variable.
+    pub fn validate_rooted(&self) -> Result<(), EngineError> {
+        self.validate()?;
+        let root = self.root().ok_or_else(|| {
+            EngineError::Validation(format!("query '{}' has an empty head", self.name))
+        })?;
+        if !self.is_rooted_in(root) {
+            return Err(EngineError::Validation(format!(
+                "query '{}' is not rooted in ?{}",
+                self.name,
+                self.vars.name(root)
+            )));
+        }
+        Ok(())
+    }
+
+    /// The set of constant term ids mentioned in the body.
+    pub fn constants(&self) -> Vec<TermId> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for p in &self.body {
+            for pos in p.positions() {
+                if let PatternTerm::Const(c) = pos {
+                    if seen.insert(c) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the query in the paper's notation, decoding constants against
+    /// `dict`.
+    pub fn to_text(&self, dict: &Dictionary) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let heads: Vec<&str> = self.head.iter().map(|&v| self.vars.name(v)).collect();
+        let _ = write!(s, "{}(", self.name);
+        for (i, h) in heads.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "?{h}");
+        }
+        s.push_str(") :- ");
+        for (i, p) in self.body.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            for (j, pos) in p.positions().into_iter().enumerate() {
+                if j > 0 {
+                    s.push(' ');
+                }
+                match pos {
+                    PatternTerm::Var(v) => {
+                        let _ = write!(s, "?{}", self.vars.name(v));
+                    }
+                    PatternTerm::Const(c) => {
+                        let _ = write!(
+                            s,
+                            "{}",
+                            dict.get(c).map_or_else(|| c.to_string(), |t| t.to_string())
+                        );
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfcube_rdf::Term;
+
+    /// Builds the paper's rooted example:
+    /// `q(x1,x2,x3) :- x1 acquaintedWith x2, x1 identifiedBy y1,
+    ///                 x1 wrotePost y2, y2 postedOn x3`
+    fn paper_rooted_query(dict: &mut Dictionary) -> Bgp {
+        let mut q = Bgp::new("q");
+        let x1 = q.var("x1");
+        let x2 = q.var("x2");
+        let x3 = q.var("x3");
+        let y1 = q.var("y1");
+        let y2 = q.var("y2");
+        q.set_head(vec![x1, x2, x3]);
+        let acq = dict.encode(&Term::iri("acquaintedWith"));
+        let idb = dict.encode(&Term::iri("identifiedBy"));
+        let wrote = dict.encode(&Term::iri("wrotePost"));
+        let posted = dict.encode(&Term::iri("postedOn"));
+        q.push_pattern(QueryPattern::new(
+            PatternTerm::Var(x1),
+            PatternTerm::Const(acq),
+            PatternTerm::Var(x2),
+        ));
+        q.push_pattern(QueryPattern::new(
+            PatternTerm::Var(x1),
+            PatternTerm::Const(idb),
+            PatternTerm::Var(y1),
+        ));
+        q.push_pattern(QueryPattern::new(
+            PatternTerm::Var(x1),
+            PatternTerm::Const(wrote),
+            PatternTerm::Var(y2),
+        ));
+        q.push_pattern(QueryPattern::new(
+            PatternTerm::Var(y2),
+            PatternTerm::Const(posted),
+            PatternTerm::Var(x3),
+        ));
+        q
+    }
+
+    #[test]
+    fn paper_example_is_rooted_in_x1_only() {
+        let mut dict = Dictionary::new();
+        let q = paper_rooted_query(&mut dict);
+        let x1 = q.vars().id("x1").unwrap();
+        let x2 = q.vars().id("x2").unwrap();
+        assert!(q.is_rooted_in(x1));
+        assert!(!q.is_rooted_in(x2));
+        assert!(q.validate_rooted().is_ok());
+    }
+
+    #[test]
+    fn head_var_missing_from_body_is_invalid() {
+        let mut q = Bgp::new("bad");
+        let x = q.var("x");
+        let ghost = q.var("ghost");
+        q.set_head(vec![x, ghost]);
+        q.push_pattern(QueryPattern::new(
+            PatternTerm::Var(x),
+            PatternTerm::Const(TermId(0)),
+            PatternTerm::Var(x),
+        ));
+        let err = q.validate().unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn empty_body_is_invalid() {
+        let q = Bgp::new("empty");
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn existential_vars_are_body_minus_head() {
+        let mut dict = Dictionary::new();
+        let q = paper_rooted_query(&mut dict);
+        let names: Vec<&str> =
+            q.existential_vars().into_iter().map(|v| q.vars().name(v)).collect();
+        assert_eq!(names, vec!["y1", "y2"]);
+    }
+
+    #[test]
+    fn constants_are_collected_once() {
+        let mut dict = Dictionary::new();
+        let q = paper_rooted_query(&mut dict);
+        assert_eq!(q.constants().len(), 4);
+    }
+
+    #[test]
+    fn to_text_round_trips_shape() {
+        let mut dict = Dictionary::new();
+        let q = paper_rooted_query(&mut dict);
+        let text = q.to_text(&dict);
+        assert!(text.starts_with("q(?x1, ?x2, ?x3) :- "));
+        assert!(text.contains("?x1 <acquaintedWith> ?x2"));
+        assert!(text.contains("?y2 <postedOn> ?x3"));
+    }
+
+    #[test]
+    fn disconnected_query_is_not_rooted() {
+        let mut q = Bgp::new("q");
+        let x = q.var("x");
+        let z = q.var("z");
+        q.set_head(vec![x]);
+        q.push_pattern(QueryPattern::new(
+            PatternTerm::Var(x),
+            PatternTerm::Const(TermId(0)),
+            PatternTerm::Var(x),
+        ));
+        q.push_pattern(QueryPattern::new(
+            PatternTerm::Var(z),
+            PatternTerm::Const(TermId(0)),
+            PatternTerm::Var(z),
+        ));
+        assert!(!q.is_rooted_in(x));
+        assert!(q.validate_rooted().is_err());
+    }
+}

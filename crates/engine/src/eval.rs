@@ -1,0 +1,509 @@
+//! BGP evaluation over an RDF graph.
+//!
+//! The evaluator uses *binding propagation* (index nested-loop joins): it
+//! orders the body patterns greedily by estimated cardinality, then extends
+//! partial solutions one pattern at a time through the store's SPO/POS/OSP
+//! indexes. This is the textbook strategy for conjunctive queries over
+//! triple stores and matches what the paper assumes of the underlying RDF
+//! platform.
+//!
+//! Two result semantics are offered, as the paper requires both:
+//! [`Semantics::Set`] (classifiers, auxiliary queries — Definition 1 and 6)
+//! and [`Semantics::Bag`] (measures — one row per homomorphism, so repeated
+//! measure values of one fact stay distinct).
+//!
+//! A deliberately naive full-scan nested-loop evaluator
+//! ([`evaluate_nested_loop`]) is kept as an oracle for the property tests.
+
+use crate::bgp::Bgp;
+use crate::error::EngineError;
+use crate::pattern::{PatternTerm, QueryPattern};
+use crate::relation::Relation;
+use crate::var::VarId;
+use rdfcube_rdf::fx::FxHashSet;
+use rdfcube_rdf::{Graph, TermId, Triple, TriplePattern};
+
+/// Result semantics of a BGP query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// Duplicate head rows collapse (the paper's default for BGPs).
+    Set,
+    /// One head row per homomorphism (the paper's measure-query semantics).
+    Bag,
+}
+
+/// A partial assignment of query variables to terms.
+type PartialRow = Vec<Option<TermId>>;
+
+/// Evaluates `bgp` over `graph` under the given semantics.
+pub fn evaluate(graph: &Graph, bgp: &Bgp, semantics: Semantics) -> Result<Relation, EngineError> {
+    evaluate_filtered(graph, bgp, &[], semantics)
+}
+
+/// Evaluates `bgp` with sideways filter push-down: each [`FilterExpr`] is
+/// applied the moment its variable binds, pruning partial solutions before
+/// they fan out through later patterns. Equivalent to evaluating and then
+/// selecting, but cheaper for selective filters (ablation E7c).
+pub fn evaluate_filtered(
+    graph: &Graph,
+    bgp: &Bgp,
+    filters: &[crate::filter::FilterExpr],
+    semantics: Semantics,
+) -> Result<Relation, EngineError> {
+    bgp.validate()?;
+    // Filter variables must occur in the body (checked up front: evaluation
+    // may short-circuit on an empty intermediate result before reaching the
+    // pattern that would have bound them).
+    let body_vars: FxHashSet<VarId> = bgp.body_vars().into_iter().collect();
+    for f in filters {
+        if !body_vars.contains(&f.var()) {
+            return Err(EngineError::Validation(format!(
+                "filter variable ?{} does not occur in the query body",
+                bgp.vars().name(f.var())
+            )));
+        }
+    }
+    let order = order_patterns(graph, bgp);
+    let dict = graph.dict();
+    let mut bound: FxHashSet<VarId> = FxHashSet::default();
+    let mut current: Vec<PartialRow> = vec![vec![None; bgp.vars().len()]];
+    let mut next: Vec<PartialRow> = Vec::new();
+    for &pi in &order {
+        let pattern = bgp.body()[pi];
+        // Filters whose variable binds at this step fire right after it.
+        let newly_bound: Vec<VarId> =
+            pattern.vars().filter(|v| bound.insert(*v)).collect();
+        let active: Vec<&crate::filter::FilterExpr> =
+            filters.iter().filter(|f| newly_bound.contains(&f.var())).collect();
+        next.clear();
+        for row in &current {
+            extend(graph, pattern, row, &mut next);
+        }
+        if !active.is_empty() {
+            next.retain(|row| {
+                active.iter().all(|f| {
+                    row[f.var().index()].is_some_and(|id| f.admits(id, dict))
+                })
+            });
+        }
+        std::mem::swap(&mut current, &mut next);
+        if current.is_empty() {
+            break;
+        }
+    }
+    project_head(bgp, &current, semantics)
+}
+
+/// Ablation evaluator: index-backed binding propagation like [`evaluate`],
+/// but visiting patterns in declaration order instead of greedy
+/// cheapest-first order. Used by the benchmarks to quantify what the join
+/// ordering buys.
+pub fn evaluate_in_order(
+    graph: &Graph,
+    bgp: &Bgp,
+    semantics: Semantics,
+) -> Result<Relation, EngineError> {
+    bgp.validate()?;
+    let mut current: Vec<PartialRow> = vec![vec![None; bgp.vars().len()]];
+    let mut next: Vec<PartialRow> = Vec::new();
+    for &pattern in bgp.body() {
+        next.clear();
+        for row in &current {
+            extend(graph, pattern, row, &mut next);
+        }
+        std::mem::swap(&mut current, &mut next);
+        if current.is_empty() {
+            break;
+        }
+    }
+    project_head(bgp, &current, semantics)
+}
+
+/// Oracle evaluator: declaration order, full scans, no indexes. Produces the
+/// same homomorphism set as [`evaluate`]; exponentially slower on purpose.
+pub fn evaluate_nested_loop(
+    graph: &Graph,
+    bgp: &Bgp,
+    semantics: Semantics,
+) -> Result<Relation, EngineError> {
+    bgp.validate()?;
+    let all: Vec<Triple> = graph.triples().collect();
+    let mut current: Vec<PartialRow> = vec![vec![None; bgp.vars().len()]];
+    for pattern in bgp.body() {
+        let mut next = Vec::new();
+        for row in &current {
+            for t in &all {
+                try_bind(pattern, row, *t, &mut next);
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    project_head(bgp, &current, semantics)
+}
+
+fn project_head(
+    bgp: &Bgp,
+    solutions: &[PartialRow],
+    semantics: Semantics,
+) -> Result<Relation, EngineError> {
+    let head = bgp.head().to_vec();
+    let mut rel = Relation::with_capacity(head.clone(), solutions.len());
+    let mut out: Vec<TermId> = Vec::with_capacity(head.len());
+    for row in solutions {
+        out.clear();
+        for &v in &head {
+            let Some(id) = row[v.index()] else {
+                return Err(EngineError::Validation(format!(
+                    "head variable ?{} left unbound by evaluation",
+                    bgp.vars().name(v)
+                )));
+            };
+            out.push(id);
+        }
+        rel.push_row(&out);
+    }
+    Ok(match semantics {
+        Semantics::Set => rel.distinct(),
+        Semantics::Bag => rel,
+    })
+}
+
+/// Extends `row` with every triple matching `pattern` under it.
+fn extend(graph: &Graph, pattern: QueryPattern, row: &PartialRow, out: &mut Vec<PartialRow>) {
+    let resolve = |pos: PatternTerm| -> Option<TermId> {
+        match pos {
+            PatternTerm::Const(c) => Some(c),
+            PatternTerm::Var(v) => row[v.index()],
+        }
+    };
+    let tp = TriplePattern::new(resolve(pattern.s), resolve(pattern.p), resolve(pattern.o));
+    graph.for_each_match(tp, |t| try_bind(&pattern, row, t, out));
+}
+
+/// Attempts to unify `t` with `pattern` under `row`; pushes the extended row
+/// on success. Handles repeated variables (`?x p ?x`) by sequential
+/// assign-then-check over the three positions.
+fn try_bind(pattern: &QueryPattern, row: &PartialRow, t: Triple, out: &mut Vec<PartialRow>) {
+    let mut extended = row.clone();
+    for (pos, value) in pattern.positions().into_iter().zip(t.as_array()) {
+        match pos {
+            PatternTerm::Const(c) => {
+                if c != value {
+                    return;
+                }
+            }
+            PatternTerm::Var(v) => match extended[v.index()] {
+                None => extended[v.index()] = Some(value),
+                Some(bound) if bound == value => {}
+                Some(_) => return,
+            },
+        }
+    }
+    out.push(extended);
+}
+
+/// Greedy join ordering: repeatedly picks the cheapest pattern, preferring
+/// patterns connected to the already-bound variables (avoiding cartesian
+/// products when the query allows it).
+///
+/// The cost estimate is the store's exact count for the pattern's constant
+/// shape, discounted for each position occupied by an already-bound variable
+/// (a bound variable behaves like a constant at execution time; `/8` per
+/// position is a crude but effective stand-in for per-value statistics).
+fn order_patterns(graph: &Graph, bgp: &Bgp) -> Vec<usize> {
+    let n = bgp.body().len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut bound: FxHashSet<VarId> = FxHashSet::default();
+    let mut order = Vec::with_capacity(n);
+
+    while !remaining.is_empty() {
+        // Minimize (disconnected?, cost): connected patterns always beat
+        // disconnected ones; among equals, the cheaper estimate wins.
+        let mut best: Option<(usize, (bool, f64))> = None;
+        for (slot, &pi) in remaining.iter().enumerate() {
+            let pattern = bgp.body()[pi];
+            let connected = bound.is_empty() || pattern.vars().any(|v| bound.contains(&v));
+            let score = (!connected, estimate(graph, pattern, &bound));
+            let better = match &best {
+                None => true,
+                Some((_, (b_disc, b_cost))) => {
+                    (!score.0 && *b_disc) || (score.0 == *b_disc && score.1 < *b_cost)
+                }
+            };
+            if better {
+                best = Some((slot, score));
+            }
+        }
+        let (slot, _) = best.expect("remaining is non-empty");
+        let pi = remaining.swap_remove(slot);
+        for v in bgp.body()[pi].vars() {
+            bound.insert(v);
+        }
+        order.push(pi);
+    }
+    order
+}
+
+/// One step of an explained query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// Index of the pattern in the query body (declaration order).
+    pub pattern_index: usize,
+    /// The pattern rendered in the paper's notation.
+    pub pattern: String,
+    /// The optimizer's cardinality estimate when this step was chosen.
+    pub estimated_rows: f64,
+    /// Whether the step shares a variable with the previously bound set
+    /// (false means a cartesian product was unavoidable).
+    pub connected: bool,
+}
+
+/// Explains the join order [`evaluate`] would choose for `bgp`, without
+/// running it — for debugging analytical queries over large instances.
+pub fn explain(graph: &Graph, bgp: &Bgp) -> Result<Vec<PlanStep>, EngineError> {
+    bgp.validate()?;
+    let order = order_patterns(graph, bgp);
+    let mut bound: FxHashSet<VarId> = FxHashSet::default();
+    let mut steps = Vec::with_capacity(order.len());
+    for pi in order {
+        let pattern = bgp.body()[pi];
+        let connected = bound.is_empty() || pattern.vars().any(|v| bound.contains(&v));
+        let estimated_rows = estimate(graph, pattern, &bound);
+        for v in pattern.vars() {
+            bound.insert(v);
+        }
+        steps.push(PlanStep {
+            pattern_index: pi,
+            pattern: render_pattern(bgp, pattern, graph),
+            estimated_rows,
+            connected,
+        });
+    }
+    Ok(steps)
+}
+
+fn render_pattern(bgp: &Bgp, pattern: QueryPattern, graph: &Graph) -> String {
+    let pos = |t: PatternTerm| match t {
+        PatternTerm::Var(v) => format!("?{}", bgp.vars().name(v)),
+        PatternTerm::Const(c) => graph
+            .dict()
+            .get(c)
+            .map_or_else(|| c.to_string(), |term| term.display_compact()),
+    };
+    format!("{} {} {}", pos(pattern.s), pos(pattern.p), pos(pattern.o))
+}
+
+fn estimate(graph: &Graph, pattern: QueryPattern, bound: &FxHashSet<VarId>) -> f64 {
+    let as_const = |pos: PatternTerm| pos.as_const();
+    let shape =
+        TriplePattern::new(as_const(pattern.s), as_const(pattern.p), as_const(pattern.o));
+    let mut est = graph.count_matching(shape) as f64;
+    for pos in pattern.positions() {
+        if let PatternTerm::Var(v) = pos {
+            if bound.contains(&v) {
+                est /= 8.0;
+            }
+        }
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use rdfcube_rdf::parse_turtle;
+
+    /// The paper's Example 1 instance fragment (Figure 1 data).
+    fn blog_graph() -> Graph {
+        parse_turtle(
+            "<user1> rdf:type <Blogger> ; <hasAge> 28 ; <livesIn> \"Madrid\" .
+             <user3> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user4> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user1> <wrotePost> <p1>, <p2>, <p3> .
+             <p1> <postedOn> <s1> . <p2> <postedOn> <s1> . <p3> <postedOn> <s2> .
+             <user3> <wrotePost> <p4> . <p4> <postedOn> <s2> .
+             <user4> <wrotePost> <p5> . <p5> <postedOn> <s3> .",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classifier_query_set_semantics() {
+        let mut g = blog_graph();
+        let c = parse_query(
+            "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+            g.dict_mut(),
+        )
+        .unwrap();
+        let rel = evaluate(&g, &c, Semantics::Set).unwrap();
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn measure_query_bag_semantics_counts_embeddings() {
+        // Example 2: user1's measure bag is {|s1, s1, s2|}.
+        let mut g = blog_graph();
+        let m = parse_query(
+            "m(?x, ?vsite) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?vsite",
+            g.dict_mut(),
+        )
+        .unwrap();
+        let bag = evaluate(&g, &m, Semantics::Bag).unwrap();
+        let user1 = g.dict().iri_id("user1").unwrap();
+        let s1 = g.dict().iri_id("s1").unwrap();
+        let user1_rows: Vec<_> = bag.rows().filter(|r| r[0] == user1).collect();
+        assert_eq!(user1_rows.len(), 3);
+        assert_eq!(user1_rows.iter().filter(|r| r[1] == s1).count(), 2);
+
+        // Set semantics collapses the duplicate s1.
+        let set = evaluate(&g, &m, Semantics::Set).unwrap();
+        assert_eq!(set.rows().filter(|r| r[0] == user1).count(), 2);
+    }
+
+    #[test]
+    fn index_nested_loop_and_in_order_agree() {
+        let mut g = blog_graph();
+        for text in [
+            "q(?x) :- ?x rdf:type Blogger",
+            "q(?x, ?s) :- ?x wrotePost ?p, ?p postedOn ?s",
+            "q(?x, ?a, ?c) :- ?x hasAge ?a, ?x livesIn ?c, ?x rdf:type Blogger",
+            "q(?p) :- ?x wrotePost ?p, ?p postedOn <s1>",
+        ] {
+            let q = parse_query(text, g.dict_mut()).unwrap();
+            for semantics in [Semantics::Set, Semantics::Bag] {
+                let fast = evaluate(&g, &q, semantics).unwrap();
+                let slow = evaluate_nested_loop(&g, &q, semantics).unwrap();
+                let in_order = evaluate_in_order(&g, &q, semantics).unwrap();
+                assert!(fast.same_bag(&slow), "nested-loop mismatch for {text}");
+                assert!(fast.same_bag(&in_order), "in-order mismatch for {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_variable_requires_equality() {
+        let mut g = parse_turtle("<a> <p> <a> . <a> <p> <b> .").unwrap();
+        let q = parse_query("q(?x) :- ?x p ?x", g.dict_mut()).unwrap();
+        let rel = evaluate(&g, &q, Semantics::Set).unwrap();
+        assert_eq!(rel.len(), 1);
+        let a = g.dict().iri_id("a").unwrap();
+        assert_eq!(rel.row(0), &[a]);
+    }
+
+    #[test]
+    fn unsatisfiable_constant_short_circuits() {
+        let mut g = blog_graph();
+        let q = parse_query("q(?x) :- ?x rdf:type Nonexistent", g.dict_mut()).unwrap();
+        assert!(evaluate(&g, &q, Semantics::Set).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_still_works() {
+        let mut g = parse_turtle("<a> <p> <b> . <c> <q> <d> .").unwrap();
+        let q = parse_query("q(?x, ?y) :- ?x p ?b, ?y q ?d", g.dict_mut()).unwrap();
+        let rel = evaluate(&g, &q, Semantics::Set).unwrap();
+        assert_eq!(rel.len(), 1); // one binding each side
+        let slow = evaluate_nested_loop(&g, &q, Semantics::Set).unwrap();
+        assert!(rel.same_bag(&slow));
+    }
+
+    #[test]
+    fn variable_predicate_is_supported() {
+        let mut g = parse_turtle("<a> <p> <b> . <a> <q> <b> .").unwrap();
+        let q = parse_query("q(?prop) :- a ?prop b", g.dict_mut()).unwrap();
+        let rel = evaluate(&g, &q, Semantics::Set).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn empty_body_is_error() {
+        let g = Graph::new();
+        let bgp = Bgp::new("q");
+        assert!(evaluate(&g, &bgp, Semantics::Set).is_err());
+    }
+
+    #[test]
+    fn filtered_evaluation_equals_post_selection() {
+        use crate::filter::{CompareOp, FilterExpr};
+        let mut g = blog_graph();
+        let q = parse_query(
+            "q(?x, ?a, ?c) :- ?x rdf:type Blogger, ?x hasAge ?a, ?x livesIn ?c",
+            g.dict_mut(),
+        )
+        .unwrap();
+        let a = q.vars().id("a").unwrap();
+        let age30 = g.dict_mut().encode(&rdfcube_rdf::Term::integer(30));
+
+        let filters = vec![FilterExpr::Compare { var: a, op: CompareOp::Ge, value: age30 }];
+        let pushed = evaluate_filtered(&g, &q, &filters, Semantics::Set).unwrap();
+
+        let all = evaluate(&g, &q, Semantics::Set).unwrap();
+        let a_col = all.col(a).unwrap();
+        let dict = g.dict();
+        let post = all.select(|row| {
+            dict.get(row[a_col]).and_then(rdfcube_rdf::Term::as_f64).is_some_and(|v| v >= 30.0)
+        });
+        assert!(pushed.same_bag(&post));
+        assert_eq!(pushed.len(), 2); // user3 and user4, both 35
+    }
+
+    #[test]
+    fn filter_between_prunes_early() {
+        use crate::filter::FilterExpr;
+        let mut g = blog_graph();
+        let q = parse_query(
+            "q(?x, ?a) :- ?x hasAge ?a, ?x wrotePost ?p",
+            g.dict_mut(),
+        )
+        .unwrap();
+        let a = q.vars().id("a").unwrap();
+        let filters = vec![FilterExpr::NumericBetween { var: a, lo: 20, hi: 30 }];
+        let rel = evaluate_filtered(&g, &q, &filters, Semantics::Set).unwrap();
+        assert_eq!(rel.len(), 1); // only user1 (28)
+    }
+
+    #[test]
+    fn explain_orders_selective_patterns_first() {
+        let mut g = blog_graph();
+        let q = parse_query(
+            "q(?x, ?c) :- ?x wrotePost ?p, ?x livesIn ?c, ?p postedOn s3",
+            g.dict_mut(),
+        )
+        .unwrap();
+        let plan = explain(&g, &q).unwrap();
+        assert_eq!(plan.len(), 3);
+        // The single-match constant pattern must come first. (Estimates are
+        // not monotone across steps: bound-variable discounts apply later.)
+        assert!(plan[0].pattern.contains("s3"), "plan: {plan:?}");
+        assert!(plan[0].estimated_rows <= 1.0);
+        assert!(plan.iter().all(|s| s.connected), "rooted query has no cartesian step");
+        // Every body pattern appears exactly once.
+        let mut idx: Vec<usize> = plan.iter().map(|s| s.pattern_index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn explain_flags_cartesian_products() {
+        let mut g = parse_turtle("<a> <p> <b> . <c> <q> <d> .").unwrap();
+        let q = parse_query("q(?x, ?y) :- ?x p ?v, ?y q ?w", g.dict_mut()).unwrap();
+        let plan = explain(&g, &q).unwrap();
+        assert!(plan[0].connected, "first step is trivially connected");
+        assert!(!plan[1].connected, "second step must be a cartesian product");
+    }
+
+    #[test]
+    fn filter_on_unbound_variable_is_an_error() {
+        use crate::filter::FilterExpr;
+        let mut g = blog_graph();
+        let q = parse_query("q(?x) :- ?x rdf:type Blogger", g.dict_mut()).unwrap();
+        let mut q2 = q.clone();
+        let ghost = q2.var("ghost");
+        let filters = vec![FilterExpr::NumericBetween { var: ghost, lo: 0, hi: 1 }];
+        assert!(evaluate_filtered(&g, &q2, &filters, Semantics::Set).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Triple patterns over variables and constants.
+
+use crate::var::VarId;
+use rdfcube_rdf::TermId;
+use std::fmt;
+
+/// One position of a triple pattern: a query variable or a constant term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternTerm {
+    /// A query variable.
+    Var(VarId),
+    /// A dictionary-encoded constant.
+    Const(TermId),
+}
+
+impl PatternTerm {
+    /// The variable, if this position is one.
+    #[inline]
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            PatternTerm::Var(v) => Some(*v),
+            PatternTerm::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this position is one.
+    #[inline]
+    pub fn as_const(&self) -> Option<TermId> {
+        match self {
+            PatternTerm::Const(c) => Some(*c),
+            PatternTerm::Var(_) => None,
+        }
+    }
+
+    /// True for variable positions.
+    #[inline]
+    pub fn is_var(&self) -> bool {
+        matches!(self, PatternTerm::Var(_))
+    }
+}
+
+impl fmt::Display for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTerm::Var(v) => write!(f, "{v}"),
+            PatternTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A query-level triple pattern `s p o` mixing variables and constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryPattern {
+    /// Subject position.
+    pub s: PatternTerm,
+    /// Predicate position.
+    pub p: PatternTerm,
+    /// Object position.
+    pub o: PatternTerm,
+}
+
+impl QueryPattern {
+    /// Builds a pattern.
+    pub fn new(s: PatternTerm, p: PatternTerm, o: PatternTerm) -> Self {
+        QueryPattern { s, p, o }
+    }
+
+    /// The pattern's positions as an array `[s, p, o]`.
+    #[inline]
+    pub fn positions(&self) -> [PatternTerm; 3] {
+        [self.s, self.p, self.o]
+    }
+
+    /// Iterates the variables of this pattern (with duplicates if repeated).
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.positions().into_iter().filter_map(|p| p.as_var())
+    }
+
+    /// True if `v` occurs in this pattern.
+    pub fn mentions(&self, v: VarId) -> bool {
+        self.vars().any(|w| w == v)
+    }
+}
+
+impl fmt::Display for QueryPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.s, self.p, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u16) -> PatternTerm {
+        PatternTerm::Var(VarId(n))
+    }
+
+    fn c(n: u32) -> PatternTerm {
+        PatternTerm::Const(TermId(n))
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(v(1).as_var(), Some(VarId(1)));
+        assert_eq!(v(1).as_const(), None);
+        assert_eq!(c(2).as_const(), Some(TermId(2)));
+        assert!(v(0).is_var());
+        assert!(!c(0).is_var());
+    }
+
+    #[test]
+    fn vars_iteration_includes_duplicates() {
+        let p = QueryPattern::new(v(0), c(9), v(0));
+        let vars: Vec<VarId> = p.vars().collect();
+        assert_eq!(vars, vec![VarId(0), VarId(0)]);
+        assert!(p.mentions(VarId(0)));
+        assert!(!p.mentions(VarId(1)));
+    }
+}

@@ -1,0 +1,350 @@
+//! Materialized relations and the relational-algebra operators the paper's
+//! algorithms are written in (π projection, σ selection, δ deduplication,
+//! ⋈ natural join).
+//!
+//! A [`Relation`] stores rows of dictionary-encoded terms in one flat,
+//! cache-friendly buffer; the schema names each column with the [`VarId`] it
+//! binds. Operators follow the paper's convention: **bag semantics by
+//! default** (§3: "all relational algebra operators are assumed to have bag
+//! semantics"), with an explicit [`Relation::distinct`] for δ.
+
+use crate::error::EngineError;
+use crate::var::VarId;
+use rdfcube_rdf::fx::{FxHashMap, FxHashSet};
+use rdfcube_rdf::TermId;
+
+/// A materialized relation over dictionary-encoded terms.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    schema: Vec<VarId>,
+    data: Vec<TermId>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given column schema.
+    pub fn new(schema: Vec<VarId>) -> Self {
+        Relation { schema, data: Vec::new() }
+    }
+
+    /// Creates an empty relation pre-sized for `rows` rows.
+    pub fn with_capacity(schema: Vec<VarId>, rows: usize) -> Self {
+        let arity = schema.len();
+        Relation { schema, data: Vec::with_capacity(rows * arity) }
+    }
+
+    /// The column schema.
+    pub fn schema(&self) -> &[VarId] {
+        &self.schema
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.schema.is_empty() {
+            0
+        } else {
+            self.data.len() / self.schema.len()
+        }
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a row; its length must equal the arity.
+    pub fn push_row(&mut self, row: &[TermId]) {
+        debug_assert_eq!(row.len(), self.arity(), "row arity mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &[TermId] {
+        let a = self.arity();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    /// Iterates rows as slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[TermId]> {
+        let a = self.arity().max(1);
+        self.data.chunks_exact(a)
+    }
+
+    /// Index of the column bound to `v`.
+    pub fn col(&self, v: VarId) -> Option<usize> {
+        self.schema.iter().position(|&c| c == v)
+    }
+
+    /// Index of the column bound to `v`, or a schema error naming it.
+    pub fn col_required(&self, v: VarId) -> Result<usize, EngineError> {
+        self.col(v)
+            .ok_or_else(|| EngineError::Schema(format!("column {v} not present in relation")))
+    }
+
+    /// π — projects onto `cols` (which may repeat or reorder columns).
+    /// Bag semantics: row multiplicities are preserved.
+    pub fn project(&self, cols: &[VarId]) -> Result<Relation, EngineError> {
+        let idx: Vec<usize> =
+            cols.iter().map(|&v| self.col_required(v)).collect::<Result<_, _>>()?;
+        Ok(self.project_indices(cols.to_vec(), &idx))
+    }
+
+    /// π by column positions, with an explicit output schema.
+    pub fn project_indices(&self, schema: Vec<VarId>, idx: &[usize]) -> Relation {
+        let mut out = Relation::with_capacity(schema, self.len());
+        for row in self.rows() {
+            for &i in idx {
+                out.data.push(row[i]);
+            }
+        }
+        out
+    }
+
+    /// σ — keeps the rows satisfying `keep`.
+    pub fn select<F: FnMut(&[TermId]) -> bool>(&self, mut keep: F) -> Relation {
+        let mut out = Relation::new(self.schema.clone());
+        for row in self.rows() {
+            if keep(row) {
+                out.data.extend_from_slice(row);
+            }
+        }
+        out
+    }
+
+    /// δ — removes duplicate rows (first occurrence kept, order otherwise
+    /// preserved).
+    pub fn distinct(&self) -> Relation {
+        let mut seen: FxHashSet<&[TermId]> = FxHashSet::default();
+        let mut out = Relation::new(self.schema.clone());
+        for row in self.rows() {
+            if seen.insert(row) {
+                out.data.extend_from_slice(row);
+            }
+        }
+        out
+    }
+
+    /// ⋈ — natural hash join on all shared columns. The output schema is
+    /// `self.schema` followed by the non-shared columns of `other`.
+    /// Bag semantics: each matching pair of rows produces one output row.
+    pub fn natural_join(&self, other: &Relation) -> Relation {
+        let shared: Vec<(usize, usize)> = self
+            .schema
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| other.col(v).map(|j| (i, j)))
+            .collect();
+        let other_extra: Vec<usize> = (0..other.arity())
+            .filter(|j| !shared.iter().any(|&(_, sj)| sj == *j))
+            .collect();
+        let mut schema = self.schema.clone();
+        schema.extend(other_extra.iter().map(|&j| other.schema[j]));
+
+        let mut out = Relation::new(schema);
+        if shared.is_empty() {
+            // Degenerates to a cartesian product.
+            for left in self.rows() {
+                for right in other.rows() {
+                    out.data.extend_from_slice(left);
+                    out.data.extend(other_extra.iter().map(|&j| right[j]));
+                }
+            }
+            return out;
+        }
+
+        // Build on the right side, probe with the left, so output order
+        // follows the left relation (deterministic given its order).
+        let mut table: FxHashMap<Vec<TermId>, Vec<usize>> = FxHashMap::default();
+        for (ri, right) in other.rows().enumerate() {
+            let key: Vec<TermId> = shared.iter().map(|&(_, j)| right[j]).collect();
+            table.entry(key).or_default().push(ri);
+        }
+        let mut key = Vec::with_capacity(shared.len());
+        for left in self.rows() {
+            key.clear();
+            key.extend(shared.iter().map(|&(i, _)| left[i]));
+            if let Some(matches) = table.get(&key) {
+                for &ri in matches {
+                    let right = other.row(ri);
+                    out.data.extend_from_slice(left);
+                    out.data.extend(other_extra.iter().map(|&j| right[j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Rows sorted lexicographically — canonical form for comparisons in
+    /// tests and for deterministic output.
+    pub fn sorted_rows(&self) -> Vec<Vec<TermId>> {
+        let mut rows: Vec<Vec<TermId>> = self.rows().map(|r| r.to_vec()).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// True if `self` and `other` contain the same bag of rows under the
+    /// same schema (order-insensitive).
+    pub fn same_bag(&self, other: &Relation) -> bool {
+        self.schema == other.schema && self.sorted_rows() == other.sorted_rows()
+    }
+
+    /// Renames a column in place (used when aligning relations produced by
+    /// different queries before a join, e.g. classifier ⋈ measure on the
+    /// paper's shared root `x`).
+    pub fn rename(&mut self, from: VarId, to: VarId) -> Result<(), EngineError> {
+        let i = self.col_required(from)?;
+        self.schema[i] = to;
+        Ok(())
+    }
+
+    /// Replaces the whole schema (same arity required). Classifier and
+    /// measure queries own independent variable registries whose numeric ids
+    /// overlap; before joining their results the caller rebases one side
+    /// into the other's variable space with this.
+    pub fn set_schema(&mut self, schema: Vec<VarId>) -> Result<(), EngineError> {
+        if schema.len() != self.schema.len() {
+            return Err(EngineError::Schema(format!(
+                "set_schema arity mismatch: {} vs {}",
+                schema.len(),
+                self.schema.len()
+            )));
+        }
+        self.schema = schema;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u16) -> VarId {
+        VarId(n)
+    }
+
+    fn t(n: u32) -> TermId {
+        TermId(n)
+    }
+
+    fn rel(schema: &[u16], rows: &[&[u32]]) -> Relation {
+        let mut r = Relation::new(schema.iter().map(|&n| v(n)).collect());
+        for row in rows {
+            let encoded: Vec<TermId> = row.iter().map(|&n| t(n)).collect();
+            r.push_row(&encoded);
+        }
+        r
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.row(1), &[t(3), t(4)]);
+    }
+
+    #[test]
+    fn project_reorders_and_repeats() {
+        let r = rel(&[0, 1], &[&[1, 2]]);
+        let p = r.project(&[v(1), v(0), v(1)]).unwrap();
+        assert_eq!(p.schema(), &[v(1), v(0), v(1)]);
+        assert_eq!(p.row(0), &[t(2), t(1), t(2)]);
+    }
+
+    #[test]
+    fn project_unknown_column_errors() {
+        let r = rel(&[0], &[&[1]]);
+        assert!(r.project(&[v(9)]).is_err());
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = rel(&[0], &[&[1], &[2], &[3]]);
+        let s = r.select(|row| row[0].0 % 2 == 1);
+        assert_eq!(s.sorted_rows(), vec![vec![t(1)], vec![t(3)]]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_keeps_order() {
+        let r = rel(&[0, 1], &[&[1, 1], &[2, 2], &[1, 1], &[3, 3]]);
+        let d = r.distinct();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.row(0), &[t(1), t(1)]);
+        assert_eq!(d.row(1), &[t(2), t(2)]);
+        assert_eq!(d.row(2), &[t(3), t(3)]);
+    }
+
+    #[test]
+    fn natural_join_on_shared_column() {
+        // classifier(x, d) ⋈ measure(x, v) — the paper's pres join shape.
+        let c = rel(&[0, 1], &[&[10, 100], &[11, 101], &[12, 102]]);
+        let m = rel(&[0, 2], &[&[10, 7], &[10, 8], &[12, 9]]);
+        let j = c.natural_join(&m);
+        assert_eq!(j.schema(), &[v(0), v(1), v(2)]);
+        assert_eq!(
+            j.sorted_rows(),
+            vec![
+                vec![t(10), t(100), t(7)],
+                vec![t(10), t(100), t(8)],
+                vec![t(12), t(102), t(9)],
+            ]
+        );
+    }
+
+    #[test]
+    fn join_respects_bag_semantics() {
+        // Duplicate rows multiply: 2 left × 2 right = 4 output rows.
+        let l = rel(&[0], &[&[1], &[1]]);
+        let r = rel(&[0, 1], &[&[1, 5], &[1, 6]]);
+        assert_eq!(l.natural_join(&r).len(), 4);
+    }
+
+    #[test]
+    fn join_without_shared_columns_is_cartesian() {
+        let l = rel(&[0], &[&[1], &[2]]);
+        let r = rel(&[1], &[&[8], &[9]]);
+        let j = l.natural_join(&r);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.schema(), &[v(0), v(1)]);
+    }
+
+    #[test]
+    fn join_on_multiple_shared_columns() {
+        let l = rel(&[0, 1, 2], &[&[1, 2, 3], &[1, 9, 4]]);
+        let r = rel(&[1, 0], &[&[2, 1]]);
+        let j = l.natural_join(&r);
+        assert_eq!(j.sorted_rows(), vec![vec![t(1), t(2), t(3)]]);
+        assert_eq!(j.schema(), &[v(0), v(1), v(2)]);
+    }
+
+    #[test]
+    fn rename_aligns_columns_for_joins() {
+        let mut l = rel(&[0], &[&[1]]);
+        let r = rel(&[5], &[&[1]]);
+        l.rename(v(0), v(5)).unwrap();
+        assert_eq!(l.natural_join(&r).len(), 1);
+        assert!(l.rename(v(7), v(8)).is_err());
+    }
+
+    #[test]
+    fn same_bag_is_order_insensitive_but_schema_sensitive() {
+        let a = rel(&[0], &[&[1], &[2]]);
+        let b = rel(&[0], &[&[2], &[1]]);
+        let c = rel(&[1], &[&[1], &[2]]);
+        assert!(a.same_bag(&b));
+        assert!(!a.same_bag(&c));
+    }
+
+    #[test]
+    fn empty_relation_behaviour() {
+        let r = Relation::new(vec![v(0), v(1)]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.rows().count(), 0);
+        assert!(r.distinct().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Query variables and the per-query variable registry.
+
+use rdfcube_rdf::fx::FxHashMap;
+use std::fmt;
+
+/// A dense identifier for a query variable, valid within one [`VarRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct VarId(pub u16);
+
+impl VarId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between variable names and [`VarId`]s.
+///
+/// Ids are dense and assigned in first-seen order, so evaluation state can be
+/// a flat `Vec<Option<TermId>>` indexed by `VarId`.
+#[derive(Debug, Default, Clone)]
+pub struct VarRegistry {
+    names: Vec<String>,
+    ids: FxHashMap<String, VarId>,
+}
+
+impl VarRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a variable name, returning its id.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = VarId(u16::try_from(self.names.len()).expect("more than 2^16 query variables"));
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Creates a fresh variable with a generated, collision-free name.
+    ///
+    /// Used by the rewriting layer to add synthetic columns (e.g. the `k`
+    /// key of an extended measure result) without clashing with user names.
+    pub fn fresh(&mut self, hint: &str) -> VarId {
+        let mut candidate = format!("__{hint}");
+        let mut n = 0usize;
+        while self.ids.contains_key(&candidate) {
+            n += 1;
+            candidate = format!("__{hint}{n}");
+        }
+        self.intern(&candidate)
+    }
+
+    /// Looks a name up without interning.
+    pub fn id(&self, name: &str) -> Option<VarId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is foreign to this registry.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no variable is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        assert_eq!(r.intern("x"), x);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut r = VarRegistry::new();
+        let d = r.intern("dage");
+        assert_eq!(r.name(d), "dage");
+        assert_eq!(r.id("dage"), Some(d));
+        assert_eq!(r.id("nope"), None);
+    }
+
+    #[test]
+    fn fresh_never_collides() {
+        let mut r = VarRegistry::new();
+        r.intern("__k");
+        let k1 = r.fresh("k");
+        let k2 = r.fresh("k");
+        assert_ne!(k1, k2);
+        assert_ne!(r.name(k1), "__k");
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut r = VarRegistry::new();
+        assert_eq!(r.intern("a").0, 0);
+        assert_eq!(r.intern("b").0, 1);
+        assert_eq!(r.intern("c").0, 2);
+    }
+}

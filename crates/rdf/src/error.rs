@@ -1,0 +1,39 @@
+//! Error types for the RDF substrate.
+
+use std::fmt;
+
+/// An error raised while parsing an RDF serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// 1-based column of the offending input.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError { line, column, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(3, 14, "unexpected token");
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected token");
+    }
+}

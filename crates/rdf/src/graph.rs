@@ -1,0 +1,411 @@
+//! An in-memory, dictionary-encoded RDF graph with three access-path indexes.
+//!
+//! The store keeps each triple in three nested maps — SPO, POS and OSP — so
+//! that every one of the eight triple-pattern shapes has an index-backed
+//! access path (the classic "triple table with permuted indexes" design).
+//! Leaf adjacency lists are kept **sorted**, which gives set semantics
+//! (duplicate inserts are no-ops) via binary search and cache-friendly scans.
+//!
+//! Graphs are append-only: the analytical framework of the paper only ever
+//! loads data, saturates it, and materializes analytical-schema instances —
+//! none of which deletes triples.
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::fx::FxHashMap;
+use crate::term::Term;
+use crate::triple::{Triple, TriplePattern};
+
+type Index = FxHashMap<TermId, FxHashMap<TermId, Vec<TermId>>>;
+
+/// An indexed RDF graph owning its [`Dictionary`].
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    dict: Dictionary,
+    /// subject → predicate → sorted objects
+    spo: Index,
+    /// predicate → object → sorted subjects
+    pos: Index,
+    /// object → subject → sorted predicates
+    osp: Index,
+    len: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the term dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Write access to the term dictionary (interning terms ahead of bulk
+    /// insertion).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Interns a term in this graph's dictionary.
+    pub fn encode(&mut self, term: &Term) -> TermId {
+        self.dict.encode(term)
+    }
+
+    /// Number of triples in the graph.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a triple given as terms; returns `true` if it was new.
+    pub fn insert(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let s = self.dict.encode(s);
+        let p = self.dict.encode(p);
+        let o = self.dict.encode(o);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Inserts a triple with subject/predicate given as IRI strings.
+    pub fn insert_iri(&mut self, s: &str, p: &str, o: &Term) -> bool {
+        let s = self.dict.encode_owned(Term::iri(s));
+        let p = self.dict.encode_owned(Term::iri(p));
+        let o = self.dict.encode(o);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Inserts an already-encoded triple; returns `true` if it was new.
+    ///
+    /// The ids must come from this graph's dictionary (debug-asserted).
+    pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        debug_assert!(s.index() < self.dict.len(), "foreign subject id");
+        debug_assert!(p.index() < self.dict.len(), "foreign predicate id");
+        debug_assert!(o.index() < self.dict.len(), "foreign object id");
+        let objects = self.spo.entry(s).or_default().entry(p).or_default();
+        match objects.binary_search(&o) {
+            Ok(_) => return false,
+            Err(pos) => objects.insert(pos, o),
+        }
+        let subjects = self.pos.entry(p).or_default().entry(o).or_default();
+        if let Err(pos) = subjects.binary_search(&s) {
+            subjects.insert(pos, s);
+        }
+        let predicates = self.osp.entry(o).or_default().entry(s).or_default();
+        if let Err(pos) = predicates.binary_search(&p) {
+            predicates.insert(pos, p);
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Inserts an encoded [`Triple`].
+    pub fn insert_triple(&mut self, t: Triple) -> bool {
+        self.insert_ids(t.s, t.p, t.o)
+    }
+
+    /// True if the encoded triple is present.
+    pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.spo
+            .get(&s)
+            .and_then(|pm| pm.get(&p))
+            .is_some_and(|objs| objs.binary_search(&o).is_ok())
+    }
+
+    /// True if the term-level triple is present.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.dict.id(s), self.dict.id(p), self.dict.id(o)) {
+            (Some(s), Some(p), Some(o)) => self.contains_ids(s, p, o),
+            _ => false,
+        }
+    }
+
+    /// The objects of `(s, p, ·)`, sorted; empty if none.
+    pub fn objects(&self, s: TermId, p: TermId) -> &[TermId] {
+        self.spo
+            .get(&s)
+            .and_then(|pm| pm.get(&p))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The subjects of `(·, p, o)`, sorted; empty if none.
+    pub fn subjects(&self, p: TermId, o: TermId) -> &[TermId] {
+        self.pos
+            .get(&p)
+            .and_then(|om| om.get(&o))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates every triple (order unspecified).
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().flat_map(|(&s, pm)| {
+            pm.iter()
+                .flat_map(move |(&p, objs)| objs.iter().map(move |&o| Triple::new(s, p, o)))
+        })
+    }
+
+    /// Calls `f` for every triple matching `pattern`, using the cheapest
+    /// index for the pattern's shape.
+    pub fn for_each_match<F: FnMut(Triple)>(&self, pattern: TriplePattern, mut f: F) {
+        match (pattern.s, pattern.p, pattern.o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.contains_ids(s, p, o) {
+                    f(Triple::new(s, p, o));
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for &o in self.objects(s, p) {
+                    f(Triple::new(s, p, o));
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for &s in self.subjects(p, o) {
+                    f(Triple::new(s, p, o));
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                if let Some(sm) = self.osp.get(&o) {
+                    if let Some(preds) = sm.get(&s) {
+                        for &p in preds {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (Some(s), None, None) => {
+                if let Some(pm) = self.spo.get(&s) {
+                    for (&p, objs) in pm {
+                        for &o in objs {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (None, Some(p), None) => {
+                if let Some(om) = self.pos.get(&p) {
+                    for (&o, subs) in om {
+                        for &s in subs {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (None, None, Some(o)) => {
+                if let Some(sm) = self.osp.get(&o) {
+                    for (&s, preds) in sm {
+                        for &p in preds {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (None, None, None) => {
+                for t in self.triples() {
+                    f(t);
+                }
+            }
+        }
+    }
+
+    /// Collects the triples matching `pattern`.
+    pub fn matching(&self, pattern: TriplePattern) -> Vec<Triple> {
+        let mut out = Vec::new();
+        self.for_each_match(pattern, |t| out.push(t));
+        out
+    }
+
+    /// Exact number of triples matching `pattern`, computed from index
+    /// metadata where possible (used for join-order selectivity estimates).
+    pub fn count_matching(&self, pattern: TriplePattern) -> usize {
+        match (pattern.s, pattern.p, pattern.o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.contains_ids(s, p, o)),
+            (Some(s), Some(p), None) => self.objects(s, p).len(),
+            (None, Some(p), Some(o)) => self.subjects(p, o).len(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .get(&o)
+                .and_then(|sm| sm.get(&s))
+                .map_or(0, Vec::len),
+            (Some(s), None, None) => self
+                .spo
+                .get(&s)
+                .map_or(0, |pm| pm.values().map(Vec::len).sum()),
+            (None, Some(p), None) => self
+                .pos
+                .get(&p)
+                .map_or(0, |om| om.values().map(Vec::len).sum()),
+            (None, None, Some(o)) => self
+                .osp
+                .get(&o)
+                .map_or(0, |sm| sm.values().map(Vec::len).sum()),
+            (None, None, None) => self.len,
+        }
+    }
+
+    /// Decodes a triple back to its terms.
+    ///
+    /// # Panics
+    /// Panics if the ids are foreign to this graph's dictionary.
+    pub fn decode(&self, t: Triple) -> (&Term, &Term, &Term) {
+        (self.dict.term(t.s), self.dict.term(t.p), self.dict.term(t.o))
+    }
+
+    /// Per-predicate triple counts, sorted descending — the store's summary
+    /// statistics (used by consoles and for eyeballing generated workloads).
+    pub fn predicate_counts(&self) -> Vec<(TermId, usize)> {
+        let mut counts: Vec<(TermId, usize)> = self
+            .pos
+            .iter()
+            .map(|(&p, om)| (p, om.values().map(Vec::len).sum()))
+            .collect();
+        counts.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counts
+    }
+
+    /// Number of distinct subjects.
+    pub fn subject_count(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Number of distinct predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Number of distinct objects.
+    pub fn object_count(&self) -> usize {
+        self.osp.len()
+    }
+
+    /// Copies every triple of `other` into `self`, re-encoding terms into
+    /// this graph's dictionary. Returns the number of newly added triples.
+    pub fn absorb(&mut self, other: &Graph) -> usize {
+        let mut added = 0;
+        for t in other.triples() {
+            let (s, p, o) = other.decode(t);
+            // Clone into locals first: `insert` borrows self mutably.
+            let (s, p, o) = (s.clone(), p.clone(), o.clone());
+            if self.insert(&s, &p, &o) {
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert_iri("user1", "hasAge", &Term::integer(28));
+        g.insert_iri("user2", "hasAge", &Term::integer(40));
+        g.insert_iri("user3", "hasAge", &Term::integer(35));
+        g.insert_iri("user1", "livesIn", &Term::literal("Madrid"));
+        g.insert_iri("user1", "identifiedBy", &Term::literal("Bill"));
+        g.insert_iri("user1", "identifiedBy", &Term::literal("William"));
+        g
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut g = Graph::new();
+        assert!(g.insert_iri("a", "p", &Term::literal("x")));
+        assert!(!g.insert_iri("a", "p", &Term::literal("x")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn contains_and_decode() {
+        let g = sample();
+        assert!(g.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(28)));
+        assert!(!g.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(99)));
+        let t = g.matching(TriplePattern::new(
+            g.dict().iri_id("user2"),
+            None,
+            None,
+        ))[0];
+        let (s, _, o) = g.decode(t);
+        assert_eq!(s, &Term::iri("user2"));
+        assert_eq!(o, &Term::integer(40));
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes_agree_with_full_scan() {
+        let g = sample();
+        let all: Vec<Triple> = g.triples().collect();
+        assert_eq!(all.len(), g.len());
+        // Enumerate every (s?, p?, o?) choice drawn from an actual triple and
+        // check index-backed matching equals a brute-force filter.
+        let probe = all[0];
+        for mask in 0u8..8 {
+            let pat = TriplePattern::new(
+                (mask & 1 != 0).then_some(probe.s),
+                (mask & 2 != 0).then_some(probe.p),
+                (mask & 4 != 0).then_some(probe.o),
+            );
+            let mut via_index = g.matching(pat);
+            let mut via_scan: Vec<Triple> =
+                all.iter().copied().filter(|t| pat.matches(t)).collect();
+            via_index.sort();
+            via_scan.sort();
+            assert_eq!(via_index, via_scan, "pattern shape {mask:#05b}");
+            assert_eq!(g.count_matching(pat), via_scan.len(), "count {mask:#05b}");
+        }
+    }
+
+    #[test]
+    fn multi_valued_properties_are_kept() {
+        // user1 is identified both as William and as Bill (paper §2).
+        let g = sample();
+        let p = g.dict().iri_id("identifiedBy").unwrap();
+        let s = g.dict().iri_id("user1").unwrap();
+        assert_eq!(g.objects(s, p).len(), 2);
+    }
+
+    #[test]
+    fn objects_and_subjects_missing_are_empty() {
+        let g = sample();
+        let s = g.dict().iri_id("user1").unwrap();
+        assert!(g.objects(s, TermId(9999)).is_empty());
+        assert!(g.subjects(TermId(9999), s).is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_and_reencodes() {
+        let g1 = sample();
+        let mut g2 = Graph::new();
+        g2.insert_iri("user9", "livesIn", &Term::literal("Kyoto"));
+        let added = g2.absorb(&g1);
+        assert_eq!(added, g1.len());
+        assert_eq!(g2.len(), g1.len() + 1);
+        assert!(g2.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(28)));
+        // Absorbing again adds nothing.
+        assert_eq!(g2.absorb(&g1), 0);
+    }
+
+    #[test]
+    fn count_matching_full_wildcard_is_len() {
+        let g = sample();
+        assert_eq!(g.count_matching(TriplePattern::default()), g.len());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let g = sample();
+        assert_eq!(g.subject_count(), 3);
+        assert_eq!(g.predicate_count(), 3); // hasAge, livesIn, identifiedBy
+        let counts = g.predicate_counts();
+        assert_eq!(counts.len(), 3);
+        // hasAge has 3 triples, identifiedBy 2, livesIn 1 — sorted desc.
+        assert_eq!(counts[0].1, 3);
+        assert_eq!(counts[1].1, 2);
+        assert_eq!(counts[2].1, 1);
+        assert_eq!(counts.iter().map(|(_, n)| n).sum::<usize>(), g.len());
+        assert!(g.object_count() >= 5);
+    }
+}

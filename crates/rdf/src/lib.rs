@@ -1,0 +1,53 @@
+//! # rdfcube-rdf — the RDF substrate
+//!
+//! A from-scratch, in-memory RDF store supporting the analytics stack of this
+//! workspace:
+//!
+//! * [`term`] / [`dictionary`] — RDF 1.1 terms, interned to dense `u32`
+//!   [`TermId`]s so every downstream operator works on integers;
+//! * [`graph`] — an append-only triple store with SPO/POS/OSP indexes
+//!   covering all eight triple-pattern shapes;
+//! * [`parser`] / [`writer`] — N-Triples and a practical Turtle subset, plus
+//!   deterministic N-Triples output;
+//! * [`reasoner`] — RDFS (ρdf) saturation, required by the analytical-schema
+//!   framework which operates over entailed graphs;
+//! * [`fx`] — the Fx-style hasher used by every map in the workspace.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rdfcube_rdf::{parse_turtle, saturate, Term, vocab};
+//!
+//! let mut g = parse_turtle(
+//!     "<Blogger> rdfs:subClassOf <Person> .
+//!      <user1> rdf:type <Blogger> ; <hasAge> 28 .",
+//! ).unwrap();
+//! saturate(&mut g);
+//! assert!(g.contains(
+//!     &Term::iri("user1"),
+//!     &Term::iri(vocab::RDF_TYPE),
+//!     &Term::iri("Person"),
+//! ));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dictionary;
+pub mod error;
+pub mod fx;
+pub mod graph;
+pub mod parser;
+pub mod reasoner;
+pub mod term;
+pub mod triple;
+pub mod vocab;
+pub mod writer;
+
+pub use dictionary::{Dictionary, TermId};
+pub use error::ParseError;
+pub use graph::Graph;
+pub use parser::{parse_into, parse_ntriples, parse_turtle};
+pub use reasoner::saturate;
+pub use term::{Literal, LiteralKind, Term};
+pub use triple::{Triple, TriplePattern};
+pub use writer::to_ntriples;

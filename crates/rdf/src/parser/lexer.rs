@@ -1,0 +1,383 @@
+//! Tokenizer shared by the N-Triples and Turtle parsers.
+
+use crate::error::ParseError;
+
+/// A lexical token of the Turtle/N-Triples grammar subset we support.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<iri>`
+    Iri(String),
+    /// `prefix:local` (prefix may be empty: `:local`)
+    PrefixedName {
+        /// The prefix part (before the colon).
+        prefix: String,
+        /// The local part (after the colon).
+        local: String,
+    },
+    /// A bare name such as `a` (only legal in Turtle, where `a` = rdf:type)
+    Keyword(String),
+    /// `_:label`
+    BlankNode(String),
+    /// String literal body (unescaped), without language/datatype suffix.
+    StringLiteral(String),
+    /// `@tag` — language tag or `@prefix` directive marker.
+    At(String),
+    /// `^^` datatype marker.
+    Carets,
+    /// Bare numeric token, e.g. `28`, `-3.5`, `1e6`.
+    Numeric(String),
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `[` — opens an anonymous blank node property list (Turtle only).
+    LBracket,
+    /// `]`
+    RBracket,
+}
+
+/// A token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token itself.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub column: usize,
+}
+
+/// Streaming tokenizer over the input text.
+pub struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { chars: input.chars().peekable(), line: 1, column: 1 }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.column, msg)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '#' {
+                while let Some(c) = self.bump() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Produces the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Spanned>, ParseError> {
+        self.skip_ws_and_comments();
+        let (line, column) = (self.line, self.column);
+        let Some(c) = self.peek() else { return Ok(None) };
+        let token = match c {
+            '<' => {
+                self.bump();
+                let mut iri = String::new();
+                loop {
+                    match self.bump() {
+                        Some('>') => break,
+                        Some('\n') => return Err(self.error("newline inside IRI")),
+                        Some(ch) => iri.push(ch),
+                        None => return Err(self.error("unterminated IRI")),
+                    }
+                }
+                Token::Iri(iri)
+            }
+            '_' => {
+                self.bump();
+                if self.bump() != Some(':') {
+                    return Err(self.error("expected ':' after '_' in blank node"));
+                }
+                let label = self.take_name();
+                if label.is_empty() {
+                    return Err(self.error("blank node label must not be empty"));
+                }
+                Token::BlankNode(label)
+            }
+            '"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some('\\') => match self.bump() {
+                            Some('n') => s.push('\n'),
+                            Some('r') => s.push('\r'),
+                            Some('t') => s.push('\t'),
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('u') => s.push(self.unicode_escape(4)?),
+                            Some('U') => s.push(self.unicode_escape(8)?),
+                            Some(other) => {
+                                return Err(self.error(format!("bad escape '\\{other}'")))
+                            }
+                            None => return Err(self.error("unterminated string escape")),
+                        },
+                        Some(ch) => s.push(ch),
+                        None => return Err(self.error("unterminated string literal")),
+                    }
+                }
+                Token::StringLiteral(s)
+            }
+            '@' => {
+                self.bump();
+                let word = self.take_name();
+                if word.is_empty() {
+                    return Err(self.error("expected a word after '@'"));
+                }
+                Token::At(word)
+            }
+            '^' => {
+                self.bump();
+                if self.bump() != Some('^') {
+                    return Err(self.error("expected '^^'"));
+                }
+                Token::Carets
+            }
+            '.' => {
+                self.bump();
+                Token::Dot
+            }
+            ';' => {
+                self.bump();
+                Token::Semicolon
+            }
+            ',' => {
+                self.bump();
+                Token::Comma
+            }
+            '[' => {
+                self.bump();
+                Token::LBracket
+            }
+            ']' => {
+                self.bump();
+                Token::RBracket
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut n = String::new();
+                while let Some(ch) = self.peek() {
+                    if ch.is_ascii_digit()
+                        || ch == '.'
+                        || ch == '-'
+                        || ch == '+'
+                        || ch == 'e'
+                        || ch == 'E'
+                    {
+                        // A '.' followed by non-digit is the statement dot.
+                        if ch == '.' {
+                            let mut look = self.chars.clone();
+                            look.next();
+                            if !look.peek().is_some_and(|d| d.is_ascii_digit()) {
+                                break;
+                            }
+                        }
+                        n.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if n.is_empty() {
+                    return Err(self.error("expected number"));
+                }
+                Token::Numeric(n)
+            }
+            c if is_name_start(c) => {
+                let name = self.take_name();
+                if self.peek() == Some(':') {
+                    self.bump();
+                    let local = self.take_name();
+                    Token::PrefixedName { prefix: name, local }
+                } else {
+                    Token::Keyword(name)
+                }
+            }
+            ':' => {
+                self.bump();
+                let local = self.take_name();
+                Token::PrefixedName { prefix: String::new(), local }
+            }
+            other => return Err(self.error(format!("unexpected character '{other}'"))),
+        };
+        Ok(Some(Spanned { token, line, column }))
+    }
+
+    fn unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..digits {
+            let Some(c) = self.bump() else {
+                return Err(self.error("unterminated unicode escape"));
+            };
+            let Some(d) = c.to_digit(16) else {
+                return Err(self.error("non-hex digit in unicode escape"));
+            };
+            code = code * 16 + d;
+        }
+        char::from_u32(code).ok_or_else(|| self.error("invalid unicode code point"))
+    }
+
+    fn take_name(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if is_name_char(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenizes the whole input eagerly.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut lexer = Lexer::new(input);
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn iris_blanks_and_dots() {
+        assert_eq!(
+            toks("<http://a> <p> _:b0 ."),
+            vec![
+                Token::Iri("http://a".into()),
+                Token::Iri("p".into()),
+                Token::BlankNode("b0".into()),
+                Token::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            toks(r#""he said \"hi\"\n""#),
+            vec![Token::StringLiteral("he said \"hi\"\n".into())]
+        );
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(toks(r#""é""#), vec![Token::StringLiteral("é".into())]);
+    }
+
+    #[test]
+    fn language_and_datatype_markers() {
+        assert_eq!(
+            toks(r#""x"@en "#),
+            vec![Token::StringLiteral("x".into()), Token::At("en".into())]
+        );
+        assert_eq!(
+            toks(r#""28"^^<int>"#),
+            vec![
+                Token::StringLiteral("28".into()),
+                Token::Carets,
+                Token::Iri("int".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_vs_statement_dot() {
+        assert_eq!(
+            toks("28 ."),
+            vec![Token::Numeric("28".into()), Token::Dot]
+        );
+        assert_eq!(
+            toks("3.5 ."),
+            vec![Token::Numeric("3.5".into()), Token::Dot]
+        );
+        // `28.` — the dot terminates the statement, not the number.
+        assert_eq!(
+            toks("28."),
+            vec![Token::Numeric("28".into()), Token::Dot]
+        );
+    }
+
+    #[test]
+    fn prefixed_names_and_keywords() {
+        assert_eq!(
+            toks("rdf:type a foaf:Person"),
+            vec![
+                Token::PrefixedName { prefix: "rdf".into(), local: "type".into() },
+                Token::Keyword("a".into()),
+                Token::PrefixedName { prefix: "foaf".into(), local: "Person".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("# header\n<a> # trailing\n<b>"),
+            vec![Token::Iri("a".into()), Token::Iri("b".into())]
+        );
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = tokenize("<a>\n  <unterminated").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unterminated IRI"));
+    }
+
+    #[test]
+    fn punctuation() {
+        assert_eq!(toks("; ,"), vec![Token::Semicolon, Token::Comma]);
+    }
+}

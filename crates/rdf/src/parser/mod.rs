@@ -1,0 +1,16 @@
+//! Parsers for RDF serializations.
+//!
+//! Two entry points, sharing one tokenizer and one grammar engine:
+//!
+//! * [`parse_ntriples`] — strict triple-per-line form: IRIs, blank nodes and
+//!   literals only; no prefixes, no abbreviations.
+//! * [`parse_turtle`] — a practical Turtle subset: `@prefix`/`PREFIX`
+//!   directives, prefixed names, the `a` keyword, `;`/`,` predicate and
+//!   object lists, bare numeric and boolean literals. (Collections `(...)`
+//!   and anonymous blank nodes `[...]` are not needed by any workload in
+//!   this repository and are rejected with a clear error.)
+
+pub mod lexer;
+mod turtle;
+
+pub use turtle::{parse_into, parse_ntriples, parse_turtle};

@@ -1,0 +1,476 @@
+//! Grammar engine for the Turtle subset and strict N-Triples.
+
+use super::lexer::{tokenize, Spanned, Token};
+use crate::error::ParseError;
+use crate::fx::FxHashMap;
+use crate::graph::Graph;
+use crate::term::{Literal, Term};
+use crate::vocab;
+
+/// Parses strict N-Triples into a fresh graph.
+pub fn parse_ntriples(input: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    Parser::new(input, Mode::NTriples)?.run(&mut graph)?;
+    Ok(graph)
+}
+
+/// Parses the Turtle subset into a fresh graph.
+pub fn parse_turtle(input: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    Parser::new(input, Mode::Turtle)?.run(&mut graph)?;
+    Ok(graph)
+}
+
+/// Parses the Turtle subset, adding triples to an existing graph.
+pub fn parse_into(input: &str, graph: &mut Graph) -> Result<(), ParseError> {
+    Parser::new(input, Mode::Turtle)?.run(graph)
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Mode {
+    NTriples,
+    Turtle,
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    mode: Mode,
+    prefixes: FxHashMap<String, String>,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn new(input: &str, mode: Mode) -> Result<Self, ParseError> {
+        let tokens = tokenize(input)?;
+        let mut prefixes = FxHashMap::default();
+        if mode == Mode::Turtle {
+            for (p, ns) in vocab::DEFAULT_PREFIXES {
+                prefixes.insert((*p).to_string(), (*ns).to_string());
+            }
+        }
+        Ok(Parser { tokens, pos: 0, mode, prefixes, anon_counter: 0 })
+    }
+
+    /// A fresh blank node for an anonymous `[...]`; the `genid` prefix is
+    /// reserved (user labels with it are still distinct thanks to the
+    /// counter suffix being appended after a dot-free marker).
+    fn fresh_blank(&mut self) -> Term {
+        let label = format!("genid-{}", self.anon_counter);
+        self.anon_counter += 1;
+        Term::blank(label)
+    }
+
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        match self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))) {
+            Some(s) => ParseError::new(s.line, s.column, msg),
+            None => ParseError::new(0, 0, msg),
+        }
+    }
+
+    fn expect_dot(&mut self) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Spanned { token: Token::Dot, .. }) => Ok(()),
+            _ => Err(self.error_here("expected '.'")),
+        }
+    }
+
+    fn run(&mut self, graph: &mut Graph) -> Result<(), ParseError> {
+        while let Some(spanned) = self.peek() {
+            match &spanned.token {
+                Token::At(word) if word == "prefix" => {
+                    if self.mode == Mode::NTriples {
+                        return Err(self.error_here("@prefix is not allowed in N-Triples"));
+                    }
+                    self.bump();
+                    self.directive(true)?;
+                }
+                Token::Keyword(word) if word.eq_ignore_ascii_case("prefix") => {
+                    if self.mode == Mode::NTriples {
+                        return Err(self.error_here("PREFIX is not allowed in N-Triples"));
+                    }
+                    self.bump();
+                    self.directive(false)?;
+                }
+                _ => self.triples(graph)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// `@prefix p: <ns> .`  (with_dot)  or SPARQL-style `PREFIX p: <ns>`.
+    fn directive(&mut self, with_dot: bool) -> Result<(), ParseError> {
+        let prefix = match self.bump() {
+            Some(Spanned { token: Token::PrefixedName { prefix, local }, .. }) if local.is_empty() => {
+                prefix
+            }
+            _ => return Err(self.error_here("expected 'prefix:' in @prefix directive")),
+        };
+        let ns = match self.bump() {
+            Some(Spanned { token: Token::Iri(ns), .. }) => ns,
+            _ => return Err(self.error_here("expected namespace IRI in @prefix directive")),
+        };
+        if with_dot {
+            self.expect_dot()?;
+        }
+        self.prefixes.insert(prefix, ns);
+        Ok(())
+    }
+
+    fn triples(&mut self, graph: &mut Graph) -> Result<(), ParseError> {
+        let subject = self.subject(graph)?;
+        loop {
+            let predicate = self.predicate()?;
+            loop {
+                let object = self.object(graph)?;
+                graph.insert(&subject, &predicate, &object);
+                match self.peek().map(|s| &s.token) {
+                    Some(Token::Comma) if self.mode == Mode::Turtle => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek().map(|s| &s.token) {
+                Some(Token::Semicolon) if self.mode == Mode::Turtle => {
+                    self.bump();
+                    // A dangling semicolon before '.' is legal Turtle.
+                    if matches!(self.peek().map(|s| &s.token), Some(Token::Dot)) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.expect_dot()
+    }
+
+    fn subject(&mut self, graph: &mut Graph) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Spanned { token: Token::Iri(iri), .. }) => Ok(Term::iri(iri)),
+            Some(Spanned { token: Token::BlankNode(label), .. }) => Ok(Term::blank(label)),
+            Some(Spanned { token: Token::PrefixedName { prefix, local }, line, column })
+                if self.mode == Mode::Turtle =>
+            {
+                self.expand(&prefix, &local, line, column).map(Term::iri)
+            }
+            Some(Spanned { token: Token::LBracket, .. }) if self.mode == Mode::Turtle => {
+                self.blank_property_list(graph)
+            }
+            _ => Err(self.error_here("expected subject (IRI or blank node)")),
+        }
+    }
+
+    /// Parses `[ predicateObjectList ]` (the opening bracket is already
+    /// consumed), asserting the inner triples and returning the fresh node.
+    /// An empty `[]` is a plain anonymous node.
+    fn blank_property_list(&mut self, graph: &mut Graph) -> Result<Term, ParseError> {
+        let node = self.fresh_blank();
+        if matches!(self.peek().map(|s| &s.token), Some(Token::RBracket)) {
+            self.bump();
+            return Ok(node);
+        }
+        loop {
+            let predicate = self.predicate()?;
+            loop {
+                let object = self.object(graph)?;
+                graph.insert(&node, &predicate, &object);
+                match self.peek().map(|s| &s.token) {
+                    Some(Token::Comma) => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek().map(|s| &s.token) {
+                Some(Token::Semicolon) => {
+                    self.bump();
+                    if matches!(self.peek().map(|s| &s.token), Some(Token::RBracket)) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        match self.bump() {
+            Some(Spanned { token: Token::RBracket, .. }) => Ok(node),
+            _ => Err(self.error_here("expected ']' closing a blank node property list")),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Spanned { token: Token::Iri(iri), .. }) => Ok(Term::iri(iri)),
+            Some(Spanned { token: Token::Keyword(word), .. })
+                if self.mode == Mode::Turtle && word == "a" =>
+            {
+                Ok(Term::iri(vocab::RDF_TYPE))
+            }
+            Some(Spanned { token: Token::PrefixedName { prefix, local }, line, column })
+                if self.mode == Mode::Turtle =>
+            {
+                self.expand(&prefix, &local, line, column).map(Term::iri)
+            }
+            _ => Err(self.error_here("expected predicate IRI")),
+        }
+    }
+
+    fn object(&mut self, graph: &mut Graph) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Spanned { token: Token::Iri(iri), .. }) => Ok(Term::iri(iri)),
+            Some(Spanned { token: Token::BlankNode(label), .. }) => Ok(Term::blank(label)),
+            Some(Spanned { token: Token::PrefixedName { prefix, local }, line, column })
+                if self.mode == Mode::Turtle =>
+            {
+                self.expand(&prefix, &local, line, column).map(Term::iri)
+            }
+            Some(Spanned { token: Token::LBracket, .. }) if self.mode == Mode::Turtle => {
+                self.blank_property_list(graph)
+            }
+            Some(Spanned { token: Token::StringLiteral(body), .. }) => {
+                match self.peek().map(|s| &s.token) {
+                    Some(Token::At(_)) => {
+                        let Some(Spanned { token: Token::At(tag), .. }) = self.bump() else {
+                            unreachable!("peeked At");
+                        };
+                        Ok(Term::Literal(Literal::lang(body, tag)))
+                    }
+                    Some(Token::Carets) => {
+                        self.bump();
+                        let dt = match self.bump() {
+                            Some(Spanned { token: Token::Iri(iri), .. }) => iri,
+                            Some(Spanned {
+                                token: Token::PrefixedName { prefix, local },
+                                line,
+                                column,
+                            }) if self.mode == Mode::Turtle => {
+                                self.expand(&prefix, &local, line, column)?
+                            }
+                            _ => return Err(self.error_here("expected datatype IRI after '^^'")),
+                        };
+                        Ok(Term::Literal(Literal::typed(body, dt)))
+                    }
+                    _ => Ok(Term::Literal(Literal::plain(body))),
+                }
+            }
+            Some(Spanned { token: Token::Numeric(n), line, column }) => {
+                if self.mode == Mode::NTriples {
+                    return Err(ParseError::new(
+                        line,
+                        column,
+                        "bare numeric literals are not allowed in N-Triples",
+                    ));
+                }
+                if n.contains(['.', 'e', 'E']) {
+                    Ok(Term::Literal(Literal::typed(n, vocab::XSD_DECIMAL)))
+                } else {
+                    Ok(Term::Literal(Literal::typed(n, vocab::XSD_INTEGER)))
+                }
+            }
+            Some(Spanned { token: Token::Keyword(word), .. })
+                if self.mode == Mode::Turtle && (word == "true" || word == "false") =>
+            {
+                Ok(Term::Literal(Literal::typed(word, vocab::XSD_BOOLEAN)))
+            }
+            _ => Err(self.error_here("expected object (IRI, blank node or literal)")),
+        }
+    }
+
+    fn expand(
+        &self,
+        prefix: &str,
+        local: &str,
+        line: usize,
+        column: usize,
+    ) -> Result<String, ParseError> {
+        self.prefixes
+            .get(prefix)
+            .map(|ns| format!("{ns}{local}"))
+            .ok_or_else(|| ParseError::new(line, column, format!("unknown prefix '{prefix}:'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::TriplePattern;
+
+    #[test]
+    fn ntriples_basic() {
+        let g = parse_ntriples(
+            "<user1> <hasAge> \"28\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\
+             <user1> <livesIn> \"Madrid\" .\n\
+             _:b0 <knows> <user1> .\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(28)));
+        assert!(g.contains(&Term::blank("b0"), &Term::iri("knows"), &Term::iri("user1")));
+    }
+
+    #[test]
+    fn ntriples_rejects_turtle_sugar() {
+        assert!(parse_ntriples("@prefix ex: <http://e/> .").is_err());
+        assert!(parse_ntriples("<a> <p> 28 .").is_err());
+        assert!(parse_ntriples("ex:a <p> <o> .").is_err());
+    }
+
+    #[test]
+    fn turtle_prefixes_and_a_keyword() {
+        let g = parse_turtle(
+            "@prefix ex: <http://example.org/> .\n\
+             ex:user1 a ex:Blogger ;\n\
+                ex:hasAge 28 ;\n\
+                ex:livesIn \"Madrid\", \"Kyoto\" .\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 4);
+        assert!(g.contains(
+            &Term::iri("http://example.org/user1"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("http://example.org/Blogger")
+        ));
+        assert!(g.contains(
+            &Term::iri("http://example.org/user1"),
+            &Term::iri("http://example.org/livesIn"),
+            &Term::literal("Kyoto")
+        ));
+    }
+
+    #[test]
+    fn turtle_default_rdf_prefix_is_preloaded() {
+        let g = parse_turtle("<x> rdf:type <C> .").unwrap();
+        assert!(g.contains(&Term::iri("x"), &Term::iri(vocab::RDF_TYPE), &Term::iri("C")));
+    }
+
+    #[test]
+    fn sparql_style_prefix() {
+        let g = parse_turtle("PREFIX ex: <http://e/>\nex:s ex:p ex:o .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn numeric_literal_datatypes() {
+        let g = parse_turtle("<s> <p> 28 . <s> <q> 3.5 . <s> <r> true .").unwrap();
+        assert!(g.contains(&Term::iri("s"), &Term::iri("p"), &Term::integer(28)));
+        assert!(g.contains(
+            &Term::iri("s"),
+            &Term::iri("q"),
+            &Term::Literal(Literal::typed("3.5", vocab::XSD_DECIMAL))
+        ));
+        assert!(g.contains(
+            &Term::iri("s"),
+            &Term::iri("r"),
+            &Term::Literal(Literal::boolean(true))
+        ));
+    }
+
+    #[test]
+    fn language_tags_and_datatyped_strings() {
+        let g = parse_turtle("<s> <p> \"Bill\"@en . <s> <p> \"28\"^^xsd:integer .").unwrap();
+        assert!(g.contains(
+            &Term::iri("s"),
+            &Term::iri("p"),
+            &Term::Literal(Literal::lang("Bill", "en"))
+        ));
+        assert!(g.contains(&Term::iri("s"), &Term::iri("p"), &Term::integer(28)));
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error() {
+        let err = parse_turtle("nope:s <p> <o> .").unwrap_err();
+        assert!(err.message.contains("unknown prefix"));
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        assert!(parse_turtle("<s> <p> <o>").is_err());
+    }
+
+    #[test]
+    fn dangling_semicolon_is_legal() {
+        let g = parse_turtle("<s> <p> <o> ; .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parse_into_accumulates() {
+        let mut g = parse_turtle("<s> <p> <o> .").unwrap();
+        parse_into("<s2> <p> <o> .", &mut g).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_triples_collapse() {
+        let g = parse_turtle("<s> <p> <o> . <s> <p> <o> .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn anonymous_blank_node_objects() {
+        // user1 has an address node with two properties.
+        let g = parse_turtle(
+            "<user1> <address> [ <street> \"Main St\" ; <city> \"Madrid\" ] .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+        let addr = g
+            .matching(crate::triple::TriplePattern::new(
+                g.dict().iri_id("user1"),
+                g.dict().iri_id("address"),
+                None,
+            ))[0]
+            .o;
+        assert!(g.dict().term(addr).is_blank());
+        let street = g.dict().iri_id("street").unwrap();
+        assert_eq!(g.objects(addr, street).len(), 1);
+    }
+
+    #[test]
+    fn anonymous_blank_node_subject_and_nesting() {
+        let g = parse_turtle(
+            "[ <p> <a> ] <q> <b> .\n\
+             <x> <r> [ <s> [ <t> 1 ] ] .",
+        )
+        .unwrap();
+        // [p a], [q b] on one node (2) + x→r→anon→s→anon→t→1 chain (3).
+        assert_eq!(g.len(), 5);
+        // Distinct [..] occurrences yield distinct nodes.
+        let blanks: std::collections::HashSet<_> = g
+            .triples()
+            .flat_map(|t| [t.s, t.o])
+            .filter(|&id| g.dict().term(id).is_blank())
+            .collect();
+        assert_eq!(blanks.len(), 3);
+    }
+
+    #[test]
+    fn empty_anonymous_node_and_object_lists() {
+        let g = parse_turtle("<x> <knows> [], [ <name> \"B\" ] .").unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn unterminated_bracket_is_an_error() {
+        assert!(parse_turtle("<x> <p> [ <q> <y> .").is_err());
+        assert!(parse_ntriples("<x> <p> [ <q> <y> ] .").is_err());
+    }
+
+    #[test]
+    fn full_scan_matches_inserted_data() {
+        let g = parse_turtle("<s> <p> <o1>, <o2>, <o3> .").unwrap();
+        assert_eq!(g.matching(TriplePattern::default()).len(), 3);
+    }
+}

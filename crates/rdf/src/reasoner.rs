@@ -1,0 +1,221 @@
+//! Forward-chaining RDFS saturation.
+//!
+//! The analytical framework the paper builds on (Colazzo et al., WWW 2014)
+//! defines analytical-schema instances over *RDFS-entailed* graphs: class and
+//! property hierarchies must be folded into the data before the node/edge
+//! queries run. This module implements saturation for the ρdf fragment —
+//! the four rules involving `rdfs:subClassOf`, `rdfs:subPropertyOf`,
+//! `rdfs:domain` and `rdfs:range`:
+//!
+//! 1. `(c₁ ⊑ c₂), (c₂ ⊑ c₃) ⇒ (c₁ ⊑ c₃)` — and the same for `⊑ₚ`;
+//! 2. `(s p o), (p ⊑ₚ q) ⇒ (s q o)`;
+//! 3. `(p domain c), (s p o) ⇒ (s rdf:type c)`;
+//! 4. `(p range c), (s p o) ⇒ (o rdf:type c)`;
+//! 5. `(x rdf:type c₁), (c₁ ⊑ c₂) ⇒ (x rdf:type c₂)`.
+//!
+//! For this fragment the rules stratify: property closure (1–2) feeds
+//! domain/range (3–4), which feeds class membership (5), so a single ordered
+//! pass over the closures reaches the fixpoint — no naive iteration needed.
+
+use crate::dictionary::TermId;
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::graph::Graph;
+use crate::term::Term;
+use crate::triple::{Triple, TriplePattern};
+use crate::vocab;
+
+/// Saturates `graph` in place under the ρdf RDFS rules.
+/// Returns the number of entailed triples added.
+pub fn saturate(graph: &mut Graph) -> usize {
+    let rdf_type = graph.encode(&Term::iri(vocab::RDF_TYPE));
+    let sub_class = graph.encode(&Term::iri(vocab::RDFS_SUBCLASSOF));
+    let sub_prop = graph.encode(&Term::iri(vocab::RDFS_SUBPROPERTYOF));
+    let domain = graph.encode(&Term::iri(vocab::RDFS_DOMAIN));
+    let range = graph.encode(&Term::iri(vocab::RDFS_RANGE));
+
+    let mut added = 0;
+
+    // Rule 1: transitive closures of the two hierarchies.
+    let class_up = transitive_closure(graph, sub_class);
+    let prop_up = transitive_closure(graph, sub_prop);
+    for (child, ancestors) in &class_up {
+        for &anc in ancestors {
+            added += graph.insert_ids(*child, sub_class, anc) as usize;
+        }
+    }
+    for (child, ancestors) in &prop_up {
+        for &anc in ancestors {
+            added += graph.insert_ids(*child, sub_prop, anc) as usize;
+        }
+    }
+
+    // Rule 2: propagate triples up the property hierarchy.
+    let mut inherited: Vec<Triple> = Vec::new();
+    for (&p, supers) in &prop_up {
+        graph.for_each_match(TriplePattern::new(None, Some(p), None), |t| {
+            for &q in supers {
+                inherited.push(Triple::new(t.s, q, t.o));
+            }
+        });
+    }
+    for t in inherited {
+        added += graph.insert_triple(t) as usize;
+    }
+
+    // Rules 3–4: domain and range produce rdf:type triples. Collect the
+    // declarations first, then scan each declared property's extension.
+    let mut typings: Vec<Triple> = Vec::new();
+    let mut decls: Vec<(TermId, TermId, bool)> = Vec::new(); // (property, class, is_domain)
+    graph.for_each_match(TriplePattern::new(None, Some(domain), None), |t| {
+        decls.push((t.s, t.o, true));
+    });
+    graph.for_each_match(TriplePattern::new(None, Some(range), None), |t| {
+        decls.push((t.s, t.o, false));
+    });
+    for (p, class, is_domain) in decls {
+        graph.for_each_match(TriplePattern::new(None, Some(p), None), |t| {
+            let node = if is_domain { t.s } else { t.o };
+            typings.push(Triple::new(node, rdf_type, class));
+        });
+    }
+    for t in typings {
+        added += graph.insert_triple(t) as usize;
+    }
+
+    // Rule 5: propagate rdf:type up the class hierarchy.
+    let mut uptyped: Vec<Triple> = Vec::new();
+    for (&c, supers) in &class_up {
+        graph.for_each_match(TriplePattern::new(None, Some(rdf_type), Some(c)), |t| {
+            for &sup in supers {
+                uptyped.push(Triple::new(t.s, rdf_type, sup));
+            }
+        });
+    }
+    for t in uptyped {
+        added += graph.insert_triple(t) as usize;
+    }
+
+    added
+}
+
+/// For every node with at least one outgoing `edge_pred` edge, the set of all
+/// nodes reachable through `edge_pred` (excluding trivial self-loops unless
+/// asserted).
+fn transitive_closure(graph: &Graph, edge_pred: TermId) -> FxHashMap<TermId, Vec<TermId>> {
+    let mut direct: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+    graph.for_each_match(TriplePattern::new(None, Some(edge_pred), None), |t| {
+        direct.entry(t.s).or_default().push(t.o);
+    });
+
+    let mut closure: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+    for &start in direct.keys() {
+        let mut seen: FxHashSet<TermId> = FxHashSet::default();
+        let mut stack: Vec<TermId> = direct[&start].clone();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) {
+                if let Some(next) = direct.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        let mut reach: Vec<TermId> = seen.into_iter().collect();
+        reach.sort_unstable();
+        closure.insert(start, reach);
+    }
+    closure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_turtle;
+
+    fn saturated(ttl: &str) -> Graph {
+        let mut g = parse_turtle(ttl).unwrap();
+        saturate(&mut g);
+        g
+    }
+
+    #[test]
+    fn subclass_transitivity_and_type_inheritance() {
+        let g = saturated(
+            "<Blogger> rdfs:subClassOf <Person> .\n\
+             <Person> rdfs:subClassOf <Agent> .\n\
+             <user1> rdf:type <Blogger> .\n",
+        );
+        assert!(g.contains(
+            &Term::iri("Blogger"),
+            &Term::iri(vocab::RDFS_SUBCLASSOF),
+            &Term::iri("Agent")
+        ));
+        assert!(g.contains(&Term::iri("user1"), &Term::iri(vocab::RDF_TYPE), &Term::iri("Person")));
+        assert!(g.contains(&Term::iri("user1"), &Term::iri(vocab::RDF_TYPE), &Term::iri("Agent")));
+    }
+
+    #[test]
+    fn subproperty_propagation() {
+        let g = saturated(
+            "<wrotePost> rdfs:subPropertyOf <authored> .\n\
+             <user1> <wrotePost> <post1> .\n",
+        );
+        assert!(g.contains(&Term::iri("user1"), &Term::iri("authored"), &Term::iri("post1")));
+    }
+
+    #[test]
+    fn domain_and_range_typing() {
+        let g = saturated(
+            "<wrotePost> rdfs:domain <Blogger> .\n\
+             <wrotePost> rdfs:range <BlogPost> .\n\
+             <user1> <wrotePost> <post1> .\n",
+        );
+        assert!(g.contains(&Term::iri("user1"), &Term::iri(vocab::RDF_TYPE), &Term::iri("Blogger")));
+        assert!(g.contains(&Term::iri("post1"), &Term::iri(vocab::RDF_TYPE), &Term::iri("BlogPost")));
+    }
+
+    #[test]
+    fn stratified_interaction_subprop_then_domain_then_subclass() {
+        // p ⊑ₚ q, q domain C, C ⊑ D, s p o ⇒ s type D.
+        let g = saturated(
+            "<p> rdfs:subPropertyOf <q> .\n\
+             <q> rdfs:domain <C> .\n\
+             <C> rdfs:subClassOf <D> .\n\
+             <s> <p> <o> .\n",
+        );
+        assert!(g.contains(&Term::iri("s"), &Term::iri("q"), &Term::iri("o")));
+        assert!(g.contains(&Term::iri("s"), &Term::iri(vocab::RDF_TYPE), &Term::iri("C")));
+        assert!(g.contains(&Term::iri("s"), &Term::iri(vocab::RDF_TYPE), &Term::iri("D")));
+    }
+
+    #[test]
+    fn saturation_is_idempotent() {
+        let mut g = parse_turtle(
+            "<Blogger> rdfs:subClassOf <Person> .\n\
+             <wrotePost> rdfs:domain <Blogger> .\n\
+             <user1> <wrotePost> <post1> .\n",
+        )
+        .unwrap();
+        let first = saturate(&mut g);
+        assert!(first > 0);
+        let len = g.len();
+        let second = saturate(&mut g);
+        assert_eq!(second, 0);
+        assert_eq!(g.len(), len);
+    }
+
+    #[test]
+    fn cycles_do_not_diverge() {
+        // A ⊑ B ⊑ A — the closure must terminate and include both directions.
+        let g = saturated(
+            "<A> rdfs:subClassOf <B> .\n\
+             <B> rdfs:subClassOf <A> .\n\
+             <x> rdf:type <A> .\n",
+        );
+        assert!(g.contains(&Term::iri("x"), &Term::iri(vocab::RDF_TYPE), &Term::iri("B")));
+    }
+
+    #[test]
+    fn empty_graph_noop() {
+        let mut g = Graph::new();
+        assert_eq!(saturate(&mut g), 0);
+    }
+}

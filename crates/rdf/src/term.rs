@@ -1,0 +1,330 @@
+//! RDF terms: IRIs, blank nodes, and literals.
+//!
+//! Terms follow the RDF 1.1 abstract syntax. Literals carry an optional
+//! language tag or datatype IRI; plain literals are modeled as
+//! [`LiteralKind::Plain`] (equivalent to `xsd:string` under RDF 1.1, but kept
+//! distinct so that serialization round-trips exactly).
+
+use std::fmt;
+
+/// The kind of an RDF literal: plain, language-tagged, or datatyped.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LiteralKind {
+    /// A simple literal, e.g. `"Bill"`.
+    Plain,
+    /// A language-tagged string, e.g. `"Bill"@en`.
+    Lang(Box<str>),
+    /// A datatyped literal, e.g. `"28"^^xsd:integer`. Holds the datatype IRI.
+    Typed(Box<str>),
+}
+
+/// An RDF literal: a lexical form plus its [`LiteralKind`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    lexical: Box<str>,
+    kind: LiteralKind,
+}
+
+impl Literal {
+    /// Creates a plain (simple) literal.
+    pub fn plain(lexical: impl Into<Box<str>>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Plain }
+    }
+
+    /// Creates a language-tagged literal.
+    pub fn lang(lexical: impl Into<Box<str>>, tag: impl Into<Box<str>>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Lang(tag.into()) }
+    }
+
+    /// Creates a datatyped literal.
+    pub fn typed(lexical: impl Into<Box<str>>, datatype: impl Into<Box<str>>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Typed(datatype.into()) }
+    }
+
+    /// Creates an `xsd:integer` literal from an `i64`.
+    pub fn integer(value: i64) -> Self {
+        Literal::typed(value.to_string(), crate::vocab::XSD_INTEGER)
+    }
+
+    /// Creates an `xsd:double` literal from an `f64`.
+    pub fn double(value: f64) -> Self {
+        Literal::typed(value.to_string(), crate::vocab::XSD_DOUBLE)
+    }
+
+    /// Creates an `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Literal::typed(if value { "true" } else { "false" }, crate::vocab::XSD_BOOLEAN)
+    }
+
+    /// The lexical form of the literal.
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    /// The literal's kind (plain / language-tagged / datatyped).
+    pub fn kind(&self) -> &LiteralKind {
+        &self.kind
+    }
+
+    /// The datatype IRI, if this is a datatyped literal.
+    pub fn datatype(&self) -> Option<&str> {
+        match &self.kind {
+            LiteralKind::Typed(dt) => Some(dt),
+            _ => None,
+        }
+    }
+
+    /// The language tag, if this is a language-tagged literal.
+    pub fn language(&self) -> Option<&str> {
+        match &self.kind {
+            LiteralKind::Lang(tag) => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Attempts to interpret the literal as an `i64`.
+    ///
+    /// Plain literals whose lexical form parses as an integer are accepted
+    /// too — the paper's examples write ages and word counts as bare numbers
+    /// (`user1 hasAge 28`), and analytics must be able to aggregate them.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.lexical.trim().parse::<i64>().ok()
+    }
+
+    /// Attempts to interpret the literal as an `f64` (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        self.lexical.trim().parse::<f64>().ok()
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.lexical))?;
+        match &self.kind {
+            LiteralKind::Plain => Ok(()),
+            LiteralKind::Lang(tag) => write!(f, "@{tag}"),
+            LiteralKind::Typed(dt) => write!(f, "^^<{dt}>"),
+        }
+    }
+}
+
+/// An RDF term: the subject/predicate/object alphabet of RDF graphs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI (we do not enforce IRI syntax; the paper's examples use bare
+    /// names like `hasAge`, which we accept verbatim as relative IRIs).
+    Iri(Box<str>),
+    /// A blank node with a local label, e.g. `_:b0`.
+    BlankNode(Box<str>),
+    /// A literal value.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Creates an IRI term.
+    pub fn iri(iri: impl Into<Box<str>>) -> Self {
+        Term::Iri(iri.into())
+    }
+
+    /// Creates a blank node term.
+    pub fn blank(label: impl Into<Box<str>>) -> Self {
+        Term::BlankNode(label.into())
+    }
+
+    /// Creates a plain-literal term.
+    pub fn literal(lexical: impl Into<Box<str>>) -> Self {
+        Term::Literal(Literal::plain(lexical))
+    }
+
+    /// Creates an integer-literal term.
+    pub fn integer(value: i64) -> Self {
+        Term::Literal(Literal::integer(value))
+    }
+
+    /// Creates a double-literal term.
+    pub fn double(value: f64) -> Self {
+        Term::Literal(Literal::double(value))
+    }
+
+    /// Returns the IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the literal if this term is a literal.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True for IRI terms.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True for blank node terms.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::BlankNode(_))
+    }
+
+    /// True for literal terms.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// Numeric view of the term, if it is a numeric literal.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_literal().and_then(Literal::as_i64)
+    }
+
+    /// Floating-point view of the term, if it is a numeric literal.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_literal().and_then(Literal::as_f64)
+    }
+
+    /// A compact, human-oriented rendering for tables and reports: numeric
+    /// and plain literals show just their lexical form, other literals keep
+    /// their suffix, IRIs drop angle brackets and a leading namespace.
+    pub fn display_compact(&self) -> String {
+        match self {
+            Term::Iri(iri) => {
+                let short = iri.rsplit(['#', '/']).next().unwrap_or(iri);
+                short.to_string()
+            }
+            Term::BlankNode(label) => format!("_:{label}"),
+            Term::Literal(lit) => match lit.kind() {
+                LiteralKind::Plain => lit.lexical().to_string(),
+                LiteralKind::Lang(tag) => format!("{}@{tag}", lit.lexical()),
+                LiteralKind::Typed(dt) if dt.starts_with("http://www.w3.org/2001/XMLSchema#") => {
+                    lit.lexical().to_string()
+                }
+                LiteralKind::Typed(dt) => format!("{}^^{dt}", lit.lexical()),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::BlankNode(label) => write!(f, "_:{label}"),
+            Term::Literal(lit) => write!(f, "{lit}"),
+        }
+    }
+}
+
+/// Escapes a literal's lexical form for N-Triples output.
+pub(crate) fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_constructors_and_accessors() {
+        let plain = Literal::plain("Bill");
+        assert_eq!(plain.lexical(), "Bill");
+        assert_eq!(plain.datatype(), None);
+        assert_eq!(plain.language(), None);
+
+        let lang = Literal::lang("Bill", "en");
+        assert_eq!(lang.language(), Some("en"));
+
+        let typed = Literal::integer(28);
+        assert_eq!(typed.datatype(), Some(crate::vocab::XSD_INTEGER));
+        assert_eq!(typed.as_i64(), Some(28));
+    }
+
+    #[test]
+    fn plain_numeric_literals_parse() {
+        // The paper writes `user1 hasAge 28` with no datatype.
+        let lit = Literal::plain("28");
+        assert_eq!(lit.as_i64(), Some(28));
+        assert_eq!(lit.as_f64(), Some(28.0));
+        assert_eq!(Literal::plain("Madrid").as_i64(), None);
+    }
+
+    #[test]
+    fn double_round_trip() {
+        let lit = Literal::double(3.5);
+        assert_eq!(lit.as_f64(), Some(3.5));
+        assert_eq!(lit.as_i64(), None);
+    }
+
+    #[test]
+    fn term_display_follows_ntriples() {
+        assert_eq!(Term::iri("hasAge").to_string(), "<hasAge>");
+        assert_eq!(Term::blank("b0").to_string(), "_:b0");
+        assert_eq!(Term::literal("NY").to_string(), "\"NY\"");
+        assert_eq!(
+            Term::Literal(Literal::lang("Bill", "en")).to_string(),
+            "\"Bill\"@en"
+        );
+        assert_eq!(
+            Term::integer(28).to_string(),
+            format!("\"28\"^^<{}>", crate::vocab::XSD_INTEGER)
+        );
+    }
+
+    #[test]
+    fn escaping_covers_control_characters() {
+        assert_eq!(escape_literal("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+    }
+
+    #[test]
+    fn term_kind_predicates() {
+        assert!(Term::iri("x").is_iri());
+        assert!(Term::blank("x").is_blank());
+        assert!(Term::literal("x").is_literal());
+        assert!(!Term::literal("x").is_iri());
+    }
+
+    #[test]
+    fn display_compact_is_human_oriented() {
+        assert_eq!(Term::integer(28).display_compact(), "28");
+        assert_eq!(Term::literal("Madrid").display_compact(), "Madrid");
+        assert_eq!(Term::iri("http://example.org/ns#Blogger").display_compact(), "Blogger");
+        assert_eq!(Term::iri("hasAge").display_compact(), "hasAge");
+        assert_eq!(Term::blank("b0").display_compact(), "_:b0");
+        assert_eq!(
+            Term::Literal(Literal::lang("Bill", "en")).display_compact(),
+            "Bill@en"
+        );
+        assert_eq!(
+            Term::Literal(Literal::typed("x", "http://custom/dt")).display_compact(),
+            "x^^http://custom/dt"
+        );
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut terms = vec![Term::literal("a"), Term::iri("b"), Term::blank("c")];
+        terms.sort();
+        // Sorting must not panic and must be deterministic.
+        let again = {
+            let mut t = terms.clone();
+            t.sort();
+            t
+        };
+        assert_eq!(terms, again);
+    }
+}

@@ -1,0 +1,103 @@
+//! Encoded triples and triple patterns.
+
+use crate::dictionary::TermId;
+
+/// A dictionary-encoded RDF triple `(subject, predicate, object)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject id.
+    pub s: TermId,
+    /// Predicate id.
+    pub p: TermId,
+    /// Object id.
+    pub o: TermId,
+}
+
+impl Triple {
+    /// Builds a triple from its three components.
+    #[inline]
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Triple { s, p, o }
+    }
+
+    /// The triple as an `[s, p, o]` array.
+    #[inline]
+    pub fn as_array(&self) -> [TermId; 3] {
+        [self.s, self.p, self.o]
+    }
+}
+
+impl From<[TermId; 3]> for Triple {
+    #[inline]
+    fn from([s, p, o]: [TermId; 3]) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+/// A triple-level access pattern: each position is either bound to a term id
+/// or a wildcard. This is the store-facing form; variable names live one
+/// level up, in the query engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TriplePattern {
+    /// Bound subject, or `None` for a wildcard.
+    pub s: Option<TermId>,
+    /// Bound predicate, or `None` for a wildcard.
+    pub p: Option<TermId>,
+    /// Bound object, or `None` for a wildcard.
+    pub o: Option<TermId>,
+}
+
+impl TriplePattern {
+    /// Builds a pattern from optional components.
+    #[inline]
+    pub fn new(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// True if `t` matches this pattern.
+    #[inline]
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+
+    /// Number of bound positions (0–3); a crude selectivity proxy.
+    #[inline]
+    pub fn bound_count(&self) -> u8 {
+        self.s.is_some() as u8 + self.p.is_some() as u8 + self.o.is_some() as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> TermId {
+        TermId(n)
+    }
+
+    #[test]
+    fn triple_array_round_trip() {
+        let t = Triple::new(id(1), id(2), id(3));
+        assert_eq!(t.as_array(), [id(1), id(2), id(3)]);
+        assert_eq!(Triple::from([id(1), id(2), id(3)]), t);
+    }
+
+    #[test]
+    fn pattern_matches_per_position() {
+        let t = Triple::new(id(1), id(2), id(3));
+        assert!(TriplePattern::default().matches(&t));
+        assert!(TriplePattern::new(Some(id(1)), None, None).matches(&t));
+        assert!(TriplePattern::new(Some(id(1)), Some(id(2)), Some(id(3))).matches(&t));
+        assert!(!TriplePattern::new(Some(id(9)), None, None).matches(&t));
+        assert!(!TriplePattern::new(None, Some(id(9)), None).matches(&t));
+        assert!(!TriplePattern::new(None, None, Some(id(9))).matches(&t));
+    }
+
+    #[test]
+    fn bound_count() {
+        assert_eq!(TriplePattern::default().bound_count(), 0);
+        assert_eq!(TriplePattern::new(Some(id(1)), None, Some(id(2))).bound_count(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! N-Triples serialization.
+//!
+//! Output is sorted by the textual form of (subject, predicate, object) so
+//! that serializing the same graph always yields the same bytes — convenient
+//! for golden tests and for diffing generated workloads.
+
+use crate::graph::Graph;
+
+/// Serializes `graph` as deterministic N-Triples.
+pub fn to_ntriples(graph: &Graph) -> String {
+    let mut lines: Vec<String> = graph
+        .triples()
+        .map(|t| {
+            let (s, p, o) = graph.decode(t);
+            format!("{s} {p} {o} .")
+        })
+        .collect();
+    lines.sort_unstable();
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ntriples;
+    use crate::term::Term;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let mut g = Graph::new();
+        g.insert_iri("user1", "hasAge", &Term::integer(28));
+        g.insert_iri("user1", "identifiedBy", &Term::literal("Bill"));
+        g.insert_iri("user1", "identifiedBy", &Term::literal("A \"quoted\"\nname"));
+        g.insert(&Term::blank("b0"), &Term::iri("knows"), &Term::iri("user1"));
+
+        let text = to_ntriples(&g);
+        let back = parse_ntriples(&text).unwrap();
+        assert_eq!(back.len(), g.len());
+        for t in g.triples() {
+            let (s, p, o) = g.decode(t);
+            assert!(back.contains(s, p, o), "missing {s} {p} {o}");
+        }
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let mut g1 = Graph::new();
+        let mut g2 = Graph::new();
+        // Insert in different orders.
+        g1.insert_iri("a", "p", &Term::literal("1"));
+        g1.insert_iri("b", "p", &Term::literal("2"));
+        g2.insert_iri("b", "p", &Term::literal("2"));
+        g2.insert_iri("a", "p", &Term::literal("1"));
+        assert_eq!(to_ntriples(&g1), to_ntriples(&g2));
+    }
+
+    #[test]
+    fn empty_graph_serializes_to_empty_string() {
+        assert_eq!(to_ntriples(&Graph::new()), "");
+    }
+}

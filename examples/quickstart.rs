@@ -1,0 +1,97 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the Figure 1 blogger data, materializes the analytical schema,
+//! poses Example 1's cube ("number of sites where each blogger posts, by
+//! age and city"), and applies Example 3's OLAP operations, printing each
+//! cube and the strategy that answered it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rdfcube::prelude::*;
+
+fn main() {
+    // ---- 1. Base RDF data (the paper's §2 example world) ----------------
+    let mut base = parse_turtle(
+        "<user1> rdf:type <Person> ; <age> 28 ; <city> \"Madrid\" ;
+                 <name> \"Bill\", \"William\" .
+         <user3> rdf:type <Person> ; <age> 35 ; <city> \"NY\" .
+         <user4> rdf:type <Person> ; <age> 35 ; <city> \"NY\" .
+         <user1> <knows> <user3> .
+         <user1> <posted> <p1>, <p2>, <p3> .
+         <p1> <on> <s1> . <p2> <on> <s1> . <p3> <on> <s2> .
+         <user3> <posted> <p4> . <p4> <on> <s2> .
+         <user4> <posted> <p5> . <p5> <on> <s3> .",
+    )
+    .expect("base data parses");
+    saturate(&mut base);
+    println!("Base graph: {} triples", base.len());
+
+    // ---- 2. The Figure 1 analytical schema ------------------------------
+    let mut schema = AnalyticalSchema::new("blog");
+    schema
+        .add_node("Blogger", "n(?x) :- ?x rdf:type Person")
+        .add_node("Age", "n(?a) :- ?x age ?a")
+        .add_node("City", "n(?c) :- ?x city ?c")
+        .add_node("Name", "n(?n) :- ?x name ?n")
+        .add_node("BlogPost", "n(?p) :- ?x posted ?p")
+        .add_node("Site", "n(?s) :- ?p on ?s")
+        .add_edge("hasAge", "Blogger", "Age", "e(?x, ?a) :- ?x age ?a")
+        .add_edge("livesIn", "Blogger", "City", "e(?x, ?c) :- ?x city ?c")
+        .add_edge("identifiedBy", "Blogger", "Name", "e(?x, ?n) :- ?x name ?n")
+        .add_edge("acquaintedWith", "Blogger", "Blogger", "e(?x, ?y) :- ?x knows ?y")
+        .add_edge("wrotePost", "Blogger", "BlogPost", "e(?x, ?p) :- ?x posted ?p")
+        .add_edge("postedOn", "BlogPost", "Site", "e(?p, ?s) :- ?p on ?s");
+    let instance = schema.materialize(&mut base).expect("schema materializes");
+    println!("AnS instance: {} triples\n", instance.len());
+
+    // ---- 3. Example 1's analytical query (cube) -------------------------
+    let mut session = OlapSession::new(instance);
+    let cube = session
+        .register(
+            "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+            "m(?x, ?vsite) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?vsite",
+            AggFunc::Count,
+        )
+        .expect("Example 1 cube");
+    println!("Q — sites per blogger, by (age, city)   [Example 2 expects ⟨28,Madrid,3⟩ ⟨35,NY,2⟩]");
+    println!("{}", session.answer(cube).to_table(session.instance().dict()));
+
+    // ---- 4. Example 3's OLAP operations ---------------------------------
+    let (sliced, st) = session
+        .transform(cube, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+        .expect("slice");
+    println!("SLICE dage=35  (answered by {st})");
+    println!("{}", session.answer(sliced).to_table(session.instance().dict()));
+
+    let (diced, st) = session
+        .transform(
+            cube,
+            &OlapOp::Dice {
+                constraints: vec![
+                    ("dage".into(), ValueSelector::one(Term::integer(28))),
+                    (
+                        "dcity".into(),
+                        ValueSelector::OneOf(vec![
+                            Term::literal("Madrid"),
+                            Term::literal("Kyoto"),
+                        ]),
+                    ),
+                ],
+            },
+        )
+        .expect("dice");
+    println!("DICE dage∈{{28}}, dcity∈{{Madrid, Kyoto}}  (answered by {st})");
+    println!("{}", session.answer(diced).to_table(session.instance().dict()));
+
+    let (drilled_out, st) = session
+        .transform(cube, &OlapOp::DrillOut { dims: vec!["dage".into()] })
+        .expect("drill-out");
+    println!("DRILL-OUT dage  (answered by {st})");
+    println!("{}", session.answer(drilled_out).to_table(session.instance().dict()));
+
+    let (drilled_in, st) = session
+        .transform(drilled_out, &OlapOp::DrillIn { var: "dage".into() })
+        .expect("drill-in");
+    println!("DRILL-IN dage — Example 3's round trip back to Q  (answered by {st})");
+    println!("{}", session.answer(drilled_in).to_table(session.instance().dict()));
+}

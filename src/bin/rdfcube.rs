@@ -1,0 +1,49 @@
+//! The `rdfcube` command-line console.
+//!
+//! Runs an analytics script (see [`rdfcube::interp`] for the command
+//! language) from a file, or from standard input when no file is given:
+//!
+//! ```sh
+//! rdfcube analysis.rdfq
+//! echo 'help' | rdfcube
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let script = match args.as_slice() {
+        [] => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                eprintln!("rdfcube: failed to read stdin");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+        [path] => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rdfcube: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: rdfcube [script-file]   (stdin when omitted)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut interp = rdfcube::interp::Interpreter::new();
+    match interp.run_script(&script) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err((line, err)) => {
+            eprintln!("rdfcube: line {line}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

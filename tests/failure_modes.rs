@@ -1,0 +1,180 @@
+//! Failure-injection tests: malformed inputs and invalid operations must
+//! produce typed errors (never panics) at every layer of the stack.
+
+use rdfcube::core::CoreError;
+use rdfcube::prelude::*;
+use rdfcube::{parse_query, Dictionary, EngineError};
+
+#[test]
+fn malformed_rdf_inputs() {
+    for bad in [
+        "<s> <p>",                  // incomplete triple
+        "<s> <p> <o>",              // missing dot
+        "<s> <p> \"unterminated",   // unterminated literal
+        "<s> <p> <o> extra .",      // junk
+        "@prefix broken",           // broken directive
+        "ex:s <p> <o> .",           // unknown prefix
+        "<s> <p> \"x\"^^ .",        // dangling datatype
+        "<s> <p> _: .",             // broken bnode — empty label then dot-as-object fails
+    ] {
+        assert!(parse_turtle(bad).is_err(), "accepted malformed turtle: {bad}");
+    }
+    assert!(parse_ntriples("<s> <p> 28 .").is_err(), "ntriples must reject bare numbers");
+}
+
+#[test]
+fn malformed_queries() {
+    let mut dict = Dictionary::new();
+    for bad in [
+        "",                               // empty
+        "q",                              // no head
+        "q()",                            // no body
+        "q(?x) :-",                       // empty body
+        "q(?x) : ?x p ?x",                // bad separator
+        "q(?x) :- ?x p",                  // incomplete pattern
+        "q(?x, ?y) :- ?x p ?x",           // ?y unbound
+        "q(?x) :- ?x nope:local ?y",      // unknown prefix
+        "q(?) :- ?x p ?x",                // empty variable name
+    ] {
+        assert!(parse_query(bad, &mut dict).is_err(), "accepted malformed query: {bad}");
+    }
+}
+
+#[test]
+fn invalid_analytical_queries() {
+    let mut dict = Dictionary::new();
+    // Ternary measure.
+    assert!(matches!(
+        AnalyticalQuery::parse(
+            "c(?x) :- ?x rdf:type C",
+            "m(?x, ?v, ?w) :- ?x p ?v, ?x q ?w",
+            AggFunc::Count,
+            &mut dict,
+        ),
+        Err(CoreError::SchemaViolation(_))
+    ));
+    // Unary measure.
+    assert!(AnalyticalQuery::parse(
+        "c(?x) :- ?x rdf:type C",
+        "m(?x) :- ?x p ?x",
+        AggFunc::Count,
+        &mut dict,
+    )
+    .is_err());
+    // Disconnected classifier.
+    assert!(AnalyticalQuery::parse(
+        "c(?x, ?d) :- ?x rdf:type C, ?y dim ?d",
+        "m(?x, ?v) :- ?x p ?v",
+        AggFunc::Count,
+        &mut dict,
+    )
+    .is_err());
+}
+
+#[test]
+fn invalid_operations_on_sessions() {
+    let instance = parse_turtle(
+        "<a> rdf:type <C> ; <dim> <d1> ; <val> 3 .",
+    )
+    .unwrap();
+    let mut s = OlapSession::new(instance);
+    let h = s
+        .register("c(?x, ?d) :- ?x rdf:type C, ?x dim ?d", "m(?x, ?v) :- ?x val ?v", AggFunc::Sum)
+        .unwrap();
+
+    // Unknown dimension.
+    assert!(matches!(
+        s.transform(h, &OlapOp::Slice { dim: "ghost".into(), value: Term::integer(1) }),
+        Err(CoreError::UnknownDimension(_))
+    ));
+    // Unknown variable for drill-in.
+    assert!(matches!(
+        s.transform(h, &OlapOp::DrillIn { var: "ghost".into() }),
+        Err(CoreError::UnknownVariable(_))
+    ));
+    // Drill-in on an existing dimension.
+    assert!(matches!(
+        s.transform(h, &OlapOp::DrillIn { var: "d".into() }),
+        Err(CoreError::InvalidOperation(_))
+    ));
+    // Empty dice.
+    assert!(s.transform(h, &OlapOp::Dice { constraints: vec![] }).is_err());
+    // Failed transforms must not have materialized anything.
+    assert_eq!(s.len(), 1);
+}
+
+#[test]
+fn non_numeric_aggregation_errors_cleanly() {
+    let instance = parse_turtle("<a> rdf:type <C> ; <dim> <d1> ; <val> \"NaNope\" .").unwrap();
+    let mut s = OlapSession::new(instance);
+    let result = s.register(
+        "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+        "m(?x, ?v) :- ?x val ?v",
+        AggFunc::Sum,
+    );
+    assert!(matches!(
+        result,
+        Err(CoreError::Engine(EngineError::NonNumericAggregate(_)))
+    ));
+    // Count works fine on the same non-numeric measure.
+    assert!(s
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Count,
+        )
+        .is_ok());
+}
+
+#[test]
+fn schema_violations() {
+    let mut schema = AnalyticalSchema::new("s");
+    schema
+        .add_node("C", "n(?x) :- ?x rdf:type Thing")
+        .add_edge("p", "C", "Ghost", "e(?x, ?y) :- ?x p ?y");
+    let mut base = parse_turtle("<a> rdf:type <Thing> .").unwrap();
+    assert!(schema.materialize(&mut base).is_err());
+
+    // Queries against a schema they are not homomorphic to.
+    let mut ok_schema = AnalyticalSchema::new("s");
+    ok_schema.add_node("C", "n(?x) :- ?x rdf:type Thing");
+    let mut dict = Dictionary::new();
+    let q = AnalyticalQuery::parse(
+        "c(?x, ?d) :- ?x rdf:type C, ?x foreign ?d",
+        "m(?x, ?v) :- ?x rdf:type C, ?x foreign ?v",
+        AggFunc::Count,
+        &mut dict,
+    )
+    .unwrap();
+    assert!(q.validate_against(&ok_schema, &dict).is_err());
+}
+
+#[test]
+fn empty_inputs_are_fine_everywhere() {
+    // Empty instance: queries answer with empty cubes, not errors.
+    let mut s = OlapSession::new(Graph::new());
+    let h = s
+        .register("c(?x, ?d) :- ?x rdf:type C, ?x dim ?d", "m(?x, ?v) :- ?x val ?v", AggFunc::Sum)
+        .unwrap();
+    assert!(s.answer(h).is_empty());
+    // Operations on empty cubes stay empty and consistent.
+    let (h2, _) = s
+        .transform(h, &OlapOp::Slice { dim: "d".into(), value: Term::integer(1) })
+        .unwrap();
+    assert!(s.answer(h2).is_empty());
+    let (h3, _) = s.transform(h, &OlapOp::DrillOut { dims: vec!["d".into()] }).unwrap();
+    assert!(s.answer(h3).is_empty());
+}
+
+#[test]
+fn sigma_arity_and_refinement_guards() {
+    let mut dict = Dictionary::new();
+    let q = AnalyticalQuery::parse(
+        "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+        "m(?x, ?v) :- ?x val ?v",
+        AggFunc::Count,
+        &mut dict,
+    )
+    .unwrap();
+    assert!(ExtendedQuery::with_sigma(q, Sigma::all(3)).is_err());
+}

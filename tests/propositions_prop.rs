@@ -1,0 +1,242 @@
+//! The paper's propositions as property tests.
+//!
+//! For randomized instances (random scale, seed, multi-valuedness,
+//! heterogeneity) and randomized operations, every rewriting must agree
+//! cell-for-cell with from-scratch evaluation:
+//!
+//! * Equation 3 — `ans(Q)` is recoverable from `pres(Q)`;
+//! * Proposition 1 — `σ_dice(ans(Q)) = ans(Q_DICE)`;
+//! * Proposition 2 — Algorithm 1 computes `ans(Q_DRILL-OUT)`;
+//! * Proposition 3 — Algorithm 2 computes `ans(Q_DRILL-IN)`.
+
+use proptest::prelude::*;
+// Explicit import wins over the two glob imports: `Strategy` here always
+// means proptest's trait, never the session's strategy enum.
+use proptest::strategy::Strategy;
+use rdfcube::core::rewrite;
+use rdfcube::datagen::{generate_instance, generate_videos, BloggerConfig, VideoConfig};
+use rdfcube::prelude::*;
+use rdfcube::{AnalyticalQuery, Term};
+
+/// A classifier with an existential variable (?p) so DRILL-IN is possible.
+const CLASSIFIER: &str = "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, \
+     ?x livesIn ?dcity, ?x wrotePost ?p";
+const MEASURE: &str =
+    "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?q, ?q hasWordCount ?v";
+
+fn arb_config() -> impl Strategy<Value = BloggerConfig> {
+    (10usize..120, 0.0f64..0.8, 0.0f64..0.4, any::<u64>(), 2usize..12, 2usize..12).prop_map(
+        |(n, multi, missing, seed, n_cities, n_ages)| BloggerConfig {
+            n_bloggers: n,
+            multi_city_prob: multi,
+            missing_age_prob: missing,
+            n_cities,
+            n_ages,
+            max_posts: 4,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+fn arb_agg() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::CountDistinct),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+fn fixture(cfg: &BloggerConfig, agg: AggFunc) -> (Graph, ExtendedQuery, PartialResult, Cube) {
+    let mut instance = generate_instance(cfg);
+    let q = AnalyticalQuery::parse(CLASSIFIER, MEASURE, agg, instance.dict_mut()).unwrap();
+    let eq = ExtendedQuery::from_query(q);
+    let pres = PartialResult::compute(&eq, &instance).unwrap();
+    let ans = pres.to_cube(instance.dict()).unwrap();
+    (instance, eq, pres, ans)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Equation 3: the cube recovered from pres(Q) equals direct evaluation
+    /// per Definition 1.
+    #[test]
+    fn equation_3_ans_from_pres(cfg in arb_config(), agg in arb_agg()) {
+        let (instance, eq, _pres, ans) = fixture(&cfg, agg);
+        let direct = eq.answer(&instance).unwrap();
+        prop_assert!(ans.same_cells(&direct));
+    }
+
+    /// Proposition 1 over random slices and ranges.
+    #[test]
+    fn proposition_1_dice(
+        cfg in arb_config(),
+        agg in arb_agg(),
+        lo in 18i64..60,
+        width in 0i64..30,
+        slice_city in 0usize..12,
+    ) {
+        let (instance, eq, _pres, ans) = fixture(&cfg, agg);
+
+        // Random range dice on age.
+        let diced = rdfcube::apply(&eq, &OlapOp::Dice {
+            constraints: vec![("dage".into(), ValueSelector::IntRange { lo, hi: lo + width })],
+        }).unwrap();
+        let fast = rewrite::dice_from_ans(&ans, diced.sigma(), instance.dict());
+        let slow = rewrite::from_scratch(&diced, &instance).unwrap();
+        prop_assert!(fast.same_cells(&slow), "range dice diverged");
+
+        // Random slice on city (value may or may not exist in the data).
+        let sliced = rdfcube::apply(&eq, &OlapOp::Slice {
+            dim: "dcity".into(),
+            value: Term::literal(format!("city{slice_city}")),
+        }).unwrap();
+        let fast = rewrite::dice_from_ans(&ans, sliced.sigma(), instance.dict());
+        let slow = rewrite::from_scratch(&sliced, &instance).unwrap();
+        prop_assert!(fast.same_cells(&slow), "slice diverged");
+    }
+
+    /// Proposition 2 over random instances, both dimensions, and both at
+    /// once — with multi-valued cities in play.
+    #[test]
+    fn proposition_2_drill_out(cfg in arb_config(), agg in arb_agg()) {
+        let (instance, eq, pres, _ans) = fixture(&cfg, agg);
+        for removed in [vec![0usize], vec![1], vec![0, 1]] {
+            let names: Vec<String> = removed
+                .iter()
+                .map(|&i| eq.query().dim_names()[i].to_string())
+                .collect();
+            let drilled = rdfcube::apply(&eq, &OlapOp::DrillOut { dims: names }).unwrap();
+            let (fast, _) =
+                rewrite::drill_out_from_pres(&pres, &removed, instance.dict()).unwrap();
+            let slow = rewrite::from_scratch(&drilled, &instance).unwrap();
+            prop_assert!(fast.same_cells(&slow), "drill-out {removed:?} diverged");
+        }
+    }
+
+    /// Proposition 3: drilling in the existential post variable.
+    #[test]
+    fn proposition_3_drill_in(cfg in arb_config(), agg in arb_agg()) {
+        let (instance, eq, pres, _ans) = fixture(&cfg, agg);
+        let p = eq.query().classifier().vars().id("p").unwrap();
+        let (fast, _) =
+            rewrite::drill_in_from_pres(eq.query(), &pres, p, &instance).unwrap();
+        let drilled = rdfcube::apply(&eq, &OlapOp::DrillIn { var: "p".into() }).unwrap();
+        let slow = rewrite::from_scratch(&drilled, &instance).unwrap();
+        prop_assert!(fast.same_cells(&slow));
+    }
+
+    /// Proposition 3 on the video world, where the auxiliary query is a
+    /// 3-triple chain (the paper's own Example 6 shape).
+    #[test]
+    fn proposition_3_video_world(
+        n_videos in 20usize..150,
+        n_websites in 5usize..40,
+        max_browsers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = VideoConfig { n_videos, n_websites, max_browsers, seed, ..Default::default() };
+        let mut instance = generate_videos(&cfg);
+        let q = AnalyticalQuery::parse(
+            rdfcube::datagen::EXAMPLE6_CLASSIFIER,
+            rdfcube::datagen::EXAMPLE6_MEASURE,
+            AggFunc::Sum,
+            instance.dict_mut(),
+        ).unwrap();
+        let eq = ExtendedQuery::from_query(q);
+        let pres = PartialResult::compute(&eq, &instance).unwrap();
+        let d3 = eq.query().classifier().vars().id("d3").unwrap();
+        let (fast, _) = rewrite::drill_in_from_pres(eq.query(), &pres, d3, &instance).unwrap();
+        let drilled = rdfcube::apply(&eq, &OlapOp::DrillIn { var: "d3".into() }).unwrap();
+        let slow = rewrite::from_scratch(&drilled, &instance).unwrap();
+        prop_assert!(fast.same_cells(&slow));
+    }
+
+    /// Roll-up extension: the pres-based composition equals from-scratch
+    /// evaluation of Q_ROLL-UP, under random multi-parent mappings.
+    #[test]
+    fn roll_up_soundness(
+        cfg in arb_config(),
+        agg in arb_agg(),
+        n_countries in 1usize..6,
+        multi_parent in proptest::collection::vec(0usize..6, 0..4),
+    ) {
+        let mut instance = generate_instance(&cfg);
+        // Build a city → country mapping over the generator's city domain,
+        // with a few cities getting a second parent.
+        for c in 0..cfg.n_cities {
+            let city = Term::literal(format!("city{c}"));
+            let country = Term::iri(format!("country{}", c % n_countries));
+            instance.insert(&city, &Term::iri("locatedIn"), &country);
+            if multi_parent.contains(&c) {
+                let second = Term::iri(format!("country{}", (c + 1) % n_countries));
+                instance.insert(&city, &Term::iri("locatedIn"), &second);
+            }
+        }
+        let q = AnalyticalQuery::parse(CLASSIFIER, MEASURE, agg, instance.dict_mut()).unwrap();
+        let mut session = OlapSession::new(instance);
+        let h = session.register_query(ExtendedQuery::from_query(q)).unwrap();
+        let (h2, strategy) = session
+            .transform(h, &OlapOp::RollUp { dim: "dcity".into(), via: "locatedIn".into() })
+            .unwrap();
+        prop_assert_eq!(strategy, rdfcube::Strategy::RollUpComposition);
+        let scratch = session.cube(h2).query().answer(session.instance()).unwrap();
+        prop_assert!(session.answer(h2).same_cells(&scratch));
+    }
+
+    /// Session-level: random chains of operations stay consistent with
+    /// from-scratch evaluation at every step.
+    #[test]
+    fn random_operation_chains(
+        cfg in arb_config(),
+        agg in arb_agg(),
+        ops in proptest::collection::vec(0usize..4, 1..5),
+    ) {
+        let mut instance = generate_instance(&cfg);
+        let q = AnalyticalQuery::parse(CLASSIFIER, MEASURE, agg, instance.dict_mut()).unwrap();
+        let mut session = OlapSession::new(instance);
+        let mut handle = session.register_query(ExtendedQuery::from_query(q)).unwrap();
+
+        for op_kind in ops {
+            let current = session.cube(handle).query().clone();
+            let dims = current.query().dim_names();
+            let op = match op_kind {
+                0 if !dims.is_empty() => OlapOp::Slice {
+                    dim: dims[0].to_string(),
+                    value: Term::integer(30),
+                },
+                1 if !dims.is_empty() => OlapOp::Dice {
+                    constraints: vec![(
+                        dims[dims.len() - 1].to_string(),
+                        ValueSelector::OneOf(vec![
+                            Term::literal("city0"),
+                            Term::literal("city1"),
+                            Term::integer(25),
+                        ]),
+                    )],
+                },
+                2 if !dims.is_empty() => OlapOp::DrillOut { dims: vec![dims[0].to_string()] },
+                _ => {
+                    // Drill in ?p if it is existential, else skip the step.
+                    let classifier = current.query().classifier();
+                    let p = classifier.vars().id("p").unwrap();
+                    if classifier.head().contains(&p) {
+                        continue;
+                    }
+                    OlapOp::DrillIn { var: "p".into() }
+                }
+            };
+            let (next, _strategy) = session.transform(handle, &op).unwrap();
+            let scratch = session.cube(next).query().answer(session.instance()).unwrap();
+            prop_assert!(
+                session.answer(next).same_cells(&scratch),
+                "chain step {op:?} diverged"
+            );
+            handle = next;
+        }
+    }
+}
