@@ -17,11 +17,19 @@ fn bench(c: &mut Criterion) {
         let f = blogger_fixture(scale, 0.1);
         let sliced = apply(&f.eq, &e1_slice_op()).expect("slice applies");
 
-        group.bench_with_input(BenchmarkId::new("rewrite_sigma_ans", scale), &scale, |b, _| {
-            b.iter(|| {
-                black_box(rewrite::dice_from_ans(&f.ans, sliced.sigma(), f.instance.dict()))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rewrite_sigma_ans", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    black_box(rewrite::dice_from_ans(
+                        &f.ans,
+                        sliced.sigma(),
+                        f.instance.dict(),
+                    ))
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("from_scratch", scale), &scale, |b, _| {
             b.iter(|| black_box(rewrite::from_scratch(&sliced, &f.instance).unwrap()))
         });

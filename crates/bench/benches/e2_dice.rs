@@ -19,7 +19,13 @@ fn bench(c: &mut Criterion) {
     for pct in SELECTIVITIES {
         let diced = apply(&f.eq, &e2_dice_op(pct)).expect("dice applies");
         group.bench_with_input(BenchmarkId::new("rewrite_sigma_ans", pct), &pct, |b, _| {
-            b.iter(|| black_box(rewrite::dice_from_ans(&f.ans, diced.sigma(), f.instance.dict())))
+            b.iter(|| {
+                black_box(rewrite::dice_from_ans(
+                    &f.ans,
+                    diced.sigma(),
+                    f.instance.dict(),
+                ))
+            })
         });
         group.bench_with_input(BenchmarkId::new("from_scratch", pct), &pct, |b, _| {
             b.iter(|| black_box(rewrite::from_scratch(&diced, &f.instance).unwrap()))

@@ -17,23 +17,50 @@ fn bench(c: &mut Criterion) {
     // 2-D sweep over scale: drill out the age dimension.
     for scale in SCALES {
         let f = blogger_fixture(scale, 0.1);
-        let drilled =
-            apply(&f.eq, &OlapOp::DrillOut { dims: vec!["dage".into()] }).expect("drill-out");
+        let drilled = apply(
+            &f.eq,
+            &OlapOp::DrillOut {
+                dims: vec!["dage".into()],
+            },
+        )
+        .expect("drill-out");
         group.bench_with_input(BenchmarkId::new("algorithm1_2d", scale), &scale, |b, _| {
-            b.iter(|| black_box(rewrite::drill_out_from_pres(&f.pres, &[0], f.instance.dict())))
+            b.iter(|| {
+                black_box(rewrite::drill_out_from_pres(
+                    &f.pres,
+                    &[0],
+                    f.instance.dict(),
+                ))
+            })
         });
-        group.bench_with_input(BenchmarkId::new("from_scratch_2d", scale), &scale, |b, _| {
-            b.iter(|| black_box(rewrite::from_scratch(&drilled, &f.instance).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch_2d", scale),
+            &scale,
+            |b, _| b.iter(|| black_box(rewrite::from_scratch(&drilled, &f.instance).unwrap())),
+        );
     }
 
     // 3-D at a fixed scale: drill out the (multi-valued) site dimension.
-    let cfg = BloggerConfig { multi_city_prob: 0.1, ..BloggerConfig::with_approx_triples(100_000) };
+    let cfg = BloggerConfig {
+        multi_city_prob: 0.1,
+        ..BloggerConfig::with_approx_triples(100_000)
+    };
     let f3 = blogger_fixture_with(cfg, CLASSIFIER_3D, AggFunc::Count);
-    let drilled =
-        apply(&f3.eq, &OlapOp::DrillOut { dims: vec!["dsite".into()] }).expect("drill-out 3d");
+    let drilled = apply(
+        &f3.eq,
+        &OlapOp::DrillOut {
+            dims: vec!["dsite".into()],
+        },
+    )
+    .expect("drill-out 3d");
     group.bench_function("algorithm1_3d/100000", |b| {
-        b.iter(|| black_box(rewrite::drill_out_from_pres(&f3.pres, &[2], f3.instance.dict())))
+        b.iter(|| {
+            black_box(rewrite::drill_out_from_pres(
+                &f3.pres,
+                &[2],
+                f3.instance.dict(),
+            ))
+        })
     });
     group.bench_function("from_scratch_3d/100000", |b| {
         b.iter(|| black_box(rewrite::from_scratch(&drilled, &f3.instance).unwrap()))

@@ -23,7 +23,13 @@ fn bench(c: &mut Criterion) {
         // Drill out the multi-valued city dimension (index 1).
         let f = blogger_fixture(SCALE, prob);
         group.bench_with_input(BenchmarkId::new("algorithm1", pct), &pct, |b, _| {
-            b.iter(|| black_box(rewrite::drill_out_from_pres(&f.pres, &[1], f.instance.dict())))
+            b.iter(|| {
+                black_box(rewrite::drill_out_from_pres(
+                    &f.pres,
+                    &[1],
+                    f.instance.dict(),
+                ))
+            })
         });
         group.bench_with_input(BenchmarkId::new("naive_ans_based", pct), &pct, |b, _| {
             b.iter(|| black_box(rewrite::drill_out_from_ans(&f.ans, &[1], f.instance.dict())))

@@ -22,29 +22,59 @@ fn bench(c: &mut Criterion) {
         let d3 = f.eq.query().classifier().vars().id("d3").expect("?d3");
         let drilled = apply(&f.eq, &OlapOp::DrillIn { var: "d3".into() }).expect("drill-in");
 
-        group.bench_with_input(BenchmarkId::new("algorithm2", n_videos), &n_videos, |b, _| {
-            b.iter(|| {
-                black_box(rewrite::drill_in_from_pres(f.eq.query(), &f.pres, d3, &f.instance))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("from_scratch", n_videos), &n_videos, |b, _| {
-            b.iter(|| black_box(rewrite::from_scratch(&drilled, &f.instance).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2", n_videos),
+            &n_videos,
+            |b, _| {
+                b.iter(|| {
+                    black_box(rewrite::drill_in_from_pres(
+                        f.eq.query(),
+                        &f.pres,
+                        d3,
+                        &f.instance,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch", n_videos),
+            &n_videos,
+            |b, _| b.iter(|| black_box(rewrite::from_scratch(&drilled, &f.instance).unwrap())),
+        );
     }
 
     // E5b: best case for Algorithm 2 — the new dimension attaches directly
     // to the fact, so the auxiliary query is one triple pattern.
-    let cfg = BloggerConfig { multi_city_prob: 0.1, ..BloggerConfig::with_approx_triples(100_000) };
+    let cfg = BloggerConfig {
+        multi_city_prob: 0.1,
+        ..BloggerConfig::with_approx_triples(100_000)
+    };
     let f = blogger_fixture_with(
         cfg,
         "c(?x, ?dage) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
         AggFunc::Count,
     );
-    let dcity = f.eq.query().classifier().vars().id("dcity").expect("?dcity");
-    let drilled = apply(&f.eq, &OlapOp::DrillIn { var: "dcity".into() }).expect("drill-in dcity");
+    let dcity =
+        f.eq.query()
+            .classifier()
+            .vars()
+            .id("dcity")
+            .expect("?dcity");
+    let drilled = apply(
+        &f.eq,
+        &OlapOp::DrillIn {
+            var: "dcity".into(),
+        },
+    )
+    .expect("drill-in dcity");
     group.bench_function("algorithm2_1triple_aux/100000", |b| {
         b.iter(|| {
-            black_box(rewrite::drill_in_from_pres(f.eq.query(), &f.pres, dcity, &f.instance))
+            black_box(rewrite::drill_in_from_pres(
+                f.eq.query(),
+                &f.pres,
+                dcity,
+                &f.instance,
+            ))
         })
     });
     group.bench_function("from_scratch_1triple_aux/100000", |b| {

@@ -22,9 +22,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ans_plus_pres", scale), &scale, |b, _| {
             b.iter(|| black_box(rewrite::from_scratch_with_pres(&f.eq, &f.instance).unwrap()))
         });
-        group.bench_with_input(BenchmarkId::new("pres_to_ans_eq3", scale), &scale, |b, _| {
-            b.iter(|| black_box(f.pres.to_cube(f.instance.dict()).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pres_to_ans_eq3", scale),
+            &scale,
+            |b, _| b.iter(|| black_box(f.pres.to_cube(f.instance.dict()).unwrap())),
+        );
         group.bench_with_input(BenchmarkId::new("pres_compute", scale), &scale, |b, _| {
             b.iter(|| black_box(PartialResult::compute(&f.eq, &f.instance).unwrap()))
         });

@@ -52,7 +52,11 @@ fn bench(c: &mut Criterion) {
             &prob_pct,
             |b, _| {
                 b.iter(|| {
-                    black_box(rewrite::drill_out_from_pres(&f.pres, &[1], f.instance.dict()))
+                    black_box(rewrite::drill_out_from_pres(
+                        &f.pres,
+                        &[1],
+                        f.instance.dict(),
+                    ))
                 })
             },
         );
@@ -62,7 +66,9 @@ fn bench(c: &mut Criterion) {
             |b, _| {
                 let drilled = rdfcube_core::apply(
                     &f.eq,
-                    &rdfcube_core::OlapOp::DrillOut { dims: vec!["dcity".into()] },
+                    &rdfcube_core::OlapOp::DrillOut {
+                        dims: vec!["dcity".into()],
+                    },
                 )
                 .expect("drill-out applies");
                 b.iter(|| black_box(rewrite::from_scratch(&drilled, &f.instance).unwrap()))

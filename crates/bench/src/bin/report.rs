@@ -43,8 +43,11 @@ fn speedup(slow: Duration, fast: Duration) -> String {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let runs = if quick { 3 } else { 7 };
-    let scales: Vec<usize> =
-        if quick { vec![10_000, 50_000] } else { vec![10_000, 50_000, 100_000, 250_000] };
+    let scales: Vec<usize> = if quick {
+        vec![10_000, 50_000]
+    } else {
+        vec![10_000, 50_000, 100_000, 250_000]
+    };
 
     println!("# rdfcube experiment report\n");
     println!("(medians of {runs} runs per point; release build)\n");
@@ -56,9 +59,12 @@ fn main() {
     for &scale in &scales {
         let f = blogger_fixture(scale, 0.1);
         let sliced = apply(&f.eq, &e1_slice_op()).unwrap();
-        let t_rw =
-            median(runs, || rewrite::dice_from_ans(&f.ans, sliced.sigma(), f.instance.dict()));
-        let t_fs = median(runs, || rewrite::from_scratch(&sliced, &f.instance).unwrap());
+        let t_rw = median(runs, || {
+            rewrite::dice_from_ans(&f.ans, sliced.sigma(), f.instance.dict())
+        });
+        let t_fs = median(runs, || {
+            rewrite::from_scratch(&sliced, &f.instance).unwrap()
+        });
         println!(
             "| {} | {} | {} | {} | {} |",
             f.instance.len(),
@@ -77,8 +83,9 @@ fn main() {
     for pct in [1usize, 10, 50, 100] {
         let diced = apply(&f.eq, &e2_dice_op(pct)).unwrap();
         let cube = rewrite::dice_from_ans(&f.ans, diced.sigma(), f.instance.dict());
-        let t_rw =
-            median(runs, || rewrite::dice_from_ans(&f.ans, diced.sigma(), f.instance.dict()));
+        let t_rw = median(runs, || {
+            rewrite::dice_from_ans(&f.ans, diced.sigma(), f.instance.dict())
+        });
         let t_fs = median(runs, || rewrite::from_scratch(&diced, &f.instance).unwrap());
         println!(
             "| {pct}% | {} | {} | {} | {} |",
@@ -95,10 +102,19 @@ fn main() {
     println!("|---|---|---|---|---|---|");
     for &scale in &scales {
         let f = blogger_fixture(scale, 0.1);
-        let drilled = apply(&f.eq, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
-        let t_a1 =
-            median(runs, || rewrite::drill_out_from_pres(&f.pres, &[0], f.instance.dict()));
-        let t_fs = median(runs, || rewrite::from_scratch(&drilled, &f.instance).unwrap());
+        let drilled = apply(
+            &f.eq,
+            &OlapOp::DrillOut {
+                dims: vec!["dage".into()],
+            },
+        )
+        .unwrap();
+        let t_a1 = median(runs, || {
+            rewrite::drill_out_from_pres(&f.pres, &[0], f.instance.dict())
+        });
+        let t_fs = median(runs, || {
+            rewrite::from_scratch(&drilled, &f.instance).unwrap()
+        });
         println!(
             "| {} | 2→1 | {} | {} | {} | {} |",
             f.instance.len(),
@@ -114,10 +130,19 @@ fn main() {
             ..BloggerConfig::with_approx_triples(if quick { 50_000 } else { 100_000 })
         };
         let f3 = blogger_fixture_with(cfg, CLASSIFIER_3D, AggFunc::Count);
-        let drilled = apply(&f3.eq, &OlapOp::DrillOut { dims: vec!["dsite".into()] }).unwrap();
-        let t_a1 =
-            median(runs, || rewrite::drill_out_from_pres(&f3.pres, &[2], f3.instance.dict()));
-        let t_fs = median(runs, || rewrite::from_scratch(&drilled, &f3.instance).unwrap());
+        let drilled = apply(
+            &f3.eq,
+            &OlapOp::DrillOut {
+                dims: vec!["dsite".into()],
+            },
+        )
+        .unwrap();
+        let t_a1 = median(runs, || {
+            rewrite::drill_out_from_pres(&f3.pres, &[2], f3.instance.dict())
+        });
+        let t_fs = median(runs, || {
+            rewrite::from_scratch(&drilled, &f3.instance).unwrap()
+        });
         println!(
             "| {} | 3→2 | {} | {} | {} | {} |",
             f3.instance.len(),
@@ -163,8 +188,11 @@ fn main() {
     println!("\n## E5 — DRILL-IN: Algorithm 2 vs from-scratch\n");
     println!("| videos | triples | pres rows | Algorithm 2 | from scratch | speedup |");
     println!("|---|---|---|---|---|---|");
-    let video_scales: Vec<usize> =
-        if quick { vec![1_000, 5_000] } else { vec![1_000, 5_000, 20_000, 50_000] };
+    let video_scales: Vec<usize> = if quick {
+        vec![1_000, 5_000]
+    } else {
+        vec![1_000, 5_000, 20_000, 50_000]
+    };
     for n in video_scales {
         let f = video_fixture(n);
         let d3 = f.eq.query().classifier().vars().id("d3").unwrap();
@@ -172,7 +200,9 @@ fn main() {
         let t_a2 = median(runs, || {
             rewrite::drill_in_from_pres(f.eq.query(), &f.pres, d3, &f.instance).unwrap()
         });
-        let t_fs = median(runs, || rewrite::from_scratch(&drilled, &f.instance).unwrap());
+        let t_fs = median(runs, || {
+            rewrite::from_scratch(&drilled, &f.instance).unwrap()
+        });
         println!(
             "| {n} | {} | {} | {} | {} | {} |",
             f.instance.len(),
@@ -189,7 +219,10 @@ fn main() {
     println!("| triples | Algorithm 2 | from scratch | speedup |");
     println!("|---|---|---|---|");
     for &scale in &scales {
-        let cfg = BloggerConfig { multi_city_prob: 0.1, ..BloggerConfig::with_approx_triples(scale) };
+        let cfg = BloggerConfig {
+            multi_city_prob: 0.1,
+            ..BloggerConfig::with_approx_triples(scale)
+        };
         // dcity is existential in this classifier; drilling it in needs
         // only `?x livesIn ?dcity` from the instance.
         let f = blogger_fixture_with(
@@ -198,11 +231,19 @@ fn main() {
             AggFunc::Count,
         );
         let dcity = f.eq.query().classifier().vars().id("dcity").unwrap();
-        let drilled = apply(&f.eq, &OlapOp::DrillIn { var: "dcity".into() }).unwrap();
+        let drilled = apply(
+            &f.eq,
+            &OlapOp::DrillIn {
+                var: "dcity".into(),
+            },
+        )
+        .unwrap();
         let t_a2 = median(runs, || {
             rewrite::drill_in_from_pres(f.eq.query(), &f.pres, dcity, &f.instance).unwrap()
         });
-        let t_fs = median(runs, || rewrite::from_scratch(&drilled, &f.instance).unwrap());
+        let t_fs = median(runs, || {
+            rewrite::from_scratch(&drilled, &f.instance).unwrap()
+        });
         println!(
             "| {} | {} | {} | {} |",
             f.instance.len(),
@@ -214,12 +255,16 @@ fn main() {
 
     // ---------------- E6: pres overhead & size ----------------
     println!("\n## E6 — pres(Q) materialization overhead and size\n");
-    println!("| triples | ans only | ans + pres | overhead | pres rows | pres bytes | bytes / triple |");
+    println!(
+        "| triples | ans only | ans + pres | overhead | pres rows | pres bytes | bytes / triple |"
+    );
     println!("|---|---|---|---|---|---|---|");
     for &scale in &scales {
         let f = blogger_fixture(scale, 0.1);
         let t_ans = median(runs, || f.eq.answer(&f.instance).unwrap());
-        let t_both = median(runs, || rewrite::from_scratch_with_pres(&f.eq, &f.instance).unwrap());
+        let t_both = median(runs, || {
+            rewrite::from_scratch_with_pres(&f.eq, &f.instance).unwrap()
+        });
         let overhead = (t_both.as_secs_f64() / t_ans.as_secs_f64().max(1e-12) - 1.0) * 100.0;
         println!(
             "| {} | {} | {} | {overhead:+.0}% | {} | {} | {:.1} |",
@@ -241,9 +286,12 @@ fn main() {
         f.instance.dict_mut(),
     )
     .unwrap();
-    let t_greedy = median(runs, || evaluate(&f.instance, &adversarial, Semantics::Set).unwrap());
-    let t_declared =
-        median(runs, || evaluate_in_order(&f.instance, &adversarial, Semantics::Set).unwrap());
+    let t_greedy = median(runs, || {
+        evaluate(&f.instance, &adversarial, Semantics::Set).unwrap()
+    });
+    let t_declared = median(runs, || {
+        evaluate_in_order(&f.instance, &adversarial, Semantics::Set).unwrap()
+    });
     println!("| strategy | time | |");
     println!("|---|---|---|");
     println!("| greedy (selective pattern first) | {} | |", fmt(t_greedy));
@@ -257,11 +305,23 @@ fn main() {
     println!("| multi-city prob. | pres rows | Algorithm 1 | from scratch | speedup |");
     println!("|---|---|---|---|---|");
     for prob_pct in [0usize, 30, 60] {
-        let f = blogger_fixture(if quick { 50_000 } else { 100_000 }, prob_pct as f64 / 100.0);
-        let drilled = apply(&f.eq, &OlapOp::DrillOut { dims: vec!["dcity".into()] }).unwrap();
-        let t_a1 =
-            median(runs, || rewrite::drill_out_from_pres(&f.pres, &[1], f.instance.dict()));
-        let t_fs = median(runs, || rewrite::from_scratch(&drilled, &f.instance).unwrap());
+        let f = blogger_fixture(
+            if quick { 50_000 } else { 100_000 },
+            prob_pct as f64 / 100.0,
+        );
+        let drilled = apply(
+            &f.eq,
+            &OlapOp::DrillOut {
+                dims: vec!["dcity".into()],
+            },
+        )
+        .unwrap();
+        let t_a1 = median(runs, || {
+            rewrite::drill_out_from_pres(&f.pres, &[1], f.instance.dict())
+        });
+        let t_fs = median(runs, || {
+            rewrite::from_scratch(&drilled, &f.instance).unwrap()
+        });
         println!(
             "| {prob_pct}% | {} | {} | {} | {} |",
             f.pres.len(),
@@ -279,10 +339,15 @@ fn main() {
         let f = blogger_fixture(if quick { 50_000 } else { 100_000 }, 0.1);
         let diced = apply(&f.eq, &e2_dice_op(1)).unwrap();
         let t_push = median(runs, || diced.classifier_relation(&f.instance).unwrap());
-        let t_post =
-            median(runs, || diced.classifier_relation_postfilter(&f.instance).unwrap());
+        let t_post = median(runs, || {
+            diced.classifier_relation_postfilter(&f.instance).unwrap()
+        });
         println!("| Σ pushed into matching | {} | |", fmt(t_push));
-        println!("| post-filter | {} | {} slower |", fmt(t_post), speedup(t_post, t_push));
+        println!(
+            "| post-filter | {} | {} slower |",
+            fmt(t_post),
+            speedup(t_post, t_push)
+        );
     }
 
     println!("\nAll rewriting outputs in this report were verified cell-for-cell against");

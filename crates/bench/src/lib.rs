@@ -41,11 +41,7 @@ pub fn blogger_fixture(triples: usize, multi_city_prob: f64) -> BloggerFixture {
 }
 
 /// Builds a blogger fixture with an explicit config/classifier/aggregate.
-pub fn blogger_fixture_with(
-    cfg: BloggerConfig,
-    classifier: &str,
-    agg: AggFunc,
-) -> BloggerFixture {
+pub fn blogger_fixture_with(cfg: BloggerConfig, classifier: &str, agg: AggFunc) -> BloggerFixture {
     let mut instance = rdfcube_datagen::generate_instance(&cfg);
     let q = AnalyticalQuery::parse(
         classifier,
@@ -57,7 +53,12 @@ pub fn blogger_fixture_with(
     let eq = ExtendedQuery::from_query(q);
     let pres = PartialResult::compute(&eq, &instance).expect("pres computes");
     let ans = pres.to_cube(instance.dict()).expect("ans from pres");
-    BloggerFixture { instance, eq, ans, pres }
+    BloggerFixture {
+        instance,
+        eq,
+        ans,
+        pres,
+    }
 }
 
 /// A 3-dimensional classifier (age × city × site) for the drill-out sweeps;
@@ -79,7 +80,11 @@ pub struct VideoFixture {
 
 /// Builds the video fixture at the given number of videos.
 pub fn video_fixture(n_videos: usize) -> VideoFixture {
-    let cfg = VideoConfig { n_videos, n_websites: (n_videos / 20).max(10), ..Default::default() };
+    let cfg = VideoConfig {
+        n_videos,
+        n_websites: (n_videos / 20).max(10),
+        ..Default::default()
+    };
     let mut instance = rdfcube_datagen::generate_videos(&cfg);
     let q = AnalyticalQuery::parse(
         rdfcube_datagen::EXAMPLE6_CLASSIFIER,
@@ -95,7 +100,10 @@ pub fn video_fixture(n_videos: usize) -> VideoFixture {
 
 /// The SLICE used across E1: bind `dage` to one mid-domain value.
 pub fn e1_slice_op() -> OlapOp {
-    OlapOp::Slice { dim: "dage".into(), value: Term::integer(30) }
+    OlapOp::Slice {
+        dim: "dage".into(),
+        value: Term::integer(30),
+    }
 }
 
 /// The DICE of E2 at a given selectivity (% of the age domain admitted).
@@ -104,7 +112,10 @@ pub fn e2_dice_op(selectivity_pct: usize) -> OlapOp {
     OlapOp::Dice {
         constraints: vec![(
             "dage".into(),
-            ValueSelector::IntRange { lo: 18, hi: 18 + width - 1 },
+            ValueSelector::IntRange {
+                lo: 18,
+                hi: 18 + width - 1,
+            },
         )],
     }
 }
@@ -150,11 +161,20 @@ mod tests {
 
     #[test]
     fn three_dimensional_fixture_builds() {
-        let cfg = BloggerConfig { n_bloggers: 300, ..Default::default() };
+        let cfg = BloggerConfig {
+            n_bloggers: 300,
+            ..Default::default()
+        };
         let f = blogger_fixture_with(cfg, CLASSIFIER_3D, AggFunc::Count);
         assert_eq!(f.pres.n_dims(), 3);
         let (cube, _) = rewrite::drill_out_from_pres(&f.pres, &[2], f.instance.dict()).unwrap();
-        let drilled = apply(&f.eq, &OlapOp::DrillOut { dims: vec!["dsite".into()] }).unwrap();
+        let drilled = apply(
+            &f.eq,
+            &OlapOp::DrillOut {
+                dims: vec!["dsite".into()],
+            },
+        )
+        .unwrap();
         assert!(cube.same_cells(&rewrite::from_scratch(&drilled, &f.instance).unwrap()));
     }
 }

@@ -52,7 +52,11 @@ impl AnalyticalQuery {
                 ));
             }
         }
-        Ok(AnalyticalQuery { classifier, measure, agg })
+        Ok(AnalyticalQuery {
+            classifier,
+            measure,
+            agg,
+        })
     }
 
     /// Parses an AnQ from the paper's notation, interning constants into
@@ -115,7 +119,10 @@ impl AnalyticalQuery {
 
     /// The dimension names, in head order.
     pub fn dim_names(&self) -> Vec<&str> {
-        self.dim_vars().iter().map(|&v| self.classifier.vars().name(v)).collect()
+        self.dim_vars()
+            .iter()
+            .map(|&v| self.classifier.vars().name(v))
+            .collect()
     }
 
     /// Index of the dimension named `name`.
@@ -234,7 +241,12 @@ mod tests {
             .add_node("Site", "n(?s) :- ?p on ?s")
             .add_edge("hasAge", "Blogger", "Age", "e(?x, ?a) :- ?x age ?a")
             .add_edge("livesIn", "Blogger", "City", "e(?x, ?c) :- ?x city ?c")
-            .add_edge("wrotePost", "Blogger", "BlogPost", "e(?x, ?p) :- ?x posted ?p")
+            .add_edge(
+                "wrotePost",
+                "Blogger",
+                "BlogPost",
+                "e(?x, ?p) :- ?x posted ?p",
+            )
             .add_edge("postedOn", "BlogPost", "Site", "e(?p, ?s) :- ?p on ?s");
         s
     }

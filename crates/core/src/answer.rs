@@ -28,7 +28,11 @@ impl Cube {
         mut cells: Vec<(Vec<TermId>, AggValue)>,
     ) -> Self {
         cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        Cube { dim_names, agg, cells }
+        Cube {
+            dim_names,
+            agg,
+            cells,
+        }
     }
 
     /// The dimension names, in classifier-head order.
@@ -118,7 +122,11 @@ impl Cube {
             let row: Vec<String> = key
                 .iter()
                 .map(|&id| {
-                    field(&dict.get(id).map_or_else(|| id.to_string(), |t| t.display_compact()))
+                    field(
+                        &dict
+                            .get(id)
+                            .map_or_else(|| id.to_string(), |t| t.display_compact()),
+                    )
                 })
                 .chain(std::iter::once(field(&value.display(dict))))
                 .collect();
@@ -140,7 +148,8 @@ impl Cube {
                 let mut row: Vec<String> = key
                     .iter()
                     .map(|&id| {
-                        dict.get(id).map_or_else(|| id.to_string(), |t| t.display_compact())
+                        dict.get(id)
+                            .map_or_else(|| id.to_string(), |t| t.display_compact())
                     })
                     .collect();
                 row.push(value.display(dict));
@@ -200,8 +209,7 @@ pub fn answer_with_classifier_relation(
 ) -> Result<Cube, CoreError> {
     let joined = join_classifier_measure(q, c_rel, instance)?;
     let v_col = measure_value_col(q);
-    let cells =
-        group_aggregate(&joined, q.dim_vars(), v_col, q.agg(), instance.dict())?;
+    let cells = group_aggregate(&joined, q.dim_vars(), v_col, q.agg(), instance.dict())?;
     Ok(Cube::from_cells(
         q.dim_names().iter().map(|s| s.to_string()).collect(),
         q.agg(),
@@ -379,7 +387,10 @@ mod tests {
         );
         assert!(a.approx_same(&b, 1e-9));
         assert!(!a.approx_same(&c, 1e-9));
-        assert!(!a.same_cells(&b), "bit-exact comparison still distinguishes");
+        assert!(
+            !a.same_cells(&b),
+            "bit-exact comparison still distinguishes"
+        );
     }
 
     #[test]

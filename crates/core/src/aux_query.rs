@@ -69,8 +69,12 @@ pub fn build_aux_query(c: &Bgp, new_dim: VarId) -> Result<Bgp, CoreError> {
             }
         }
     }
-    let mut head: Vec<VarId> =
-        c.head().iter().copied().filter(|v| aux_body_vars.contains(v)).collect();
+    let mut head: Vec<VarId> = c
+        .head()
+        .iter()
+        .copied()
+        .filter(|v| aux_body_vars.contains(v))
+        .collect();
     head.push(new_dim);
 
     let mut aux = c.clone();

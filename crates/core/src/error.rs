@@ -61,7 +61,11 @@ mod tests {
         let e = CoreError::from(EngineError::Validation("boom".into()));
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
-        assert!(CoreError::UnknownDimension("dage".into()).source().is_none());
-        assert!(CoreError::UnknownDimension("dage".into()).to_string().contains("dage"));
+        assert!(CoreError::UnknownDimension("dage".into())
+            .source()
+            .is_none());
+        assert!(CoreError::UnknownDimension("dage".into())
+            .to_string()
+            .contains("dage"));
     }
 }

@@ -52,8 +52,7 @@ impl ValueSelector {
             ValueSelector::OneOf(terms) => {
                 // Terms not present in the dictionary cannot match any data
                 // row, so they simply drop out of the compiled set.
-                let ids: FxHashSet<TermId> =
-                    terms.iter().filter_map(|t| dict.id(t)).collect();
+                let ids: FxHashSet<TermId> = terms.iter().filter_map(|t| dict.id(t)).collect();
                 CompiledSelector::Ids(ids)
             }
             ValueSelector::IntRange { lo, hi } => CompiledSelector::IntRange { lo: *lo, hi: *hi },
@@ -71,9 +70,9 @@ impl ValueSelector {
             (ValueSelector::OneOf(new), ValueSelector::OneOf(old)) => {
                 new.iter().all(|t| old.contains(t))
             }
-            (ValueSelector::OneOf(new), ValueSelector::IntRange { lo, hi }) => {
-                new.iter().all(|t| t.as_i64().is_some_and(|v| *lo <= v && v <= *hi))
-            }
+            (ValueSelector::OneOf(new), ValueSelector::IntRange { lo, hi }) => new
+                .iter()
+                .all(|t| t.as_i64().is_some_and(|v| *lo <= v && v <= *hi)),
             (
                 ValueSelector::IntRange { lo: nlo, hi: nhi },
                 ValueSelector::IntRange { lo: olo, hi: ohi },
@@ -126,7 +125,9 @@ impl Sigma {
     /// The unrestricted Σ over `n_dims` dimensions (every AnQ corresponds to
     /// an extended AnQ with Σ = {(dᵢ, Vᵢ)}).
     pub fn all(n_dims: usize) -> Self {
-        Sigma { selectors: vec![ValueSelector::All; n_dims] }
+        Sigma {
+            selectors: vec![ValueSelector::All; n_dims],
+        }
     }
 
     /// Builds Σ from explicit per-dimension selectors.
@@ -188,14 +189,20 @@ impl Sigma {
 
     /// Compiles every selector against `dict`.
     pub fn compile(&self, dict: &Dictionary) -> CompiledSigma {
-        CompiledSigma { selectors: self.selectors.iter().map(|s| s.compile(dict)).collect() }
+        CompiledSigma {
+            selectors: self.selectors.iter().map(|s| s.compile(dict)).collect(),
+        }
     }
 
     /// True if `self` provably admits a subset of what `older` admits,
     /// dimension by dimension.
     pub fn refines(&self, older: &Sigma) -> bool {
         self.selectors.len() == older.selectors.len()
-            && self.selectors.iter().zip(&older.selectors).all(|(n, o)| n.refines(o))
+            && self
+                .selectors
+                .iter()
+                .zip(&older.selectors)
+                .all(|(n, o)| n.refines(o))
     }
 
     /// Compiles Σ to engine-level filters over the dimension variables, for
@@ -212,9 +219,11 @@ impl Sigma {
                     var,
                     set: terms.iter().filter_map(|t| dict.id(t)).collect(),
                 }),
-                ValueSelector::IntRange { lo, hi } => {
-                    Some(FilterExpr::NumericBetween { var, lo: *lo, hi: *hi })
-                }
+                ValueSelector::IntRange { lo, hi } => Some(FilterExpr::NumericBetween {
+                    var,
+                    lo: *lo,
+                    hi: *hi,
+                }),
             })
             .collect()
     }
@@ -230,12 +239,17 @@ impl CompiledSigma {
     /// True if the dimension vector `dims` satisfies every selector.
     pub fn admits(&self, dims: &[TermId], dict: &Dictionary) -> bool {
         debug_assert_eq!(dims.len(), self.selectors.len());
-        self.selectors.iter().zip(dims).all(|(sel, &id)| sel.admits(id, dict))
+        self.selectors
+            .iter()
+            .zip(dims)
+            .all(|(sel, &id)| sel.admits(id, dict))
     }
 
     /// True if no selector restricts anything.
     pub fn is_all(&self) -> bool {
-        self.selectors.iter().all(|s| matches!(s, CompiledSelector::All))
+        self.selectors
+            .iter()
+            .all(|s| matches!(s, CompiledSelector::All))
     }
 }
 
@@ -250,7 +264,10 @@ impl ExtendedQuery {
     /// Wraps a plain AnQ as the extended AnQ with unrestricted Σ.
     pub fn from_query(query: AnalyticalQuery) -> Self {
         let n = query.n_dims();
-        ExtendedQuery { query, sigma: Sigma::all(n) }
+        ExtendedQuery {
+            query,
+            sigma: Sigma::all(n),
+        }
     }
 
     /// Builds an extended AnQ with an explicit Σ.
@@ -282,16 +299,20 @@ impl ExtendedQuery {
         if self.sigma.is_unrestricted() {
             return Ok(evaluate(instance, self.query.classifier(), Semantics::Set)?);
         }
-        let filters = self.sigma.to_filters(self.query.dim_vars(), instance.dict());
-        Ok(evaluate_filtered(instance, self.query.classifier(), &filters, Semantics::Set)?)
+        let filters = self
+            .sigma
+            .to_filters(self.query.dim_vars(), instance.dict());
+        Ok(evaluate_filtered(
+            instance,
+            self.query.classifier(),
+            &filters,
+            Semantics::Set,
+        )?)
     }
 
     /// The naive formulation — evaluate the unrestricted classifier, then
     /// select — kept for the E7c ablation quantifying what push-down buys.
-    pub fn classifier_relation_postfilter(
-        &self,
-        instance: &Graph,
-    ) -> Result<Relation, CoreError> {
+    pub fn classifier_relation_postfilter(&self, instance: &Graph) -> Result<Relation, CoreError> {
         let rel = evaluate(instance, self.query.classifier(), Semantics::Set)?;
         Ok(self.filter_classifier(rel, instance.dict()))
     }

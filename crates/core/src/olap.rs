@@ -147,7 +147,9 @@ fn dice(
     constraints: &[(String, ValueSelector)],
 ) -> Result<ExtendedQuery, CoreError> {
     if constraints.is_empty() {
-        return Err(CoreError::InvalidOperation("DICE requires at least one constraint".into()));
+        return Err(CoreError::InvalidOperation(
+            "DICE requires at least one constraint".into(),
+        ));
     }
     let mut sigma = eq.sigma().clone();
     for (dim, selector) in constraints {
@@ -158,10 +160,7 @@ fn dice(
 }
 
 /// Resolves the named dimensions to sorted, deduplicated indices.
-pub(crate) fn resolve_dims(
-    eq: &ExtendedQuery,
-    dims: &[String],
-) -> Result<Vec<usize>, CoreError> {
+pub(crate) fn resolve_dims(eq: &ExtendedQuery, dims: &[String]) -> Result<Vec<usize>, CoreError> {
     if dims.is_empty() {
         return Err(CoreError::InvalidOperation("no dimensions named".into()));
     }
@@ -243,7 +242,10 @@ mod tests {
         let eq = example_1_extended(&mut dict);
         let sliced = apply(
             &eq,
-            &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) },
+            &OlapOp::Slice {
+                dim: "dage".into(),
+                value: Term::integer(35),
+            },
         )
         .unwrap();
         assert_eq!(
@@ -267,10 +269,7 @@ mod tests {
                     ("dage".into(), ValueSelector::one(Term::integer(28))),
                     (
                         "dcity".into(),
-                        ValueSelector::OneOf(vec![
-                            Term::literal("Madrid"),
-                            Term::literal("Kyoto"),
-                        ]),
+                        ValueSelector::OneOf(vec![Term::literal("Madrid"), Term::literal("Kyoto")]),
                     ),
                 ],
             },
@@ -284,7 +283,13 @@ mod tests {
     fn example_3_drill_out_then_drill_in_restores_shape() {
         let mut dict = Dictionary::new();
         let eq = example_1_extended(&mut dict);
-        let out = apply(&eq, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
+        let out = apply(
+            &eq,
+            &OlapOp::DrillOut {
+                dims: vec!["dage".into()],
+            },
+        )
+        .unwrap();
         assert_eq!(out.query().dim_names(), vec!["dcity"]);
         // body(c') ≡ body(c): the age pattern is still there, existential.
         assert_eq!(out.query().classifier().body().len(), 3);
@@ -307,7 +312,9 @@ mod tests {
         let eq = example_1_extended(&mut dict);
         let out = apply(
             &eq,
-            &OlapOp::DrillOut { dims: vec!["dage".into(), "dcity".into()] },
+            &OlapOp::DrillOut {
+                dims: vec!["dage".into(), "dcity".into()],
+            },
         )
         .unwrap();
         assert_eq!(out.query().n_dims(), 0);
@@ -318,11 +325,22 @@ mod tests {
         let mut dict = Dictionary::new();
         let eq = example_1_extended(&mut dict);
         assert!(matches!(
-            apply(&eq, &OlapOp::Slice { dim: "nope".into(), value: Term::integer(1) }),
+            apply(
+                &eq,
+                &OlapOp::Slice {
+                    dim: "nope".into(),
+                    value: Term::integer(1)
+                }
+            ),
             Err(CoreError::UnknownDimension(_))
         ));
         assert!(matches!(
-            apply(&eq, &OlapOp::DrillOut { dims: vec!["nope".into()] }),
+            apply(
+                &eq,
+                &OlapOp::DrillOut {
+                    dims: vec!["nope".into()]
+                }
+            ),
             Err(CoreError::UnknownDimension(_))
         ));
         assert!(matches!(
@@ -361,7 +379,13 @@ mod tests {
     fn empty_dice_rejected() {
         let mut dict = Dictionary::new();
         let eq = example_1_extended(&mut dict);
-        assert!(apply(&eq, &OlapOp::Dice { constraints: vec![] }).is_err());
+        assert!(apply(
+            &eq,
+            &OlapOp::Dice {
+                constraints: vec![]
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -369,9 +393,19 @@ mod tests {
         assert_eq!(OlapOp::DrillIn { var: "v".into() }.name(), "DRILL-IN");
         assert_eq!(OlapOp::DrillOut { dims: vec![] }.name(), "DRILL-OUT");
         assert_eq!(
-            OlapOp::Slice { dim: "d".into(), value: Term::integer(1) }.name(),
+            OlapOp::Slice {
+                dim: "d".into(),
+                value: Term::integer(1)
+            }
+            .name(),
             "SLICE"
         );
-        assert_eq!(OlapOp::Dice { constraints: vec![] }.name(), "DICE");
+        assert_eq!(
+            OlapOp::Dice {
+                constraints: vec![]
+            }
+            .name(),
+            "DICE"
+        );
     }
 }

@@ -82,7 +82,9 @@ impl PartialResult {
         };
         for c_row in c_rel.rows() {
             let root = c_row[0];
-            let Some(measures) = by_fact.get(&root) else { continue };
+            let Some(measures) = by_fact.get(&root) else {
+                continue;
+            };
             for &(key, value) in measures {
                 pres.roots.push(root);
                 pres.dims.extend_from_slice(&c_row[1..]);
@@ -196,8 +198,10 @@ impl PartialResult {
 
     /// Canonical sorted row list for test comparisons.
     pub fn sorted_rows(&self) -> Vec<(TermId, Vec<TermId>, u32, TermId)> {
-        let mut rows: Vec<(TermId, Vec<TermId>, u32, TermId)> =
-            self.rows().map(|r| (r.root, r.dims.to_vec(), r.key, r.value)).collect();
+        let mut rows: Vec<(TermId, Vec<TermId>, u32, TermId)> = self
+            .rows()
+            .map(|r| (r.root, r.dims.to_vec(), r.key, r.value))
+            .collect();
         rows.sort_unstable();
         rows
     }
@@ -305,8 +309,7 @@ mod tests {
         let mut sigma = Sigma::all(2);
         sigma.set(1, ValueSelector::one(Term::literal("NY")));
         let _ = &mut g;
-        let restricted =
-            ExtendedQuery::with_sigma(eq.query().clone(), sigma).unwrap();
+        let restricted = ExtendedQuery::with_sigma(eq.query().clone(), sigma).unwrap();
         let pres = PartialResult::compute(&restricted, &g).unwrap();
         assert_eq!(pres.len(), 2); // only user3 and user4 rows survive
     }
@@ -343,8 +346,7 @@ mod tests {
             (TermId(1), vec![TermId(10)], 1u32, TermId(20)),
             (TermId(2), vec![TermId(11)], 2u32, TermId(21)),
         ];
-        let pres =
-            PartialResult::from_rows(vec!["d".into()], AggFunc::Count, rows.clone());
+        let pres = PartialResult::from_rows(vec!["d".into()], AggFunc::Count, rows.clone());
         assert_eq!(pres.sorted_rows(), rows);
     }
 }

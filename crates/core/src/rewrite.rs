@@ -20,8 +20,8 @@
 //! as multi-valuedness grows, and because it *is* sound for the idempotent
 //! functions min/max.
 
-use crate::answer::Cube;
 use crate::anq::AnalyticalQuery;
+use crate::answer::Cube;
 use crate::aux_query::build_aux_query;
 use crate::error::CoreError;
 use crate::extended::{ExtendedQuery, Sigma};
@@ -100,8 +100,7 @@ pub fn drill_out_from_pres(
         }
     }
     let kept: Vec<usize> = (0..n).filter(|i| !removed.contains(i)).collect();
-    let dim_names: Vec<String> =
-        kept.iter().map(|&i| pres.dim_names()[i].clone()).collect();
+    let dim_names: Vec<String> = kept.iter().map(|&i| pres.dim_names()[i].clone()).collect();
 
     // π + δ in one pass: hash on (root, kept dims, k). The measure value is
     // functionally determined by (root, k), so it need not join the key.
@@ -252,7 +251,9 @@ pub fn drill_in_from_pres(
         for &pos in &pres_cols {
             key.push(if pos == 0 { r.root } else { r.dims[pos - 1] });
         }
-        let Some(new_values) = table.get(&key) else { continue };
+        let Some(new_values) = table.get(&key) else {
+            continue;
+        };
         for &nv in new_values {
             let mut dims = Vec::with_capacity(r.dims.len() + 1);
             dims.extend_from_slice(r.dims);
@@ -350,10 +351,7 @@ mod tests {
         let diced = apply(
             &eq,
             &OlapOp::Dice {
-                constraints: vec![(
-                    "dage".into(),
-                    ValueSelector::IntRange { lo: 20, hi: 30 },
-                )],
+                constraints: vec![("dage".into(), ValueSelector::IntRange { lo: 20, hi: 30 })],
             },
         )
         .unwrap();
@@ -366,7 +364,10 @@ mod tests {
         assert_eq!(rewritten.len(), 1);
         let age28 = g.dict().id(&Term::integer(28)).unwrap();
         let madrid = g.dict().id(&Term::literal("Madrid")).unwrap();
-        assert_eq!(rewritten.get(&[age28, madrid]), Some(&AggValue::Float(210.0)));
+        assert_eq!(
+            rewritten.get(&[age28, madrid]),
+            Some(&AggValue::Float(210.0))
+        );
     }
 
     #[test]
@@ -374,9 +375,14 @@ mod tests {
         let mut g = blog_instance();
         let eq = avg_words_query(&mut g);
         let ans_q = eq.answer(&g).unwrap();
-        let sliced =
-            apply(&eq, &OlapOp::Slice { dim: "dcity".into(), value: Term::literal("NY") })
-                .unwrap();
+        let sliced = apply(
+            &eq,
+            &OlapOp::Slice {
+                dim: "dcity".into(),
+                value: Term::literal("NY"),
+            },
+        )
+        .unwrap();
         let rewritten = dice_from_ans(&ans_q, sliced.sigma(), g.dict());
         assert!(rewritten.same_cells(&from_scratch(&sliced, &g).unwrap()));
         assert_eq!(rewritten.len(), 1);
@@ -387,9 +393,14 @@ mod tests {
         let mut g = blog_instance();
         let eq = avg_words_query(&mut g);
         let pres = PartialResult::compute(&eq, &g).unwrap();
-        let diced =
-            apply(&eq, &OlapOp::Slice { dim: "dcity".into(), value: Term::literal("Madrid") })
-                .unwrap();
+        let diced = apply(
+            &eq,
+            &OlapOp::Slice {
+                dim: "dcity".into(),
+                value: Term::literal("Madrid"),
+            },
+        )
+        .unwrap();
         let filtered = dice_pres(&pres, diced.sigma(), g.dict());
         // Same rows as computing pres(Q_DICE) from the instance (keys are
         // assigned identically because the measure is untouched).
@@ -419,7 +430,13 @@ mod tests {
         let pres = PartialResult::compute(&eq, &g).unwrap();
         assert_eq!(pres.len(), 3);
 
-        let drilled = apply(&eq, &OlapOp::DrillOut { dims: vec!["dn".into()] }).unwrap();
+        let drilled = apply(
+            &eq,
+            &OlapOp::DrillOut {
+                dims: vec!["dn".into()],
+            },
+        )
+        .unwrap();
         let scratch = from_scratch(&drilled, &g).unwrap();
 
         // Algorithm 1: ⊕({5, 7}) = 12 in the single remaining cell.
@@ -442,7 +459,9 @@ mod tests {
         let mut eq = avg_words_query(&mut g);
         // switch to a distributive function for the naive path
         eq = ExtendedQuery::from_query(
-            eq.query().with_classifier(eq.query().classifier().clone()).unwrap(),
+            eq.query()
+                .with_classifier(eq.query().classifier().clone())
+                .unwrap(),
         );
         let count_q = ExtendedQuery::from_query(
             AnalyticalQuery::new(
@@ -453,13 +472,21 @@ mod tests {
             .unwrap(),
         );
         let pres = PartialResult::compute(&count_q, &g).unwrap();
-        let drilled = apply(&count_q, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
+        let drilled = apply(
+            &count_q,
+            &OlapOp::DrillOut {
+                dims: vec!["dage".into()],
+            },
+        )
+        .unwrap();
         let scratch = from_scratch(&drilled, &g).unwrap();
         let (alg1, _) = drill_out_from_pres(&pres, &[0], g.dict()).unwrap();
-        let naive =
-            drill_out_from_ans(&count_q.answer(&g).unwrap(), &[0], g.dict()).unwrap();
+        let naive = drill_out_from_ans(&count_q.answer(&g).unwrap(), &[0], g.dict()).unwrap();
         assert!(alg1.same_cells(&scratch));
-        assert!(naive.same_cells(&scratch), "no multi-valued dims ⇒ naive is lucky");
+        assert!(
+            naive.same_cells(&scratch),
+            "no multi-valued dims ⇒ naive is lucky"
+        );
     }
 
     #[test]
@@ -478,7 +505,13 @@ mod tests {
             )
             .unwrap(),
         );
-        let drilled = apply(&eq, &OlapOp::DrillOut { dims: vec!["dn".into()] }).unwrap();
+        let drilled = apply(
+            &eq,
+            &OlapOp::DrillOut {
+                dims: vec!["dn".into()],
+            },
+        )
+        .unwrap();
         let scratch = from_scratch(&drilled, &g).unwrap();
         let naive = drill_out_from_ans(&eq.answer(&g).unwrap(), &[1], g.dict()).unwrap();
         assert!(naive.same_cells(&scratch));
@@ -519,8 +552,7 @@ mod tests {
         assert_eq!(pres.len(), 2, "pres(Q) per Figure 3");
 
         let new_var = eq.query().classifier().vars().id("d3").unwrap();
-        let (cube, new_pres) =
-            drill_in_from_pres(eq.query(), &pres, new_var, &g).unwrap();
+        let (cube, new_pres) = drill_in_from_pres(eq.query(), &pres, new_var, &g).unwrap();
 
         // Figure 3: ans(Q_DRILL-IN) = {(URL1, firefox, 7), (URL2, chrome, 7)}.
         let url1 = g.dict().iri_id("URL1").unwrap();
@@ -594,13 +626,16 @@ mod tests {
         );
         let pres = PartialResult::compute(&eq, &g).unwrap();
         let via = g.dict().iri_id("locatedIn").unwrap();
-        let (cube, new_pres) =
-            roll_up_from_pres(&pres, 0, via, "dcountry", &g).unwrap();
+        let (cube, new_pres) = roll_up_from_pres(&pres, 0, via, "dcountry", &g).unwrap();
 
         let spain = g.dict().iri_id("spain").unwrap();
         let usa = g.dict().iri_id("usa").unwrap();
         assert_eq!(cube.len(), 2);
-        assert_eq!(cube.get(&[spain]), Some(&AggValue::Int(5)), "x counted once in Spain");
+        assert_eq!(
+            cube.get(&[spain]),
+            Some(&AggValue::Int(5)),
+            "x counted once in Spain"
+        );
         assert_eq!(cube.get(&[usa]), Some(&AggValue::Int(7)));
         assert_eq!(cube.dim_names(), &["dcountry".to_string()]);
 

@@ -54,7 +54,11 @@ pub struct AnalyticalSchema {
 impl AnalyticalSchema {
     /// Creates an empty schema.
     pub fn new(name: impl Into<String>) -> Self {
-        AnalyticalSchema { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
+        AnalyticalSchema {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// The schema's name.
@@ -65,7 +69,10 @@ impl AnalyticalSchema {
     /// Declares an analysis class defined by `query` (unary, in the paper's
     /// notation, e.g. `"n(?x) :- ?x rdf:type Person, ?x wrotePost ?p"`).
     pub fn add_node(&mut self, class: impl Into<String>, query: impl Into<String>) -> &mut Self {
-        self.nodes.push(NodeSpec { class: class.into(), query: query.into() });
+        self.nodes.push(NodeSpec {
+            class: class.into(),
+            query: query.into(),
+        });
         self
     }
 
@@ -238,7 +245,11 @@ mod tests {
             &Term::iri(vocab::RDF_TYPE),
             &Term::iri("Blogger")
         ));
-        assert!(inst.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(28)));
+        assert!(inst.contains(
+            &Term::iri("user1"),
+            &Term::iri("hasAge"),
+            &Term::integer(28)
+        ));
     }
 
     #[test]
@@ -261,7 +272,8 @@ mod tests {
     #[test]
     fn duplicate_class_rejected() {
         let mut s = AnalyticalSchema::new("bad");
-        s.add_node("C", "n(?x) :- ?x p ?x").add_node("C", "n(?x) :- ?x q ?x");
+        s.add_node("C", "n(?x) :- ?x p ?x")
+            .add_node("C", "n(?x) :- ?x q ?x");
         assert!(s.validate().is_err());
     }
 
@@ -289,10 +301,8 @@ mod tests {
     #[test]
     fn instance_is_deduplicated() {
         // Two query matches producing the same pair collapse to one triple.
-        let mut b = parse_turtle(
-            "<u> rdf:type <Person> . <u> <city> \"NY\" . <u> <city> \"NY\" .",
-        )
-        .unwrap();
+        let mut b = parse_turtle("<u> rdf:type <Person> . <u> <city> \"NY\" . <u> <city> \"NY\" .")
+            .unwrap();
         let inst = schema().materialize(&mut b).unwrap();
         assert!(inst.contains(&Term::iri("u"), &Term::iri("livesIn"), &Term::literal("NY")));
     }

@@ -96,7 +96,10 @@ pub struct OlapSession {
 impl OlapSession {
     /// Opens a session over a materialized analytical-schema instance.
     pub fn new(instance: Graph) -> Self {
-        OlapSession { instance, cubes: Vec::new() }
+        OlapSession {
+            instance,
+            cubes: Vec::new(),
+        }
     }
 
     /// The underlying instance.
@@ -167,10 +170,7 @@ impl OlapSession {
     ///
     /// The answered query is materialized either way, so it becomes a
     /// candidate source for future queries.
-    pub fn answer_query(
-        &mut self,
-        eq: ExtendedQuery,
-    ) -> Result<(CubeHandle, Strategy), CoreError> {
+    pub fn answer_query(&mut self, eq: ExtendedQuery) -> Result<(CubeHandle, Strategy), CoreError> {
         let derivation = self.find_derivation(&eq);
         let (ans, pres, strategy) = match derivation {
             Some((source_idx, d)) => self.derive(source_idx, &eq, d)?,
@@ -198,16 +198,16 @@ impl OlapSession {
         let mut best: Option<(usize, Derivation)> = None;
         for (idx, cube) in self.cubes.iter().enumerate() {
             let sq = cube.eq.query();
-            if sq.agg() != target.query().agg()
-                || query_signature(sq.measure()) != t_measure
-            {
+            if sq.agg() != target.query().agg() || query_signature(sq.measure()) != t_measure {
                 continue;
             }
             let s_body = BodySignature::of(sq.classifier());
             if s_body.text != t_body.text {
                 continue;
             }
-            let Some(s_root) = s_body.name_of(sq.root()) else { continue };
+            let Some(s_root) = s_body.name_of(sq.root()) else {
+                continue;
+            };
             if s_root != t_root {
                 continue;
             }
@@ -248,8 +248,12 @@ impl OlapSession {
     ) -> Result<(Cube, PartialResult, Strategy), CoreError> {
         let dict = self.instance.dict();
         let source = &self.cubes[source_idx];
-        let target_names: Vec<String> =
-            target.query().dim_names().iter().map(|s| s.to_string()).collect();
+        let target_names: Vec<String> = target
+            .query()
+            .dim_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (mut ans, mut pres, strategy, inherited_sigma) = match d {
             Derivation::Dice => (
                 rewrite::dice_from_ans(&source.ans, target.sigma(), dict),
@@ -263,8 +267,12 @@ impl OlapSession {
                 (ans, pres, Strategy::Algorithm1, inherited)
             }
             Derivation::DrillIn(var) => {
-                let (ans, pres) =
-                    rewrite::drill_in_from_pres(source.eq.query(), &source.pres, var, &self.instance)?;
+                let (ans, pres) = rewrite::drill_in_from_pres(
+                    source.eq.query(),
+                    &source.pres,
+                    var,
+                    &self.instance,
+                )?;
                 let inherited = source.eq.sigma().with_new_dim();
                 (ans, pres, Strategy::Algorithm2, inherited)
             }
@@ -273,7 +281,11 @@ impl OlapSession {
             ans = rewrite::dice_from_ans(&ans, target.sigma(), dict);
             pres = rewrite::dice_pres(&pres, target.sigma(), dict);
         }
-        Ok((ans.with_dim_names(target_names.clone()), pres.with_dim_names(target_names), strategy))
+        Ok((
+            ans.with_dim_names(target_names.clone()),
+            pres.with_dim_names(target_names),
+            strategy,
+        ))
     }
 
     /// Applies an OLAP operation to a materialized cube, answering the
@@ -292,7 +304,11 @@ impl OlapSession {
         let source = &self.cubes[handle.0];
         let new_eq = apply(&source.eq, op)?;
         let (cube, pres, strategy) = self.answer_transformed(source, &new_eq, op)?;
-        self.cubes.push(MaterializedCube { eq: new_eq, ans: cube, pres });
+        self.cubes.push(MaterializedCube {
+            eq: new_eq,
+            ans: cube,
+            pres,
+        });
         Ok((CubeHandle(self.cubes.len() - 1), strategy))
     }
 
@@ -302,7 +318,10 @@ impl OlapSession {
         dim: &str,
         via: &str,
     ) -> Result<(CubeHandle, Strategy), CoreError> {
-        let via_id = self.instance.dict_mut().encode_owned(rdfcube_rdf::Term::iri(via));
+        let via_id = self
+            .instance
+            .dict_mut()
+            .encode_owned(rdfcube_rdf::Term::iri(via));
         let source = &self.cubes[handle.0];
         let new_eq = crate::olap::apply_roll_up_encoded(&source.eq, dim, via_id)?;
         let dim_idx = source.eq.query().dim_index(dim)?;
@@ -314,8 +333,15 @@ impl OlapSession {
             &coarse_name,
             &self.instance,
         )?;
-        self.cubes.push(MaterializedCube { eq: new_eq, ans, pres });
-        Ok((CubeHandle(self.cubes.len() - 1), Strategy::RollUpComposition))
+        self.cubes.push(MaterializedCube {
+            eq: new_eq,
+            ans,
+            pres,
+        });
+        Ok((
+            CubeHandle(self.cubes.len() - 1),
+            Strategy::RollUpComposition,
+        ))
     }
 
     fn answer_transformed(
@@ -333,8 +359,7 @@ impl OlapSession {
                     let pres = rewrite::dice_pres(&source.pres, new_eq.sigma(), dict);
                     Ok((ans, pres, Strategy::SelectionOnAns))
                 } else {
-                    let (ans, pres) =
-                        rewrite::from_scratch_with_pres(new_eq, &self.instance)?;
+                    let (ans, pres) = rewrite::from_scratch_with_pres(new_eq, &self.instance)?;
                     Ok((ans, pres, Strategy::FromScratch))
                 }
             }
@@ -343,15 +368,14 @@ impl OlapSession {
                 // Algorithm 1 needs the removed dimensions unrestricted in
                 // the source: pres(Q) lacks the rows a dropped restriction
                 // would re-admit.
-                let unrestricted =
-                    removed.iter().all(|&i| source.eq.sigma().selector(i).is_all());
+                let unrestricted = removed
+                    .iter()
+                    .all(|&i| source.eq.sigma().selector(i).is_all());
                 if unrestricted {
-                    let (ans, pres) =
-                        rewrite::drill_out_from_pres(&source.pres, &removed, dict)?;
+                    let (ans, pres) = rewrite::drill_out_from_pres(&source.pres, &removed, dict)?;
                     Ok((ans, pres, Strategy::Algorithm1))
                 } else {
-                    let (ans, pres) =
-                        rewrite::from_scratch_with_pres(new_eq, &self.instance)?;
+                    let (ans, pres) = rewrite::from_scratch_with_pres(new_eq, &self.instance)?;
                     Ok((ans, pres, Strategy::FromScratch))
                 }
             }
@@ -514,7 +538,13 @@ mod tests {
         let mut s = session();
         let h = register_example_1(&mut s);
         let (h2, strategy) = s
-            .transform(h, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+            .transform(
+                h,
+                &OlapOp::Slice {
+                    dim: "dage".into(),
+                    value: Term::integer(35),
+                },
+            )
             .unwrap();
         assert_eq!(strategy, Strategy::SelectionOnAns);
         assert_eq!(s.answer(h2).len(), 1);
@@ -528,7 +558,13 @@ mod tests {
         let mut s = session();
         let h = register_example_1(&mut s);
         let (h2, st2) = s
-            .transform(h, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+            .transform(
+                h,
+                &OlapOp::Slice {
+                    dim: "dage".into(),
+                    value: Term::integer(35),
+                },
+            )
             .unwrap();
         assert_eq!(st2, Strategy::SelectionOnAns);
         // Widen back to {28, 35}: not a refinement → scratch.
@@ -551,8 +587,14 @@ mod tests {
     fn drill_out_uses_algorithm_1() {
         let mut s = session();
         let h = register_example_1(&mut s);
-        let (h2, strategy) =
-            s.transform(h, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
+        let (h2, strategy) = s
+            .transform(
+                h,
+                &OlapOp::DrillOut {
+                    dims: vec!["dage".into()],
+                },
+            )
+            .unwrap();
         assert_eq!(strategy, Strategy::Algorithm1);
         let scratch = s.cube(h2).query().answer(s.instance()).unwrap();
         assert!(s.answer(h2).same_cells(&scratch));
@@ -563,10 +605,22 @@ mod tests {
         let mut s = session();
         let h = register_example_1(&mut s);
         let (h2, _) = s
-            .transform(h, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+            .transform(
+                h,
+                &OlapOp::Slice {
+                    dim: "dage".into(),
+                    value: Term::integer(35),
+                },
+            )
             .unwrap();
-        let (h3, strategy) =
-            s.transform(h2, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
+        let (h3, strategy) = s
+            .transform(
+                h2,
+                &OlapOp::DrillOut {
+                    dims: vec!["dage".into()],
+                },
+            )
+            .unwrap();
         assert_eq!(strategy, Strategy::FromScratch);
         // The drill-out dropped the slice: user1's posts are back in scope.
         let cube = s.answer(h3);
@@ -581,11 +635,23 @@ mod tests {
         let mut s = session();
         let h = register_example_1(&mut s);
         let (h2, _) = s
-            .transform(h, &OlapOp::Slice { dim: "dcity".into(), value: Term::literal("NY") })
+            .transform(
+                h,
+                &OlapOp::Slice {
+                    dim: "dcity".into(),
+                    value: Term::literal("NY"),
+                },
+            )
             .unwrap();
         // Removing dage (unrestricted) keeps the dcity slice intact.
-        let (h3, strategy) =
-            s.transform(h2, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
+        let (h3, strategy) = s
+            .transform(
+                h2,
+                &OlapOp::DrillOut {
+                    dims: vec!["dage".into()],
+                },
+            )
+            .unwrap();
         assert_eq!(strategy, Strategy::Algorithm1);
         let scratch = s.cube(h3).query().answer(s.instance()).unwrap();
         assert!(s.answer(h3).same_cells(&scratch));
@@ -596,8 +662,17 @@ mod tests {
         let mut s = session();
         let h = register_example_1(&mut s);
         // drill-out dage, then drill it back in: Example 3's round trip.
-        let (h2, _) = s.transform(h, &OlapOp::DrillOut { dims: vec!["dage".into()] }).unwrap();
-        let (h3, strategy) = s.transform(h2, &OlapOp::DrillIn { var: "dage".into() }).unwrap();
+        let (h2, _) = s
+            .transform(
+                h,
+                &OlapOp::DrillOut {
+                    dims: vec!["dage".into()],
+                },
+            )
+            .unwrap();
+        let (h3, strategy) = s
+            .transform(h2, &OlapOp::DrillIn { var: "dage".into() })
+            .unwrap();
         assert_eq!(strategy, Strategy::Algorithm2);
         let scratch = s.cube(h3).query().answer(s.instance()).unwrap();
         assert!(s.answer(h3).same_cells(&scratch));
@@ -640,7 +715,10 @@ mod tests {
         let (h, strategy) = s.answer_query(eq).unwrap();
         assert_eq!(strategy, Strategy::SelectionOnAns);
         // Stored under the new query's own dimension names.
-        assert_eq!(s.answer(h).dim_names(), &["years".to_string(), "town".to_string()]);
+        assert_eq!(
+            s.answer(h).dim_names(),
+            &["years".to_string(), "town".to_string()]
+        );
         let scratch = s.cube(h).query().answer(s.instance()).unwrap();
         assert!(s.answer(h).same_cells(&scratch));
     }
@@ -709,7 +787,13 @@ mod tests {
         let h = register_example_1(&mut s);
         // Slice the source on dage…
         let (sliced, _) = s
-            .transform(h, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+            .transform(
+                h,
+                &OlapOp::Slice {
+                    dim: "dage".into(),
+                    value: Term::integer(35),
+                },
+            )
             .unwrap();
         let _ = sliced;
         // …then ask an unrestricted 1-D drill-out of dage. The sliced cube
@@ -769,7 +853,13 @@ mod tests {
             )
             .unwrap();
         let (h2, strategy) = s
-            .transform(h, &OlapOp::RollUp { dim: "dcity".into(), via: "locatedIn".into() })
+            .transform(
+                h,
+                &OlapOp::RollUp {
+                    dim: "dcity".into(),
+                    via: "locatedIn".into(),
+                },
+            )
             .unwrap();
         assert_eq!(strategy, Strategy::RollUpComposition);
         let spain = s.instance().dict().id(&Term::iri("Spain")).unwrap();
@@ -781,7 +871,13 @@ mod tests {
         assert!(s.answer(h2).same_cells(&scratch));
         // And the materialized roll-up supports further operations.
         let (h3, st3) = s
-            .transform(h2, &OlapOp::Slice { dim: "dcity_up".into(), value: Term::iri("USA") })
+            .transform(
+                h2,
+                &OlapOp::Slice {
+                    dim: "dcity_up".into(),
+                    value: Term::iri("USA"),
+                },
+            )
             .unwrap();
         assert_eq!(st3, Strategy::SelectionOnAns);
         assert_eq!(s.answer(h3).len(), 1);
@@ -795,15 +891,26 @@ mod tests {
             .transform(
                 h,
                 &OlapOp::Dice {
-                    constraints: vec![(
-                        "dage".into(),
-                        ValueSelector::IntRange { lo: 20, hi: 40 },
-                    )],
+                    constraints: vec![("dage".into(), ValueSelector::IntRange { lo: 20, hi: 40 })],
                 },
             )
             .unwrap();
-        let (h2, _) = s.transform(h1, &OlapOp::DrillOut { dims: vec!["dcity".into()] }).unwrap();
-        let (h3, _) = s.transform(h2, &OlapOp::DrillIn { var: "dcity".into() }).unwrap();
+        let (h2, _) = s
+            .transform(
+                h1,
+                &OlapOp::DrillOut {
+                    dims: vec!["dcity".into()],
+                },
+            )
+            .unwrap();
+        let (h3, _) = s
+            .transform(
+                h2,
+                &OlapOp::DrillIn {
+                    var: "dcity".into(),
+                },
+            )
+            .unwrap();
         for hi in [h1, h2, h3] {
             let scratch = s.cube(hi).query().answer(s.instance()).unwrap();
             assert!(s.answer(hi).same_cells(&scratch), "handle {hi:?} diverged");

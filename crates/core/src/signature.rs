@@ -57,11 +57,17 @@ impl BodySignature {
             }
         }
 
-        let mut rendered: Vec<String> =
-            bgp.body().iter().map(|p| render_pattern(p, &names)).collect();
+        let mut rendered: Vec<String> = bgp
+            .body()
+            .iter()
+            .map(|p| render_pattern(p, &names))
+            .collect();
         rendered.sort();
         rendered.dedup(); // identical patterns are redundant conjuncts
-        BodySignature { text: rendered.join(" , "), var_names: names }
+        BodySignature {
+            text: rendered.join(" , "),
+            var_names: names,
+        }
     }
 
     /// The canonical name of `v`, if it occurs in the body.
@@ -133,7 +139,10 @@ mod tests {
         let mut drilled = full.clone();
         let head = drilled.head()[..2].to_vec();
         drilled.set_head(head);
-        assert_eq!(BodySignature::of(&full).text, BodySignature::of(&drilled).text);
+        assert_eq!(
+            BodySignature::of(&full).text,
+            BodySignature::of(&drilled).text
+        );
         // But the full signatures (head included) differ.
         assert_ne!(query_signature(&full), query_signature(&drilled));
     }

@@ -81,7 +81,10 @@ impl BloggerConfig {
         // age + ~1.1 city + ~1.2 name + 1 acquaintance + E[posts]·3 where
         // the Zipf(8, 1.0) mean is ≈ 2.94 → ≈ 14 triples per blogger.
         let per_blogger = 14;
-        BloggerConfig { n_bloggers: (triples / per_blogger).max(1), ..Default::default() }
+        BloggerConfig {
+            n_bloggers: (triples / per_blogger).max(1),
+            ..Default::default()
+        }
     }
 }
 
@@ -98,10 +101,25 @@ pub fn blogger_schema() -> AnalyticalSchema {
         .add_edge("hasAge", "Blogger", "Age", "e(?x, ?a) :- ?x age ?a")
         .add_edge("livesIn", "Blogger", "City", "e(?x, ?c) :- ?x city ?c")
         .add_edge("identifiedBy", "Blogger", "Name", "e(?x, ?n) :- ?x name ?n")
-        .add_edge("acquaintedWith", "Blogger", "Blogger", "e(?x, ?y) :- ?x knows ?y")
-        .add_edge("wrotePost", "Blogger", "BlogPost", "e(?x, ?p) :- ?x posted ?p")
+        .add_edge(
+            "acquaintedWith",
+            "Blogger",
+            "Blogger",
+            "e(?x, ?y) :- ?x knows ?y",
+        )
+        .add_edge(
+            "wrotePost",
+            "Blogger",
+            "BlogPost",
+            "e(?x, ?p) :- ?x posted ?p",
+        )
         .add_edge("postedOn", "BlogPost", "Site", "e(?p, ?s) :- ?p on ?s")
-        .add_edge("hasWordCount", "BlogPost", "Value", "e(?p, ?w) :- ?p words ?w");
+        .add_edge(
+            "hasWordCount",
+            "BlogPost",
+            "Value",
+            "e(?p, ?w) :- ?p words ?w",
+        );
     s
 }
 
@@ -187,9 +205,12 @@ fn generate(cfg: &BloggerConfig, vocab: Vocab) -> Graph {
     let p_on = Term::iri(vocab.on);
     let p_words = Term::iri(vocab.words);
 
-    let cities: Vec<Term> =
-        (0..cfg.n_cities.max(1)).map(|i| Term::literal(format!("city{i}"))).collect();
-    let sites: Vec<Term> = (0..cfg.n_sites.max(1)).map(|i| Term::iri(format!("site{i}"))).collect();
+    let cities: Vec<Term> = (0..cfg.n_cities.max(1))
+        .map(|i| Term::literal(format!("city{i}")))
+        .collect();
+    let sites: Vec<Term> = (0..cfg.n_sites.max(1))
+        .map(|i| Term::iri(format!("site{i}")))
+        .collect();
 
     let mut post_counter = 0usize;
     for b in 0..cfg.n_bloggers {
@@ -247,7 +268,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = BloggerConfig { n_bloggers: 50, ..Default::default() };
+        let cfg = BloggerConfig {
+            n_bloggers: 50,
+            ..Default::default()
+        };
         let a = rdfcube_rdf::to_ntriples(&generate_base(&cfg));
         let b = rdfcube_rdf::to_ntriples(&generate_base(&cfg));
         assert_eq!(a, b);
@@ -255,8 +279,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let cfg = BloggerConfig { n_bloggers: 50, ..Default::default() };
-        let other = BloggerConfig { seed: 1, ..cfg.clone() };
+        let cfg = BloggerConfig {
+            n_bloggers: 50,
+            ..Default::default()
+        };
+        let other = BloggerConfig {
+            seed: 1,
+            ..cfg.clone()
+        };
         assert_ne!(
             rdfcube_rdf::to_ntriples(&generate_base(&cfg)),
             rdfcube_rdf::to_ntriples(&generate_base(&other))
@@ -279,14 +309,20 @@ mod tests {
     fn instance_matches_materialized_base_on_cube_answers() {
         // The shortcut instance and the schema-materialized instance answer
         // the paper's Example 1 cube identically.
-        let cfg = BloggerConfig { n_bloggers: 120, seed: 9, ..Default::default() };
+        let cfg = BloggerConfig {
+            n_bloggers: 120,
+            seed: 9,
+            ..Default::default()
+        };
         let mut base = generate_base(&cfg);
         let materialized = blogger_schema().materialize(&mut base).unwrap();
         let direct = generate_instance(&cfg);
 
         let cube_of = |g: Graph| {
             let mut s = OlapSession::new(g);
-            let h = s.register(EXAMPLE1_CLASSIFIER, EXAMPLE1_MEASURE, AggFunc::Count).unwrap();
+            let h = s
+                .register(EXAMPLE1_CLASSIFIER, EXAMPLE1_MEASURE, AggFunc::Count)
+                .unwrap();
             // Decode cells to strings so cubes over different dictionaries
             // compare meaningfully.
             let dict = s.instance().dict();
@@ -340,14 +376,22 @@ mod tests {
         let g = generate_base(&cfg);
         let p = g.dict().iri_id("age").unwrap();
         let with_age = g.count_matching(rdfcube_rdf::TriplePattern::new(None, Some(p), None));
-        assert!(with_age < 160, "about half the bloggers should lack an age, got {with_age}");
+        assert!(
+            with_age < 160,
+            "about half the bloggers should lack an age, got {with_age}"
+        );
     }
 
     #[test]
     fn example_queries_parse_against_instance() {
-        let g = generate_instance(&BloggerConfig { n_bloggers: 30, ..Default::default() });
+        let g = generate_instance(&BloggerConfig {
+            n_bloggers: 30,
+            ..Default::default()
+        });
         let mut s = OlapSession::new(g);
-        let h = s.register(EXAMPLE1_CLASSIFIER, EXAMPLE4_MEASURE, AggFunc::Avg).unwrap();
+        let h = s
+            .register(EXAMPLE1_CLASSIFIER, EXAMPLE4_MEASURE, AggFunc::Avg)
+            .unwrap();
         assert!(!s.answer(h).is_empty());
         let _ = ExtendedQuery::from_query; // silence potential unused import churn
     }

@@ -29,7 +29,13 @@ pub struct VideoConfig {
 
 impl Default for VideoConfig {
     fn default() -> Self {
-        VideoConfig { n_videos: 1_000, n_websites: 100, max_postings: 3, max_browsers: 2, seed: 7 }
+        VideoConfig {
+            n_videos: 1_000,
+            n_websites: 100,
+            max_postings: 3,
+            max_browsers: 2,
+            seed: 7,
+        }
     }
 }
 
@@ -55,8 +61,9 @@ pub fn generate_videos(cfg: &VideoConfig) -> Graph {
     let p_browser = Term::iri("supportsBrowser");
     let p_views = Term::iri("viewNum");
 
-    let websites: Vec<Term> =
-        (0..cfg.n_websites.max(1)).map(|i| Term::iri(format!("website{i}"))).collect();
+    let websites: Vec<Term> = (0..cfg.n_websites.max(1))
+        .map(|i| Term::iri(format!("website{i}")))
+        .collect();
     for (i, site) in websites.iter().enumerate() {
         g.insert(site, &p_url, &Term::iri(format!("URL{i}")));
         let n_browsers = rng.gen_range(1..=cfg.max_browsers.clamp(1, BROWSERS.len()));
@@ -89,7 +96,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = VideoConfig { n_videos: 40, ..Default::default() };
+        let cfg = VideoConfig {
+            n_videos: 40,
+            ..Default::default()
+        };
         assert_eq!(
             rdfcube_rdf::to_ntriples(&generate_videos(&cfg)),
             rdfcube_rdf::to_ntriples(&generate_videos(&cfg))
@@ -98,7 +108,11 @@ mod tests {
 
     #[test]
     fn every_website_has_url_and_browser() {
-        let cfg = VideoConfig { n_videos: 10, n_websites: 20, ..Default::default() };
+        let cfg = VideoConfig {
+            n_videos: 10,
+            n_websites: 20,
+            ..Default::default()
+        };
         let g = generate_videos(&cfg);
         let url = g.dict().iri_id("hasUrl").unwrap();
         let browser = g.dict().iri_id("supportsBrowser").unwrap();
@@ -106,17 +120,22 @@ mod tests {
             g.count_matching(rdfcube_rdf::TriplePattern::new(None, Some(url), None)),
             20
         );
-        assert!(
-            g.count_matching(rdfcube_rdf::TriplePattern::new(None, Some(browser), None)) >= 20
-        );
+        assert!(g.count_matching(rdfcube_rdf::TriplePattern::new(None, Some(browser), None)) >= 20);
     }
 
     #[test]
     fn example_6_drill_in_runs_on_generated_world() {
-        let g = generate_videos(&VideoConfig { n_videos: 60, ..Default::default() });
+        let g = generate_videos(&VideoConfig {
+            n_videos: 60,
+            ..Default::default()
+        });
         let mut s = OlapSession::new(g);
-        let h = s.register(EXAMPLE6_CLASSIFIER, EXAMPLE6_MEASURE, AggFunc::Sum).unwrap();
-        let (h2, strategy) = s.transform(h, &OlapOp::DrillIn { var: "d3".into() }).unwrap();
+        let h = s
+            .register(EXAMPLE6_CLASSIFIER, EXAMPLE6_MEASURE, AggFunc::Sum)
+            .unwrap();
+        let (h2, strategy) = s
+            .transform(h, &OlapOp::DrillIn { var: "d3".into() })
+            .unwrap();
         assert_eq!(strategy, Strategy::Algorithm2);
         let scratch = s.cube(h2).query().answer(s.instance()).unwrap();
         assert!(s.answer(h2).same_cells(&scratch));

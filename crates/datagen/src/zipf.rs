@@ -35,7 +35,10 @@ impl Zipf {
     /// Samples a value in `{1, …, n}`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("CDF is NaN-free")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is NaN-free"))
+        {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
     }
@@ -75,7 +78,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(ones > big, "rank 1 ({ones}) should dominate ranks >50 ({big})");
+        assert!(
+            ones > big,
+            "rank 1 ({ones}) should dominate ranks >50 ({big})"
+        );
     }
 
     #[test]
@@ -87,7 +93,10 @@ mod tests {
             counts[z.sample(&mut rng) - 1] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "counts {counts:?} not ~uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "counts {counts:?} not ~uniform"
+            );
         }
     }
 

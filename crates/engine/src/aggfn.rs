@@ -79,8 +79,7 @@ impl AggFunc {
     pub fn apply(&self, values: &[TermId], dict: &Dictionary) -> Result<AggValue, EngineError> {
         if values.is_empty() {
             return Err(EngineError::Validation(
-                "aggregate applied to an empty measure bag (the fact should not contribute)"
-                    .into(),
+                "aggregate applied to an empty measure bag (the fact should not contribute)".into(),
             ));
         }
         match self {
@@ -129,9 +128,9 @@ impl AggValue {
         match self {
             AggValue::Int(i) => i.to_string(),
             AggValue::Float(f) => format!("{f}"),
-            AggValue::Term(id) => {
-                dict.get(*id).map_or_else(|| id.to_string(), |t| t.display_compact())
-            }
+            AggValue::Term(id) => dict
+                .get(*id)
+                .map_or_else(|| id.to_string(), |t| t.display_compact()),
         }
     }
 
@@ -236,10 +235,16 @@ fn numeric_bag(
 /// on the rendered form then the id, so the result is deterministic across
 /// evaluation strategies.
 fn extremum(values: &[TermId], dict: &Dictionary, want_max: bool) -> TermId {
-    let all_numeric = values.iter().all(|&id| dict.get(id).and_then(Term::as_f64).is_some());
+    let all_numeric = values
+        .iter()
+        .all(|&id| dict.get(id).and_then(Term::as_f64).is_some());
     let key = |id: TermId| -> (Option<f64>, String, u32) {
         let term = dict.get(id);
-        let num = if all_numeric { term.and_then(Term::as_f64) } else { None };
+        let num = if all_numeric {
+            term.and_then(Term::as_f64)
+        } else {
+            None
+        };
         let text = term.map_or_else(|| id.to_string(), |t| t.to_string());
         (num, text, id.0)
     };
@@ -275,8 +280,10 @@ pub fn group_aggregate(
     func: AggFunc,
     dict: &Dictionary,
 ) -> Result<Vec<(Vec<TermId>, AggValue)>, EngineError> {
-    let group_idx: Vec<usize> =
-        group_cols.iter().map(|&v| rel.col_required(v)).collect::<Result<_, _>>()?;
+    let group_idx: Vec<usize> = group_cols
+        .iter()
+        .map(|&v| rel.col_required(v))
+        .collect::<Result<_, _>>()?;
     let value_idx = rel.col_required(value_col)?;
 
     let mut groups: FxHashMap<Vec<TermId>, Vec<TermId>> = FxHashMap::default();
@@ -301,7 +308,10 @@ mod tests {
 
     fn dict_with_ints(values: &[i64]) -> (Dictionary, Vec<TermId>) {
         let mut d = Dictionary::new();
-        let ids = values.iter().map(|&v| d.encode(&Term::integer(v))).collect();
+        let ids = values
+            .iter()
+            .map(|&v| d.encode(&Term::integer(v)))
+            .collect();
         (d, ids)
     }
 
@@ -310,7 +320,10 @@ mod tests {
         // Example 2: bag {|s1, s1, s2|} counts to 3.
         let (d, ids) = dict_with_ints(&[1, 1, 2]);
         assert_eq!(AggFunc::Count.apply(&ids, &d).unwrap(), AggValue::Int(3));
-        assert_eq!(AggFunc::CountDistinct.apply(&ids, &d).unwrap(), AggValue::Int(2));
+        assert_eq!(
+            AggFunc::CountDistinct.apply(&ids, &d).unwrap(),
+            AggValue::Int(2)
+        );
     }
 
     #[test]
@@ -318,7 +331,10 @@ mod tests {
         // Example 4: average of {100, 120, 410} = 210.
         let (d, ids) = dict_with_ints(&[100, 120, 410]);
         assert_eq!(AggFunc::Sum.apply(&ids, &d).unwrap(), AggValue::Int(630));
-        assert_eq!(AggFunc::Avg.apply(&ids, &d).unwrap(), AggValue::Float(210.0));
+        assert_eq!(
+            AggFunc::Avg.apply(&ids, &d).unwrap(),
+            AggValue::Float(210.0)
+        );
     }
 
     #[test]
@@ -356,8 +372,14 @@ mod tests {
     #[test]
     fn min_max_numeric() {
         let (d, ids) = dict_with_ints(&[35, 28, 40]);
-        assert_eq!(AggFunc::Min.apply(&ids, &d).unwrap(), AggValue::Term(ids[1]));
-        assert_eq!(AggFunc::Max.apply(&ids, &d).unwrap(), AggValue::Term(ids[2]));
+        assert_eq!(
+            AggFunc::Min.apply(&ids, &d).unwrap(),
+            AggValue::Term(ids[1])
+        );
+        assert_eq!(
+            AggFunc::Max.apply(&ids, &d).unwrap(),
+            AggValue::Term(ids[2])
+        );
     }
 
     #[test]
@@ -368,26 +390,43 @@ mod tests {
             d.encode(&Term::literal("Kyoto")),
             d.encode(&Term::literal("NY")),
         ];
-        assert_eq!(AggFunc::Min.apply(&ids, &d).unwrap(), AggValue::Term(ids[1]));
-        assert_eq!(AggFunc::Max.apply(&ids, &d).unwrap(), AggValue::Term(ids[2]));
+        assert_eq!(
+            AggFunc::Min.apply(&ids, &d).unwrap(),
+            AggValue::Term(ids[1])
+        );
+        assert_eq!(
+            AggFunc::Max.apply(&ids, &d).unwrap(),
+            AggValue::Term(ids[2])
+        );
     }
 
     #[test]
     fn float_sum_is_order_independent() {
         let mut d = Dictionary::new();
-        let a: Vec<TermId> =
-            [0.1, 0.2, 0.3, 1e10, -1e10].iter().map(|&f| d.encode(&Term::double(f))).collect();
+        let a: Vec<TermId> = [0.1, 0.2, 0.3, 1e10, -1e10]
+            .iter()
+            .map(|&f| d.encode(&Term::double(f)))
+            .collect();
         let mut b = a.clone();
         b.reverse();
-        assert_eq!(AggFunc::Sum.apply(&a, &d).unwrap(), AggFunc::Sum.apply(&b, &d).unwrap());
+        assert_eq!(
+            AggFunc::Sum.apply(&a, &d).unwrap(),
+            AggFunc::Sum.apply(&b, &d).unwrap()
+        );
     }
 
     #[test]
     fn distributivity_classification() {
         assert_eq!(AggFunc::Sum.distributivity(), Distributivity::Distributive);
-        assert_eq!(AggFunc::Count.distributivity(), Distributivity::Distributive);
+        assert_eq!(
+            AggFunc::Count.distributivity(),
+            Distributivity::Distributive
+        );
         assert_eq!(AggFunc::Avg.distributivity(), Distributivity::Algebraic);
-        assert_eq!(AggFunc::CountDistinct.distributivity(), Distributivity::Holistic);
+        assert_eq!(
+            AggFunc::CountDistinct.distributivity(),
+            Distributivity::Holistic
+        );
     }
 
     #[test]
@@ -405,8 +444,7 @@ mod tests {
         rel.push_row(&[madrid, v120]);
         rel.push_row(&[ny, v570]);
 
-        let groups =
-            group_aggregate(&rel, &[VarId(0)], VarId(1), AggFunc::Avg, &d).unwrap();
+        let groups = group_aggregate(&rel, &[VarId(0)], VarId(1), AggFunc::Avg, &d).unwrap();
         assert_eq!(groups.len(), 2);
         let madrid_avg = groups.iter().find(|(k, _)| k[0] == madrid).unwrap();
         assert_eq!(madrid_avg.1, AggValue::Float(110.0));

@@ -25,7 +25,12 @@ pub struct Bgp {
 impl Bgp {
     /// Creates an empty query named `name` (e.g. `"c"` for a classifier).
     pub fn new(name: impl Into<String>) -> Self {
-        Bgp { name: name.into(), head: Vec::new(), body: Vec::new(), vars: VarRegistry::new() }
+        Bgp {
+            name: name.into(),
+            head: Vec::new(),
+            body: Vec::new(),
+            vars: VarRegistry::new(),
+        }
     }
 
     /// The query name.
@@ -108,14 +113,20 @@ impl Bgp {
     /// Body variables that are *not* distinguished (the existential ones).
     pub fn existential_vars(&self) -> Vec<VarId> {
         let head: FxHashSet<VarId> = self.head.iter().copied().collect();
-        self.body_vars().into_iter().filter(|v| !head.contains(v)).collect()
+        self.body_vars()
+            .into_iter()
+            .filter(|v| !head.contains(v))
+            .collect()
     }
 
     /// Checks structural well-formedness: non-empty body, and every head
     /// variable occurs in the body.
     pub fn validate(&self) -> Result<(), EngineError> {
         if self.body.is_empty() {
-            return Err(EngineError::Validation(format!("query '{}' has an empty body", self.name)));
+            return Err(EngineError::Validation(format!(
+                "query '{}' has an empty body",
+                self.name
+            )));
         }
         let body_vars: FxHashSet<VarId> = self.body_vars().into_iter().collect();
         for &h in &self.head {
@@ -322,8 +333,11 @@ mod tests {
     fn existential_vars_are_body_minus_head() {
         let mut dict = Dictionary::new();
         let q = paper_rooted_query(&mut dict);
-        let names: Vec<&str> =
-            q.existential_vars().into_iter().map(|v| q.vars().name(v)).collect();
+        let names: Vec<&str> = q
+            .existential_vars()
+            .into_iter()
+            .map(|v| q.vars().name(v))
+            .collect();
         assert_eq!(names, vec!["y1", "y2"]);
     }
 

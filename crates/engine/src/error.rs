@@ -27,14 +27,22 @@ pub enum EngineError {
 
 impl EngineError {
     pub(crate) fn parse(line: usize, column: usize, message: impl Into<String>) -> Self {
-        EngineError::Parse { line, column, message: message.into() }
+        EngineError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::Parse { line, column, message } => {
+            EngineError::Parse {
+                line,
+                column,
+                message,
+            } => {
                 write!(f, "query parse error at {line}:{column}: {message}")
             }
             EngineError::Validation(m) => write!(f, "invalid query: {m}"),
@@ -53,10 +61,14 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(EngineError::parse(1, 2, "oops").to_string().contains("1:2"));
-        assert!(EngineError::Validation("v".into()).to_string().contains("invalid query"));
+        assert!(EngineError::Validation("v".into())
+            .to_string()
+            .contains("invalid query"));
         assert!(EngineError::NonNumericAggregate("x".into())
             .to_string()
             .contains("non-numeric"));
-        assert!(EngineError::Schema("s".into()).to_string().contains("schema"));
+        assert!(EngineError::Schema("s".into())
+            .to_string()
+            .contains("schema"));
     }
 }

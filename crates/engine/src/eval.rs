@@ -71,19 +71,20 @@ pub fn evaluate_filtered(
     for &pi in &order {
         let pattern = bgp.body()[pi];
         // Filters whose variable binds at this step fire right after it.
-        let newly_bound: Vec<VarId> =
-            pattern.vars().filter(|v| bound.insert(*v)).collect();
-        let active: Vec<&crate::filter::FilterExpr> =
-            filters.iter().filter(|f| newly_bound.contains(&f.var())).collect();
+        let newly_bound: Vec<VarId> = pattern.vars().filter(|v| bound.insert(*v)).collect();
+        let active: Vec<&crate::filter::FilterExpr> = filters
+            .iter()
+            .filter(|f| newly_bound.contains(&f.var()))
+            .collect();
         next.clear();
         for row in &current {
             extend(graph, pattern, row, &mut next);
         }
         if !active.is_empty() {
             next.retain(|row| {
-                active.iter().all(|f| {
-                    row[f.var().index()].is_some_and(|id| f.admits(id, dict))
-                })
+                active
+                    .iter()
+                    .all(|f| row[f.var().index()].is_some_and(|id| f.admits(id, dict)))
             });
         }
         std::mem::swap(&mut current, &mut next);
@@ -298,8 +299,11 @@ fn render_pattern(bgp: &Bgp, pattern: QueryPattern, graph: &Graph) -> String {
 
 fn estimate(graph: &Graph, pattern: QueryPattern, bound: &FxHashSet<VarId>) -> f64 {
     let as_const = |pos: PatternTerm| pos.as_const();
-    let shape =
-        TriplePattern::new(as_const(pattern.s), as_const(pattern.p), as_const(pattern.o));
+    let shape = TriplePattern::new(
+        as_const(pattern.s),
+        as_const(pattern.p),
+        as_const(pattern.o),
+    );
     let mut est = graph.count_matching(shape) as f64;
     for pos in pattern.positions() {
         if let PatternTerm::Var(v) = pos {
@@ -438,14 +442,20 @@ mod tests {
         let a = q.vars().id("a").unwrap();
         let age30 = g.dict_mut().encode(&rdfcube_rdf::Term::integer(30));
 
-        let filters = vec![FilterExpr::Compare { var: a, op: CompareOp::Ge, value: age30 }];
+        let filters = vec![FilterExpr::Compare {
+            var: a,
+            op: CompareOp::Ge,
+            value: age30,
+        }];
         let pushed = evaluate_filtered(&g, &q, &filters, Semantics::Set).unwrap();
 
         let all = evaluate(&g, &q, Semantics::Set).unwrap();
         let a_col = all.col(a).unwrap();
         let dict = g.dict();
         let post = all.select(|row| {
-            dict.get(row[a_col]).and_then(rdfcube_rdf::Term::as_f64).is_some_and(|v| v >= 30.0)
+            dict.get(row[a_col])
+                .and_then(rdfcube_rdf::Term::as_f64)
+                .is_some_and(|v| v >= 30.0)
         });
         assert!(pushed.same_bag(&post));
         assert_eq!(pushed.len(), 2); // user3 and user4, both 35
@@ -455,13 +465,13 @@ mod tests {
     fn filter_between_prunes_early() {
         use crate::filter::FilterExpr;
         let mut g = blog_graph();
-        let q = parse_query(
-            "q(?x, ?a) :- ?x hasAge ?a, ?x wrotePost ?p",
-            g.dict_mut(),
-        )
-        .unwrap();
+        let q = parse_query("q(?x, ?a) :- ?x hasAge ?a, ?x wrotePost ?p", g.dict_mut()).unwrap();
         let a = q.vars().id("a").unwrap();
-        let filters = vec![FilterExpr::NumericBetween { var: a, lo: 20, hi: 30 }];
+        let filters = vec![FilterExpr::NumericBetween {
+            var: a,
+            lo: 20,
+            hi: 30,
+        }];
         let rel = evaluate_filtered(&g, &q, &filters, Semantics::Set).unwrap();
         assert_eq!(rel.len(), 1); // only user1 (28)
     }
@@ -480,7 +490,10 @@ mod tests {
         // not monotone across steps: bound-variable discounts apply later.)
         assert!(plan[0].pattern.contains("s3"), "plan: {plan:?}");
         assert!(plan[0].estimated_rows <= 1.0);
-        assert!(plan.iter().all(|s| s.connected), "rooted query has no cartesian step");
+        assert!(
+            plan.iter().all(|s| s.connected),
+            "rooted query has no cartesian step"
+        );
         // Every body pattern appears exactly once.
         let mut idx: Vec<usize> = plan.iter().map(|s| s.pattern_index).collect();
         idx.sort_unstable();
@@ -493,7 +506,10 @@ mod tests {
         let q = parse_query("q(?x, ?y) :- ?x p ?v, ?y q ?w", g.dict_mut()).unwrap();
         let plan = explain(&g, &q).unwrap();
         assert!(plan[0].connected, "first step is trivially connected");
-        assert!(!plan[1].connected, "second step must be a cartesian product");
+        assert!(
+            !plan[1].connected,
+            "second step must be a cartesian product"
+        );
     }
 
     #[test]
@@ -503,7 +519,11 @@ mod tests {
         let q = parse_query("q(?x) :- ?x rdf:type Blogger", g.dict_mut()).unwrap();
         let mut q2 = q.clone();
         let ghost = q2.var("ghost");
-        let filters = vec![FilterExpr::NumericBetween { var: ghost, lo: 0, hi: 1 }];
+        let filters = vec![FilterExpr::NumericBetween {
+            var: ghost,
+            lo: 0,
+            hi: 1,
+        }];
         assert!(evaluate_filtered(&g, &q2, &filters, Semantics::Set).is_err());
     }
 }

@@ -75,8 +75,16 @@ impl FilterExpr {
     /// True if the binding `id` satisfies the filter.
     pub fn admits(&self, id: TermId, dict: &Dictionary) -> bool {
         match self {
-            FilterExpr::Compare { op: CompareOp::Eq, value, .. } => id == *value,
-            FilterExpr::Compare { op: CompareOp::Ne, value, .. } => id != *value,
+            FilterExpr::Compare {
+                op: CompareOp::Eq,
+                value,
+                ..
+            } => id == *value,
+            FilterExpr::Compare {
+                op: CompareOp::Ne,
+                value,
+                ..
+            } => id != *value,
             FilterExpr::Compare { op, value, .. } => {
                 let (Some(a), Some(b)) = (
                     dict.get(id).and_then(Term::as_f64),
@@ -115,11 +123,19 @@ mod tests {
     fn eq_ne_are_term_identity() {
         let (d, ids) = dict_with(&[Term::integer(1), Term::literal("1")]);
         let v = VarId(0);
-        let eq = FilterExpr::Compare { var: v, op: CompareOp::Eq, value: ids[0] };
+        let eq = FilterExpr::Compare {
+            var: v,
+            op: CompareOp::Eq,
+            value: ids[0],
+        };
         assert!(eq.admits(ids[0], &d));
         // "1" as a plain literal is a different *term* even if numerically equal.
         assert!(!eq.admits(ids[1], &d));
-        let ne = FilterExpr::Compare { var: v, op: CompareOp::Ne, value: ids[0] };
+        let ne = FilterExpr::Compare {
+            var: v,
+            op: CompareOp::Ne,
+            value: ids[0],
+        };
         assert!(ne.admits(ids[1], &d));
     }
 
@@ -127,11 +143,19 @@ mod tests {
     fn ordered_comparisons_are_numeric() {
         let (d, ids) = dict_with(&[Term::integer(5), Term::integer(7), Term::literal("abc")]);
         let v = VarId(0);
-        let lt = FilterExpr::Compare { var: v, op: CompareOp::Lt, value: ids[1] };
+        let lt = FilterExpr::Compare {
+            var: v,
+            op: CompareOp::Lt,
+            value: ids[1],
+        };
         assert!(lt.admits(ids[0], &d));
         assert!(!lt.admits(ids[1], &d));
         assert!(!lt.admits(ids[2], &d), "non-numeric must be rejected");
-        let ge = FilterExpr::Compare { var: v, op: CompareOp::Ge, value: ids[0] };
+        let ge = FilterExpr::Compare {
+            var: v,
+            op: CompareOp::Ge,
+            value: ids[0],
+        };
         assert!(ge.admits(ids[1], &d));
         assert!(ge.admits(ids[0], &d));
     }
@@ -140,11 +164,18 @@ mod tests {
     fn between_and_one_of() {
         let (d, ids) = dict_with(&[Term::integer(25), Term::integer(45), Term::literal("NY")]);
         let v = VarId(1);
-        let between = FilterExpr::NumericBetween { var: v, lo: 20, hi: 30 };
+        let between = FilterExpr::NumericBetween {
+            var: v,
+            lo: 20,
+            hi: 30,
+        };
         assert!(between.admits(ids[0], &d));
         assert!(!between.admits(ids[1], &d));
         assert!(!between.admits(ids[2], &d));
-        let one_of = FilterExpr::OneOf { var: v, set: [ids[2]].into_iter().collect() };
+        let one_of = FilterExpr::OneOf {
+            var: v,
+            set: [ids[2]].into_iter().collect(),
+        };
         assert!(one_of.admits(ids[2], &d));
         assert!(!one_of.admits(ids[0], &d));
         assert_eq!(one_of.var(), v);

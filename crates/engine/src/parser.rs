@@ -24,7 +24,13 @@ use rdfcube_rdf::{vocab, Dictionary, Literal, Term};
 /// Parses a query in the paper's notation, interning constant terms into
 /// `dict` (typically the dictionary of the graph the query will run on).
 pub fn parse_query(text: &str, dict: &mut Dictionary) -> Result<Bgp, EngineError> {
-    Parser { input: text, pos: 0, line: 1, col: 1 }.query(dict)
+    Parser {
+        input: text,
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .query(dict)
 }
 
 struct Parser<'a> {
@@ -69,14 +75,18 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.error(format!(
                 "expected '{expected}', found {}",
-                self.peek().map_or("end of input".to_string(), |c| format!("'{c}'"))
+                self.peek()
+                    .map_or("end of input".to_string(), |c| format!("'{c}'"))
             )))
         }
     }
 
     fn ident(&mut self) -> String {
         let mut s = String::new();
-        while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '-') {
+        while self
+            .peek()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '-')
+        {
             s.push(self.bump().expect("peeked"));
         }
         s
@@ -143,7 +153,9 @@ impl<'a> Parser<'a> {
                     }
                     return Err(self.error("unexpected input after trailing '.'"));
                 }
-                Some(c) => return Err(self.error(format!("expected ',' between triples, found '{c}'"))),
+                Some(c) => {
+                    return Err(self.error(format!("expected ',' between triples, found '{c}'")))
+                }
             }
         }
 
@@ -214,7 +226,9 @@ impl<'a> Parser<'a> {
                         dict.encode_owned(Term::Literal(Literal::typed(s, dt))),
                     ));
                 }
-                Ok(PatternTerm::Const(dict.encode_owned(Term::Literal(Literal::plain(s)))))
+                Ok(PatternTerm::Const(
+                    dict.encode_owned(Term::Literal(Literal::plain(s))),
+                ))
             }
             Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
                 let mut n = String::new();
@@ -242,7 +256,9 @@ impl<'a> Parser<'a> {
                 }
                 // As in Turtle, `a` means rdf:type only in predicate position.
                 if name == "a" && is_predicate {
-                    return Ok(PatternTerm::Const(dict.encode_owned(Term::iri(vocab::RDF_TYPE))));
+                    return Ok(PatternTerm::Const(
+                        dict.encode_owned(Term::iri(vocab::RDF_TYPE)),
+                    ));
                 }
                 if name == "true" || name == "false" {
                     return Ok(PatternTerm::Const(
@@ -309,17 +325,15 @@ mod tests {
         assert!(dict.id(&Term::integer(28)).is_some());
         assert!(dict.id(&Term::literal("Madrid")).is_some());
         assert!(dict.id(&Term::Literal(Literal::boolean(true))).is_some());
-        assert!(dict.id(&Term::Literal(Literal::typed("3.5", vocab::XSD_DECIMAL))).is_some());
+        assert!(dict
+            .id(&Term::Literal(Literal::typed("3.5", vocab::XSD_DECIMAL)))
+            .is_some());
     }
 
     #[test]
     fn explicit_iri_and_typed_literal() {
         let mut dict = Dictionary::new();
-        let q = parse_query(
-            "q(?x) :- ?x <http://e/p> \"28\"^^xsd:integer",
-            &mut dict,
-        )
-        .unwrap();
+        let q = parse_query("q(?x) :- ?x <http://e/p> \"28\"^^xsd:integer", &mut dict).unwrap();
         assert_eq!(q.body().len(), 1);
         assert!(dict.iri_id("http://e/p").is_some());
         assert!(dict.id(&Term::integer(28)).is_some());
@@ -346,9 +360,11 @@ mod tests {
     #[test]
     fn head_variable_order_is_preserved() {
         let mut dict = Dictionary::new();
-        let q =
-            parse_query("c(?x, ?dcity, ?dage) :- ?x hasAge ?dage, ?x livesIn ?dcity", &mut dict)
-                .unwrap();
+        let q = parse_query(
+            "c(?x, ?dcity, ?dage) :- ?x hasAge ?dage, ?x livesIn ?dcity",
+            &mut dict,
+        )
+        .unwrap();
         let names: Vec<&str> = q.head().iter().map(|&v| q.vars().name(v)).collect();
         assert_eq!(names, vec!["x", "dcity", "dage"]);
     }

@@ -23,13 +23,19 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation with the given column schema.
     pub fn new(schema: Vec<VarId>) -> Self {
-        Relation { schema, data: Vec::new() }
+        Relation {
+            schema,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty relation pre-sized for `rows` rows.
     pub fn with_capacity(schema: Vec<VarId>, rows: usize) -> Self {
         let arity = schema.len();
-        Relation { schema, data: Vec::with_capacity(rows * arity) }
+        Relation {
+            schema,
+            data: Vec::with_capacity(rows * arity),
+        }
     }
 
     /// The column schema.
@@ -88,8 +94,10 @@ impl Relation {
     /// π — projects onto `cols` (which may repeat or reorder columns).
     /// Bag semantics: row multiplicities are preserved.
     pub fn project(&self, cols: &[VarId]) -> Result<Relation, EngineError> {
-        let idx: Vec<usize> =
-            cols.iter().map(|&v| self.col_required(v)).collect::<Result<_, _>>()?;
+        let idx: Vec<usize> = cols
+            .iter()
+            .map(|&v| self.col_required(v))
+            .collect::<Result<_, _>>()?;
         Ok(self.project_indices(cols.to_vec(), &idx))
     }
 

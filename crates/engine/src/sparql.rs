@@ -89,7 +89,11 @@ pub fn evaluate_sparql(
         // SELECT is bag by default, but without aggregates the distinction
         // is immaterial to our comparison; DISTINCT semantics is the safer
         // default for classifier-style use).
-        return Ok(SparqlResult::Solutions(evaluate(graph, &query.bgp, Semantics::Set)?));
+        return Ok(SparqlResult::Solutions(evaluate(
+            graph,
+            &query.bgp,
+            Semantics::Set,
+        )?));
     }
     // SPARQL aggregation: group the full solution multiset.
     let solutions = evaluate(graph, &query.bgp, Semantics::Bag)?;
@@ -98,9 +102,21 @@ pub fn evaluate_sparql(
     // zip the per-aggregate results together.
     for (i, agg) in query.aggregates.iter().enumerate() {
         let groups = if agg.func == AggFunc::CountDistinct {
-            group_aggregate(&solutions, &query.group_vars, agg.var, AggFunc::CountDistinct, graph.dict())?
+            group_aggregate(
+                &solutions,
+                &query.group_vars,
+                agg.var,
+                AggFunc::CountDistinct,
+                graph.dict(),
+            )?
         } else {
-            group_aggregate(&solutions, &query.group_vars, agg.var, agg.func, graph.dict())?
+            group_aggregate(
+                &solutions,
+                &query.group_vars,
+                agg.var,
+                agg.func,
+                graph.dict(),
+            )?
         };
         for (key, value) in groups {
             let entry = rows
@@ -109,8 +125,10 @@ pub fn evaluate_sparql(
             entry[i] = value;
         }
     }
-    let mut out: Vec<SparqlRow> =
-        rows.into_iter().map(|(keys, aggregates)| SparqlRow { keys, aggregates }).collect();
+    let mut out: Vec<SparqlRow> = rows
+        .into_iter()
+        .map(|(keys, aggregates)| SparqlRow { keys, aggregates })
+        .collect();
     out.sort_unstable_by(|a, b| a.keys.cmp(&b.keys));
     Ok(SparqlResult::Groups(out))
 }
@@ -132,7 +150,11 @@ impl<'a> SparqlParser<'a> {
         for (p, ns) in vocab::DEFAULT_PREFIXES {
             prefixes.insert((*p).to_string(), (*ns).to_string());
         }
-        SparqlParser { input, pos: 0, prefixes }
+        SparqlParser {
+            input,
+            pos: 0,
+            prefixes,
+        }
     }
 
     fn error(&self, msg: impl Into<String>) -> EngineError {
@@ -247,9 +269,9 @@ impl<'a> SparqlParser<'a> {
                         ("MIN", false) => AggFunc::Min,
                         ("MAX", false) => AggFunc::Max,
                         (other, true) => {
-                            return Err(
-                                self.error(format!("DISTINCT is only supported for COUNT, not {other}"))
-                            )
+                            return Err(self.error(format!(
+                                "DISTINCT is only supported for COUNT, not {other}"
+                            )))
                         }
                         (other, _) => {
                             return Err(self.error(format!("unsupported aggregate {other}")))
@@ -300,9 +322,7 @@ impl<'a> SparqlParser<'a> {
         if !aggregates.is_empty() {
             // SPARQL 1.1: every plain projected variable must be grouped.
             if declared_groups.is_empty() && !group_vars.is_empty() {
-                return Err(self.error(
-                    "aggregates mixed with plain variables require GROUP BY",
-                ));
+                return Err(self.error("aggregates mixed with plain variables require GROUP BY"));
             }
             for v in &group_vars {
                 if !declared_groups.contains(v) {
@@ -326,7 +346,11 @@ impl<'a> SparqlParser<'a> {
         }
         bgp.set_head(head);
         bgp.validate()?;
-        Ok(SparqlQuery { bgp, group_vars, aggregates })
+        Ok(SparqlQuery {
+            bgp,
+            group_vars,
+            aggregates,
+        })
     }
 
     fn until(&mut self, stop: char) -> Result<String, EngineError> {
@@ -392,7 +416,9 @@ impl<'a> SparqlParser<'a> {
             Some(c) if c.is_alphabetic() => {
                 let name = self.word();
                 if name == "a" && is_predicate {
-                    return Ok(PatternTerm::Const(dict.encode_owned(Term::iri(vocab::RDF_TYPE))));
+                    return Ok(PatternTerm::Const(
+                        dict.encode_owned(Term::iri(vocab::RDF_TYPE)),
+                    ));
                 }
                 if self.input[self.pos..].starts_with(':') {
                     self.pos += 1;
@@ -405,7 +431,9 @@ impl<'a> SparqlParser<'a> {
                         dict.encode_owned(Term::iri(format!("{ns}{local}"))),
                     ));
                 }
-                Err(self.error(format!("bare name '{name}' is not valid SPARQL; use a prefixed name or <IRI>")))
+                Err(self.error(format!(
+                    "bare name '{name}' is not valid SPARQL; use a prefixed name or <IRI>"
+                )))
             }
             other => Err(self.error(format!("unexpected {other:?} in triple pattern"))),
         }
@@ -567,15 +595,15 @@ mod tests {
         for bad in [
             "",
             "SELECT WHERE { ?x <p> ?y }",
-            "SELECT ?x { ?x <p> ?y }",                          // missing WHERE
-            "SELECT ?x WHERE { ?x <p> }",                       // incomplete triple
-            "SELECT ?x WHERE { ?x <p> ?y",                      // unterminated block
-            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <p> ?y }",  // ungrouped ?x
-            "SELECT ?x WHERE { ?x <p> ?y } GROUP BY ?x",        // GROUP BY w/o agg
-            "SELECT (MEDIAN(?y) AS ?m) WHERE { ?x <p> ?y }",    // unknown agg
+            "SELECT ?x { ?x <p> ?y }",     // missing WHERE
+            "SELECT ?x WHERE { ?x <p> }",  // incomplete triple
+            "SELECT ?x WHERE { ?x <p> ?y", // unterminated block
+            "SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x <p> ?y }", // ungrouped ?x
+            "SELECT ?x WHERE { ?x <p> ?y } GROUP BY ?x", // GROUP BY w/o agg
+            "SELECT (MEDIAN(?y) AS ?m) WHERE { ?x <p> ?y }", // unknown agg
             "SELECT (SUM(DISTINCT ?y) AS ?s) WHERE { ?x <p> ?y }",
-            "SELECT ?x WHERE { ?x nope:p ?y }",                 // unknown prefix
-            "SELECT ?x WHERE { ?x bare ?y }",                   // bare name
+            "SELECT ?x WHERE { ?x nope:p ?y }", // unknown prefix
+            "SELECT ?x WHERE { ?x bare ?y }",   // bare name
         ] {
             assert!(parse_sparql(bad, &mut dict).is_err(), "accepted: {bad}");
         }

@@ -15,13 +15,21 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
-        ParseError { line, column, message: message.into() }
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 

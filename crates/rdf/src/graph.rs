@@ -250,7 +250,11 @@ impl Graph {
     /// # Panics
     /// Panics if the ids are foreign to this graph's dictionary.
     pub fn decode(&self, t: Triple) -> (&Term, &Term, &Term) {
-        (self.dict.term(t.s), self.dict.term(t.p), self.dict.term(t.o))
+        (
+            self.dict.term(t.s),
+            self.dict.term(t.p),
+            self.dict.term(t.o),
+        )
     }
 
     /// Per-predicate triple counts, sorted descending — the store's summary
@@ -322,13 +326,17 @@ mod tests {
     #[test]
     fn contains_and_decode() {
         let g = sample();
-        assert!(g.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(28)));
-        assert!(!g.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(99)));
-        let t = g.matching(TriplePattern::new(
-            g.dict().iri_id("user2"),
-            None,
-            None,
-        ))[0];
+        assert!(g.contains(
+            &Term::iri("user1"),
+            &Term::iri("hasAge"),
+            &Term::integer(28)
+        ));
+        assert!(!g.contains(
+            &Term::iri("user1"),
+            &Term::iri("hasAge"),
+            &Term::integer(99)
+        ));
+        let t = g.matching(TriplePattern::new(g.dict().iri_id("user2"), None, None))[0];
         let (s, _, o) = g.decode(t);
         assert_eq!(s, &Term::iri("user2"));
         assert_eq!(o, &Term::integer(40));
@@ -383,7 +391,11 @@ mod tests {
         let added = g2.absorb(&g1);
         assert_eq!(added, g1.len());
         assert_eq!(g2.len(), g1.len() + 1);
-        assert!(g2.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(28)));
+        assert!(g2.contains(
+            &Term::iri("user1"),
+            &Term::iri("hasAge"),
+            &Term::integer(28)
+        ));
         // Absorbing again adds nothing.
         assert_eq!(g2.absorb(&g1), 0);
     }

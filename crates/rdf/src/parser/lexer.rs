@@ -59,7 +59,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `input`.
     pub fn new(input: &'a str) -> Self {
-        Lexer { chars: input.chars().peekable(), line: 1, column: 1 }
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -101,7 +105,9 @@ impl<'a> Lexer<'a> {
     pub fn next_token(&mut self) -> Result<Option<Spanned>, ParseError> {
         self.skip_ws_and_comments();
         let (line, column) = (self.line, self.column);
-        let Some(c) = self.peek() else { return Ok(None) };
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
         let token = match c {
             '<' => {
                 self.bump();
@@ -221,7 +227,10 @@ impl<'a> Lexer<'a> {
                 if self.peek() == Some(':') {
                     self.bump();
                     let local = self.take_name();
-                    Token::PrefixedName { prefix: name, local }
+                    Token::PrefixedName {
+                        prefix: name,
+                        local,
+                    }
                 } else {
                     Token::Keyword(name)
                 }
@@ -229,11 +238,18 @@ impl<'a> Lexer<'a> {
             ':' => {
                 self.bump();
                 let local = self.take_name();
-                Token::PrefixedName { prefix: String::new(), local }
+                Token::PrefixedName {
+                    prefix: String::new(),
+                    local,
+                }
             }
             other => return Err(self.error(format!("unexpected character '{other}'"))),
         };
-        Ok(Some(Spanned { token, line, column }))
+        Ok(Some(Spanned {
+            token,
+            line,
+            column,
+        }))
     }
 
     fn unicode_escape(&mut self, digits: usize) -> Result<char, ParseError> {
@@ -287,7 +303,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -334,19 +354,13 @@ mod tests {
 
     #[test]
     fn numbers_vs_statement_dot() {
-        assert_eq!(
-            toks("28 ."),
-            vec![Token::Numeric("28".into()), Token::Dot]
-        );
+        assert_eq!(toks("28 ."), vec![Token::Numeric("28".into()), Token::Dot]);
         assert_eq!(
             toks("3.5 ."),
             vec![Token::Numeric("3.5".into()), Token::Dot]
         );
         // `28.` — the dot terminates the statement, not the number.
-        assert_eq!(
-            toks("28."),
-            vec![Token::Numeric("28".into()), Token::Dot]
-        );
+        assert_eq!(toks("28."), vec![Token::Numeric("28".into()), Token::Dot]);
     }
 
     #[test]
@@ -354,9 +368,15 @@ mod tests {
         assert_eq!(
             toks("rdf:type a foaf:Person"),
             vec![
-                Token::PrefixedName { prefix: "rdf".into(), local: "type".into() },
+                Token::PrefixedName {
+                    prefix: "rdf".into(),
+                    local: "type".into()
+                },
                 Token::Keyword("a".into()),
-                Token::PrefixedName { prefix: "foaf".into(), local: "Person".into() },
+                Token::PrefixedName {
+                    prefix: "foaf".into(),
+                    local: "Person".into()
+                },
             ]
         );
     }

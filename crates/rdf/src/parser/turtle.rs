@@ -49,7 +49,13 @@ impl Parser {
                 prefixes.insert((*p).to_string(), (*ns).to_string());
             }
         }
-        Ok(Parser { tokens, pos: 0, mode, prefixes, anon_counter: 0 })
+        Ok(Parser {
+            tokens,
+            pos: 0,
+            mode,
+            prefixes,
+            anon_counter: 0,
+        })
     }
 
     /// A fresh blank node for an anonymous `[...]`; the `genid` prefix is
@@ -74,7 +80,10 @@ impl Parser {
     }
 
     fn error_here(&self, msg: impl Into<String>) -> ParseError {
-        match self.tokens.get(self.pos.min(self.tokens.len().saturating_sub(1))) {
+        match self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+        {
             Some(s) => ParseError::new(s.line, s.column, msg),
             None => ParseError::new(0, 0, msg),
         }
@@ -82,7 +91,9 @@ impl Parser {
 
     fn expect_dot(&mut self) -> Result<(), ParseError> {
         match self.bump() {
-            Some(Spanned { token: Token::Dot, .. }) => Ok(()),
+            Some(Spanned {
+                token: Token::Dot, ..
+            }) => Ok(()),
             _ => Err(self.error_here("expected '.'")),
         }
     }
@@ -113,13 +124,17 @@ impl Parser {
     /// `@prefix p: <ns> .`  (with_dot)  or SPARQL-style `PREFIX p: <ns>`.
     fn directive(&mut self, with_dot: bool) -> Result<(), ParseError> {
         let prefix = match self.bump() {
-            Some(Spanned { token: Token::PrefixedName { prefix, local }, .. }) if local.is_empty() => {
-                prefix
-            }
+            Some(Spanned {
+                token: Token::PrefixedName { prefix, local },
+                ..
+            }) if local.is_empty() => prefix,
             _ => return Err(self.error_here("expected 'prefix:' in @prefix directive")),
         };
         let ns = match self.bump() {
-            Some(Spanned { token: Token::Iri(ns), .. }) => ns,
+            Some(Spanned {
+                token: Token::Iri(ns),
+                ..
+            }) => ns,
             _ => return Err(self.error_here("expected namespace IRI in @prefix directive")),
         };
         if with_dot {
@@ -159,16 +174,25 @@ impl Parser {
 
     fn subject(&mut self, graph: &mut Graph) -> Result<Term, ParseError> {
         match self.bump() {
-            Some(Spanned { token: Token::Iri(iri), .. }) => Ok(Term::iri(iri)),
-            Some(Spanned { token: Token::BlankNode(label), .. }) => Ok(Term::blank(label)),
-            Some(Spanned { token: Token::PrefixedName { prefix, local }, line, column })
-                if self.mode == Mode::Turtle =>
-            {
+            Some(Spanned {
+                token: Token::Iri(iri),
+                ..
+            }) => Ok(Term::iri(iri)),
+            Some(Spanned {
+                token: Token::BlankNode(label),
+                ..
+            }) => Ok(Term::blank(label)),
+            Some(Spanned {
+                token: Token::PrefixedName { prefix, local },
+                line,
+                column,
+            }) if self.mode == Mode::Turtle => {
                 self.expand(&prefix, &local, line, column).map(Term::iri)
             }
-            Some(Spanned { token: Token::LBracket, .. }) if self.mode == Mode::Turtle => {
-                self.blank_property_list(graph)
-            }
+            Some(Spanned {
+                token: Token::LBracket,
+                ..
+            }) if self.mode == Mode::Turtle => self.blank_property_list(graph),
             _ => Err(self.error_here("expected subject (IRI or blank node)")),
         }
     }
@@ -205,22 +229,29 @@ impl Parser {
             }
         }
         match self.bump() {
-            Some(Spanned { token: Token::RBracket, .. }) => Ok(node),
+            Some(Spanned {
+                token: Token::RBracket,
+                ..
+            }) => Ok(node),
             _ => Err(self.error_here("expected ']' closing a blank node property list")),
         }
     }
 
     fn predicate(&mut self) -> Result<Term, ParseError> {
         match self.bump() {
-            Some(Spanned { token: Token::Iri(iri), .. }) => Ok(Term::iri(iri)),
-            Some(Spanned { token: Token::Keyword(word), .. })
-                if self.mode == Mode::Turtle && word == "a" =>
-            {
-                Ok(Term::iri(vocab::RDF_TYPE))
-            }
-            Some(Spanned { token: Token::PrefixedName { prefix, local }, line, column })
-                if self.mode == Mode::Turtle =>
-            {
+            Some(Spanned {
+                token: Token::Iri(iri),
+                ..
+            }) => Ok(Term::iri(iri)),
+            Some(Spanned {
+                token: Token::Keyword(word),
+                ..
+            }) if self.mode == Mode::Turtle && word == "a" => Ok(Term::iri(vocab::RDF_TYPE)),
+            Some(Spanned {
+                token: Token::PrefixedName { prefix, local },
+                line,
+                column,
+            }) if self.mode == Mode::Turtle => {
                 self.expand(&prefix, &local, line, column).map(Term::iri)
             }
             _ => Err(self.error_here("expected predicate IRI")),
@@ -229,43 +260,64 @@ impl Parser {
 
     fn object(&mut self, graph: &mut Graph) -> Result<Term, ParseError> {
         match self.bump() {
-            Some(Spanned { token: Token::Iri(iri), .. }) => Ok(Term::iri(iri)),
-            Some(Spanned { token: Token::BlankNode(label), .. }) => Ok(Term::blank(label)),
-            Some(Spanned { token: Token::PrefixedName { prefix, local }, line, column })
-                if self.mode == Mode::Turtle =>
-            {
+            Some(Spanned {
+                token: Token::Iri(iri),
+                ..
+            }) => Ok(Term::iri(iri)),
+            Some(Spanned {
+                token: Token::BlankNode(label),
+                ..
+            }) => Ok(Term::blank(label)),
+            Some(Spanned {
+                token: Token::PrefixedName { prefix, local },
+                line,
+                column,
+            }) if self.mode == Mode::Turtle => {
                 self.expand(&prefix, &local, line, column).map(Term::iri)
             }
-            Some(Spanned { token: Token::LBracket, .. }) if self.mode == Mode::Turtle => {
-                self.blank_property_list(graph)
-            }
-            Some(Spanned { token: Token::StringLiteral(body), .. }) => {
-                match self.peek().map(|s| &s.token) {
-                    Some(Token::At(_)) => {
-                        let Some(Spanned { token: Token::At(tag), .. }) = self.bump() else {
-                            unreachable!("peeked At");
-                        };
-                        Ok(Term::Literal(Literal::lang(body, tag)))
-                    }
-                    Some(Token::Carets) => {
-                        self.bump();
-                        let dt = match self.bump() {
-                            Some(Spanned { token: Token::Iri(iri), .. }) => iri,
-                            Some(Spanned {
-                                token: Token::PrefixedName { prefix, local },
-                                line,
-                                column,
-                            }) if self.mode == Mode::Turtle => {
-                                self.expand(&prefix, &local, line, column)?
-                            }
-                            _ => return Err(self.error_here("expected datatype IRI after '^^'")),
-                        };
-                        Ok(Term::Literal(Literal::typed(body, dt)))
-                    }
-                    _ => Ok(Term::Literal(Literal::plain(body))),
+            Some(Spanned {
+                token: Token::LBracket,
+                ..
+            }) if self.mode == Mode::Turtle => self.blank_property_list(graph),
+            Some(Spanned {
+                token: Token::StringLiteral(body),
+                ..
+            }) => match self.peek().map(|s| &s.token) {
+                Some(Token::At(_)) => {
+                    let Some(Spanned {
+                        token: Token::At(tag),
+                        ..
+                    }) = self.bump()
+                    else {
+                        unreachable!("peeked At");
+                    };
+                    Ok(Term::Literal(Literal::lang(body, tag)))
                 }
-            }
-            Some(Spanned { token: Token::Numeric(n), line, column }) => {
+                Some(Token::Carets) => {
+                    self.bump();
+                    let dt = match self.bump() {
+                        Some(Spanned {
+                            token: Token::Iri(iri),
+                            ..
+                        }) => iri,
+                        Some(Spanned {
+                            token: Token::PrefixedName { prefix, local },
+                            line,
+                            column,
+                        }) if self.mode == Mode::Turtle => {
+                            self.expand(&prefix, &local, line, column)?
+                        }
+                        _ => return Err(self.error_here("expected datatype IRI after '^^'")),
+                    };
+                    Ok(Term::Literal(Literal::typed(body, dt)))
+                }
+                _ => Ok(Term::Literal(Literal::plain(body))),
+            },
+            Some(Spanned {
+                token: Token::Numeric(n),
+                line,
+                column,
+            }) => {
                 if self.mode == Mode::NTriples {
                     return Err(ParseError::new(
                         line,
@@ -279,9 +331,10 @@ impl Parser {
                     Ok(Term::Literal(Literal::typed(n, vocab::XSD_INTEGER)))
                 }
             }
-            Some(Spanned { token: Token::Keyword(word), .. })
-                if self.mode == Mode::Turtle && (word == "true" || word == "false") =>
-            {
+            Some(Spanned {
+                token: Token::Keyword(word),
+                ..
+            }) if self.mode == Mode::Turtle && (word == "true" || word == "false") => {
                 Ok(Term::Literal(Literal::typed(word, vocab::XSD_BOOLEAN)))
             }
             _ => Err(self.error_here("expected object (IRI, blank node or literal)")),
@@ -316,7 +369,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(g.len(), 3);
-        assert!(g.contains(&Term::iri("user1"), &Term::iri("hasAge"), &Term::integer(28)));
+        assert!(g.contains(
+            &Term::iri("user1"),
+            &Term::iri("hasAge"),
+            &Term::integer(28)
+        ));
         assert!(g.contains(&Term::blank("b0"), &Term::iri("knows"), &Term::iri("user1")));
     }
 
@@ -352,7 +409,11 @@ mod tests {
     #[test]
     fn turtle_default_rdf_prefix_is_preloaded() {
         let g = parse_turtle("<x> rdf:type <C> .").unwrap();
-        assert!(g.contains(&Term::iri("x"), &Term::iri(vocab::RDF_TYPE), &Term::iri("C")));
+        assert!(g.contains(
+            &Term::iri("x"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("C")
+        ));
     }
 
     #[test]
@@ -421,17 +482,14 @@ mod tests {
     #[test]
     fn anonymous_blank_node_objects() {
         // user1 has an address node with two properties.
-        let g = parse_turtle(
-            "<user1> <address> [ <street> \"Main St\" ; <city> \"Madrid\" ] .",
-        )
-        .unwrap();
+        let g = parse_turtle("<user1> <address> [ <street> \"Main St\" ; <city> \"Madrid\" ] .")
+            .unwrap();
         assert_eq!(g.len(), 3);
-        let addr = g
-            .matching(crate::triple::TriplePattern::new(
-                g.dict().iri_id("user1"),
-                g.dict().iri_id("address"),
-                None,
-            ))[0]
+        let addr = g.matching(crate::triple::TriplePattern::new(
+            g.dict().iri_id("user1"),
+            g.dict().iri_id("address"),
+            None,
+        ))[0]
             .o;
         assert!(g.dict().term(addr).is_blank());
         let street = g.dict().iri_id("street").unwrap();

@@ -148,8 +148,16 @@ mod tests {
             &Term::iri(vocab::RDFS_SUBCLASSOF),
             &Term::iri("Agent")
         ));
-        assert!(g.contains(&Term::iri("user1"), &Term::iri(vocab::RDF_TYPE), &Term::iri("Person")));
-        assert!(g.contains(&Term::iri("user1"), &Term::iri(vocab::RDF_TYPE), &Term::iri("Agent")));
+        assert!(g.contains(
+            &Term::iri("user1"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("Person")
+        ));
+        assert!(g.contains(
+            &Term::iri("user1"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("Agent")
+        ));
     }
 
     #[test]
@@ -158,7 +166,11 @@ mod tests {
             "<wrotePost> rdfs:subPropertyOf <authored> .\n\
              <user1> <wrotePost> <post1> .\n",
         );
-        assert!(g.contains(&Term::iri("user1"), &Term::iri("authored"), &Term::iri("post1")));
+        assert!(g.contains(
+            &Term::iri("user1"),
+            &Term::iri("authored"),
+            &Term::iri("post1")
+        ));
     }
 
     #[test]
@@ -168,8 +180,16 @@ mod tests {
              <wrotePost> rdfs:range <BlogPost> .\n\
              <user1> <wrotePost> <post1> .\n",
         );
-        assert!(g.contains(&Term::iri("user1"), &Term::iri(vocab::RDF_TYPE), &Term::iri("Blogger")));
-        assert!(g.contains(&Term::iri("post1"), &Term::iri(vocab::RDF_TYPE), &Term::iri("BlogPost")));
+        assert!(g.contains(
+            &Term::iri("user1"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("Blogger")
+        ));
+        assert!(g.contains(
+            &Term::iri("post1"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("BlogPost")
+        ));
     }
 
     #[test]
@@ -182,8 +202,16 @@ mod tests {
              <s> <p> <o> .\n",
         );
         assert!(g.contains(&Term::iri("s"), &Term::iri("q"), &Term::iri("o")));
-        assert!(g.contains(&Term::iri("s"), &Term::iri(vocab::RDF_TYPE), &Term::iri("C")));
-        assert!(g.contains(&Term::iri("s"), &Term::iri(vocab::RDF_TYPE), &Term::iri("D")));
+        assert!(g.contains(
+            &Term::iri("s"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("C")
+        ));
+        assert!(g.contains(
+            &Term::iri("s"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("D")
+        ));
     }
 
     #[test]
@@ -210,7 +238,11 @@ mod tests {
              <B> rdfs:subClassOf <A> .\n\
              <x> rdf:type <A> .\n",
         );
-        assert!(g.contains(&Term::iri("x"), &Term::iri(vocab::RDF_TYPE), &Term::iri("B")));
+        assert!(g.contains(
+            &Term::iri("x"),
+            &Term::iri(vocab::RDF_TYPE),
+            &Term::iri("B")
+        ));
     }
 
     #[test]

@@ -28,17 +28,26 @@ pub struct Literal {
 impl Literal {
     /// Creates a plain (simple) literal.
     pub fn plain(lexical: impl Into<Box<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Plain }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Plain,
+        }
     }
 
     /// Creates a language-tagged literal.
     pub fn lang(lexical: impl Into<Box<str>>, tag: impl Into<Box<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Lang(tag.into()) }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Lang(tag.into()),
+        }
     }
 
     /// Creates a datatyped literal.
     pub fn typed(lexical: impl Into<Box<str>>, datatype: impl Into<Box<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Typed(datatype.into()) }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Typed(datatype.into()),
+        }
     }
 
     /// Creates an `xsd:integer` literal from an `i64`.
@@ -53,7 +62,10 @@ impl Literal {
 
     /// Creates an `xsd:boolean` literal.
     pub fn boolean(value: bool) -> Self {
-        Literal::typed(if value { "true" } else { "false" }, crate::vocab::XSD_BOOLEAN)
+        Literal::typed(
+            if value { "true" } else { "false" },
+            crate::vocab::XSD_BOOLEAN,
+        )
     }
 
     /// The lexical form of the literal.
@@ -287,7 +299,10 @@ mod tests {
 
     #[test]
     fn escaping_covers_control_characters() {
-        assert_eq!(escape_literal("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+        assert_eq!(
+            escape_literal("a\"b\\c\nd\te\rf"),
+            "a\\\"b\\\\c\\nd\\te\\rf"
+        );
     }
 
     #[test]
@@ -302,7 +317,10 @@ mod tests {
     fn display_compact_is_human_oriented() {
         assert_eq!(Term::integer(28).display_compact(), "28");
         assert_eq!(Term::literal("Madrid").display_compact(), "Madrid");
-        assert_eq!(Term::iri("http://example.org/ns#Blogger").display_compact(), "Blogger");
+        assert_eq!(
+            Term::iri("http://example.org/ns#Blogger").display_compact(),
+            "Blogger"
+        );
         assert_eq!(Term::iri("hasAge").display_compact(), "hasAge");
         assert_eq!(Term::blank("b0").display_compact(), "_:b0");
         assert_eq!(

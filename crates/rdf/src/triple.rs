@@ -98,6 +98,9 @@ mod tests {
     #[test]
     fn bound_count() {
         assert_eq!(TriplePattern::default().bound_count(), 0);
-        assert_eq!(TriplePattern::new(Some(id(1)), None, Some(id(2))).bound_count(), 2);
+        assert_eq!(
+            TriplePattern::new(Some(id(1)), None, Some(id(2))).bound_count(),
+            2
+        );
     }
 }

@@ -35,7 +35,11 @@ mod tests {
         let mut g = Graph::new();
         g.insert_iri("user1", "hasAge", &Term::integer(28));
         g.insert_iri("user1", "identifiedBy", &Term::literal("Bill"));
-        g.insert_iri("user1", "identifiedBy", &Term::literal("A \"quoted\"\nname"));
+        g.insert_iri(
+            "user1",
+            "identifiedBy",
+            &Term::literal("A \"quoted\"\nname"),
+        );
         g.insert(&Term::blank("b0"), &Term::iri("knows"), &Term::iri("user1"));
 
         let text = to_ntriples(&g);

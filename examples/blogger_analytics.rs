@@ -30,7 +30,11 @@ fn main() {
 
     let t0 = Instant::now();
     let cube = session
-        .register(datagen::EXAMPLE1_CLASSIFIER, datagen::EXAMPLE1_MEASURE, AggFunc::Count)
+        .register(
+            datagen::EXAMPLE1_CLASSIFIER,
+            datagen::EXAMPLE1_MEASURE,
+            AggFunc::Count,
+        )
         .expect("register Example 1 cube");
     println!(
         "Materialized Q (count of sites by age × city): {} cells, pres(Q) = {} rows  ({:?})",
@@ -40,13 +44,20 @@ fn main() {
     );
 
     // ---- SLICE: rewriting vs scratch ------------------------------------
-    let slice = OlapOp::Slice { dim: "dage".into(), value: Term::integer(30) };
+    let slice = OlapOp::Slice {
+        dim: "dage".into(),
+        value: Term::integer(30),
+    };
     let t0 = Instant::now();
     let (h_slice, strategy) = session.transform(cube, &slice).expect("slice");
     let rewrite_time = t0.elapsed();
 
     let t0 = Instant::now();
-    let scratch = session.cube(h_slice).query().answer(session.instance()).expect("scratch");
+    let scratch = session
+        .cube(h_slice)
+        .query()
+        .answer(session.instance())
+        .expect("scratch");
     let scratch_time = t0.elapsed();
 
     assert!(session.answer(h_slice).same_cells(&scratch));
@@ -64,7 +75,11 @@ fn main() {
     let (h_dice, strategy) = session.transform(cube, &dice).expect("dice");
     let rewrite_time = t0.elapsed();
     let t0 = Instant::now();
-    let scratch = session.cube(h_dice).query().answer(session.instance()).expect("scratch");
+    let scratch = session
+        .cube(h_dice)
+        .query()
+        .answer(session.instance())
+        .expect("scratch");
     let scratch_time = t0.elapsed();
     assert!(session.answer(h_dice).same_cells(&scratch));
     println!(
@@ -74,12 +89,18 @@ fn main() {
     );
 
     // ---- DRILL-OUT: Algorithm 1 vs scratch -------------------------------
-    let drill = OlapOp::DrillOut { dims: vec!["dage".into()] };
+    let drill = OlapOp::DrillOut {
+        dims: vec!["dage".into()],
+    };
     let t0 = Instant::now();
     let (h_out, strategy) = session.transform(cube, &drill).expect("drill-out");
     let rewrite_time = t0.elapsed();
     let t0 = Instant::now();
-    let scratch = session.cube(h_out).query().answer(session.instance()).expect("scratch");
+    let scratch = session
+        .cube(h_out)
+        .query()
+        .answer(session.instance())
+        .expect("scratch");
     let scratch_time = t0.elapsed();
     assert!(session.answer(h_out).same_cells(&scratch));
     println!(
@@ -93,7 +114,12 @@ fn main() {
     // multi-valued along the REMOVED dimension — here dcity, the dimension
     // the generator makes multi-valued.
     let (h_city_out, _) = session
-        .transform(cube, &OlapOp::DrillOut { dims: vec!["dcity".into()] })
+        .transform(
+            cube,
+            &OlapOp::DrillOut {
+                dims: vec!["dcity".into()],
+            },
+        )
         .expect("drill-out dcity");
     let correct = session.answer(h_city_out);
     let naive = rewrite::drill_out_from_ans(session.answer(cube), &[1], session.instance().dict())
@@ -113,7 +139,11 @@ fn main() {
     // ---- A second cube: Example 4's average word count -------------------
     let t0 = Instant::now();
     let words = session
-        .register(datagen::EXAMPLE1_CLASSIFIER, datagen::EXAMPLE4_MEASURE, AggFunc::Avg)
+        .register(
+            datagen::EXAMPLE1_CLASSIFIER,
+            datagen::EXAMPLE4_MEASURE,
+            AggFunc::Avg,
+        )
         .expect("register Example 4 cube");
     println!(
         "\nMaterialized Example 4 cube (avg words by age × city): {} cells ({:?})",

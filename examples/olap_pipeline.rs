@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example olap_pipeline`
 
-use rdfcube::prelude::*;
 use rdfcube::datagen;
+use rdfcube::prelude::*;
 use std::time::Instant;
 
 fn main() {
@@ -38,8 +38,12 @@ fn main() {
             AggFunc::Sum,
         )
         .expect("register base cube");
-    log("register: total words by (age, city)", Strategy::FromScratch,
-        session.answer(q0).len(), t0.elapsed());
+    log(
+        "register: total words by (age, city)",
+        Strategy::FromScratch,
+        session.answer(q0).len(),
+        t0.elapsed(),
+    );
 
     let t0 = Instant::now();
     let (q1, s1) = session
@@ -50,7 +54,12 @@ fn main() {
             },
         )
         .expect("dice to 25–45");
-    log("dice: 25 ≤ age ≤ 45", s1, session.answer(q1).len(), t0.elapsed());
+    log(
+        "dice: 25 ≤ age ≤ 45",
+        s1,
+        session.answer(q1).len(),
+        t0.elapsed(),
+    );
 
     let t0 = Instant::now();
     let (q2, s2) = session
@@ -61,31 +70,71 @@ fn main() {
             },
         )
         .expect("narrow the dice");
-    log("dice (narrower): 30 ≤ age ≤ 40", s2, session.answer(q2).len(), t0.elapsed());
+    log(
+        "dice (narrower): 30 ≤ age ≤ 40",
+        s2,
+        session.answer(q2).len(),
+        t0.elapsed(),
+    );
 
     let t0 = Instant::now();
     let (q3, s3) = session
-        .transform(q2, &OlapOp::DrillOut { dims: vec!["dcity".into()] })
+        .transform(
+            q2,
+            &OlapOp::DrillOut {
+                dims: vec!["dcity".into()],
+            },
+        )
         .expect("drill-out city");
-    log("drill-out: drop city (age only)", s3, session.answer(q3).len(), t0.elapsed());
+    log(
+        "drill-out: drop city (age only)",
+        s3,
+        session.answer(q3).len(),
+        t0.elapsed(),
+    );
 
     let t0 = Instant::now();
     let (q4, s4) = session
-        .transform(q3, &OlapOp::DrillIn { var: "dcity".into() })
+        .transform(
+            q3,
+            &OlapOp::DrillIn {
+                var: "dcity".into(),
+            },
+        )
         .expect("drill city back in");
-    log("drill-in: bring city back", s4, session.answer(q4).len(), t0.elapsed());
+    log(
+        "drill-in: bring city back",
+        s4,
+        session.answer(q4).len(),
+        t0.elapsed(),
+    );
 
     let t0 = Instant::now();
     let (q5, s5) = session
         .transform(q4, &OlapOp::DrillIn { var: "p".into() })
         .expect("drill-in post");
-    log("drill-in: add the post dimension", s5, session.answer(q5).len(), t0.elapsed());
+    log(
+        "drill-in: add the post dimension",
+        s5,
+        session.answer(q5).len(),
+        t0.elapsed(),
+    );
 
     let t0 = Instant::now();
     let (q6, s6) = session
-        .transform(q5, &OlapOp::DrillOut { dims: vec!["dage".into(), "p".into()] })
+        .transform(
+            q5,
+            &OlapOp::DrillOut {
+                dims: vec!["dage".into(), "p".into()],
+            },
+        )
         .expect("drill-out two dims");
-    log("drill-out: drop age and post at once", s6, session.answer(q6).len(), t0.elapsed());
+    log(
+        "drill-out: drop age and post at once",
+        s6,
+        session.answer(q6).len(),
+        t0.elapsed(),
+    );
 
     // A widening dice must fall back to scratch — the session refuses to
     // answer it from a narrower materialization.
@@ -98,12 +147,19 @@ fn main() {
             },
         )
         .expect("widening dice");
-    log("dice (wider — must fall back)", s7, session.answer(q7).len(), t0.elapsed());
+    log(
+        "dice (wider — must fall back)",
+        s7,
+        session.answer(q7).len(),
+        t0.elapsed(),
+    );
     assert_eq!(s7, Strategy::FromScratch);
 
     // ---- Consistency audit -------------------------------------------------
-    println!("\nAuditing all {} materialized cubes against from-scratch evaluation…",
-        session.len());
+    println!(
+        "\nAuditing all {} materialized cubes against from-scratch evaluation…",
+        session.len()
+    );
     for (i, handle) in [q0, q1, q2, q3, q4, q5, q6, q7].into_iter().enumerate() {
         let scratch = session
             .cube(handle)

@@ -38,8 +38,18 @@ fn main() {
         .add_edge("hasAge", "Blogger", "Age", "e(?x, ?a) :- ?x age ?a")
         .add_edge("livesIn", "Blogger", "City", "e(?x, ?c) :- ?x city ?c")
         .add_edge("identifiedBy", "Blogger", "Name", "e(?x, ?n) :- ?x name ?n")
-        .add_edge("acquaintedWith", "Blogger", "Blogger", "e(?x, ?y) :- ?x knows ?y")
-        .add_edge("wrotePost", "Blogger", "BlogPost", "e(?x, ?p) :- ?x posted ?p")
+        .add_edge(
+            "acquaintedWith",
+            "Blogger",
+            "Blogger",
+            "e(?x, ?y) :- ?x knows ?y",
+        )
+        .add_edge(
+            "wrotePost",
+            "Blogger",
+            "BlogPost",
+            "e(?x, ?p) :- ?x posted ?p",
+        )
         .add_edge("postedOn", "BlogPost", "Site", "e(?p, ?s) :- ?p on ?s");
     let instance = schema.materialize(&mut base).expect("schema materializes");
     println!("AnS instance: {} triples\n", instance.len());
@@ -54,14 +64,26 @@ fn main() {
         )
         .expect("Example 1 cube");
     println!("Q — sites per blogger, by (age, city)   [Example 2 expects ⟨28,Madrid,3⟩ ⟨35,NY,2⟩]");
-    println!("{}", session.answer(cube).to_table(session.instance().dict()));
+    println!(
+        "{}",
+        session.answer(cube).to_table(session.instance().dict())
+    );
 
     // ---- 4. Example 3's OLAP operations ---------------------------------
     let (sliced, st) = session
-        .transform(cube, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(35) })
+        .transform(
+            cube,
+            &OlapOp::Slice {
+                dim: "dage".into(),
+                value: Term::integer(35),
+            },
+        )
         .expect("slice");
     println!("SLICE dage=35  (answered by {st})");
-    println!("{}", session.answer(sliced).to_table(session.instance().dict()));
+    println!(
+        "{}",
+        session.answer(sliced).to_table(session.instance().dict())
+    );
 
     let (diced, st) = session
         .transform(
@@ -71,27 +93,42 @@ fn main() {
                     ("dage".into(), ValueSelector::one(Term::integer(28))),
                     (
                         "dcity".into(),
-                        ValueSelector::OneOf(vec![
-                            Term::literal("Madrid"),
-                            Term::literal("Kyoto"),
-                        ]),
+                        ValueSelector::OneOf(vec![Term::literal("Madrid"), Term::literal("Kyoto")]),
                     ),
                 ],
             },
         )
         .expect("dice");
     println!("DICE dage∈{{28}}, dcity∈{{Madrid, Kyoto}}  (answered by {st})");
-    println!("{}", session.answer(diced).to_table(session.instance().dict()));
+    println!(
+        "{}",
+        session.answer(diced).to_table(session.instance().dict())
+    );
 
     let (drilled_out, st) = session
-        .transform(cube, &OlapOp::DrillOut { dims: vec!["dage".into()] })
+        .transform(
+            cube,
+            &OlapOp::DrillOut {
+                dims: vec!["dage".into()],
+            },
+        )
         .expect("drill-out");
     println!("DRILL-OUT dage  (answered by {st})");
-    println!("{}", session.answer(drilled_out).to_table(session.instance().dict()));
+    println!(
+        "{}",
+        session
+            .answer(drilled_out)
+            .to_table(session.instance().dict())
+    );
 
     let (drilled_in, st) = session
         .transform(drilled_out, &OlapOp::DrillIn { var: "dage".into() })
         .expect("drill-in");
     println!("DRILL-IN dage — Example 3's round trip back to Q  (answered by {st})");
-    println!("{}", session.answer(drilled_in).to_table(session.instance().dict()));
+    println!(
+        "{}",
+        session
+            .answer(drilled_in)
+            .to_table(session.instance().dict())
+    );
 }

@@ -34,8 +34,7 @@ fn main() {
         instance.dict_mut(),
     )
     .expect("SPARQL parses");
-    let SparqlResult::Groups(rows) = evaluate_sparql(&instance, &sparql).expect("evaluates")
-    else {
+    let SparqlResult::Groups(rows) = evaluate_sparql(&instance, &sparql).expect("evaluates") else {
         unreachable!("aggregate query returns groups");
     };
     println!(
@@ -93,5 +92,8 @@ fn main() {
             AggFunc::Count,
         )
         .expect("per-city AnQ registers");
-    println!("\nAnQ cube by city:\n{}", session.answer(cube).to_table(session.instance().dict()));
+    println!(
+        "\nAnQ cube by city:\n{}",
+        session.answer(cube).to_table(session.instance().dict())
+    );
 }

@@ -24,10 +24,17 @@ fn main() {
 
     let mut session = OlapSession::new(figure3);
     let cube = session
-        .register(datagen::EXAMPLE6_CLASSIFIER, datagen::EXAMPLE6_MEASURE, AggFunc::Sum)
+        .register(
+            datagen::EXAMPLE6_CLASSIFIER,
+            datagen::EXAMPLE6_MEASURE,
+            AggFunc::Sum,
+        )
         .expect("Example 6 cube");
 
-    println!("Figure 3 — pres(Q): {} rows", session.cube(cube).pres().len());
+    println!(
+        "Figure 3 — pres(Q): {} rows",
+        session.cube(cube).pres().len()
+    );
     for row in session.cube(cube).pres().rows() {
         let dict = session.instance().dict();
         println!(
@@ -38,30 +45,45 @@ fn main() {
             dict.term(row.value)
         );
     }
-    println!("\nans(Q):\n{}", session.answer(cube).to_table(session.instance().dict()));
+    println!(
+        "\nans(Q):\n{}",
+        session.answer(cube).to_table(session.instance().dict())
+    );
 
     // The auxiliary query of Definition 6, printed in the paper's notation.
     let classifier = session.cube(cube).query().query().classifier().clone();
     let d3 = classifier.vars().id("d3").expect("?d3 exists");
     let aux = build_aux_query(&classifier, d3).expect("Definition 6 construction");
-    println!("q_aux (Definition 6): {}", aux.to_text(session.instance().dict()));
+    println!(
+        "q_aux (Definition 6): {}",
+        aux.to_text(session.instance().dict())
+    );
     let aux_answer = evaluate(session.instance(), &aux, Semantics::Set).expect("aux evaluates");
     println!("q_aux answer: {} rows", aux_answer.len());
 
-    let (drilled, strategy) =
-        session.transform(cube, &OlapOp::DrillIn { var: "d3".into() }).expect("drill-in");
+    let (drilled, strategy) = session
+        .transform(cube, &OlapOp::DrillIn { var: "d3".into() })
+        .expect("drill-in");
     println!(
         "\nDRILL-IN d3 (browser), answered by {strategy}:\n{}",
         session.answer(drilled).to_table(session.instance().dict())
     );
 
     // ---- The same scenario at scale ---------------------------------------
-    let cfg = VideoConfig { n_videos: 20_000, n_websites: 500, ..Default::default() };
+    let cfg = VideoConfig {
+        n_videos: 20_000,
+        n_websites: 500,
+        ..Default::default()
+    };
     let instance = datagen::generate_videos(&cfg);
     println!("\nScaled video world: {} triples", instance.len());
     let mut session = OlapSession::new(instance);
     let cube = session
-        .register(datagen::EXAMPLE6_CLASSIFIER, datagen::EXAMPLE6_MEASURE, AggFunc::Sum)
+        .register(
+            datagen::EXAMPLE6_CLASSIFIER,
+            datagen::EXAMPLE6_MEASURE,
+            AggFunc::Sum,
+        )
         .expect("scaled cube");
     println!(
         "ans(Q): {} cells; pres(Q): {} rows",
@@ -70,12 +92,17 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let (drilled, strategy) =
-        session.transform(cube, &OlapOp::DrillIn { var: "d3".into() }).expect("drill-in");
+    let (drilled, strategy) = session
+        .transform(cube, &OlapOp::DrillIn { var: "d3".into() })
+        .expect("drill-in");
     let alg2 = t0.elapsed();
 
     let t0 = Instant::now();
-    let scratch = session.cube(drilled).query().answer(session.instance()).expect("scratch");
+    let scratch = session
+        .cube(drilled)
+        .query()
+        .answer(session.instance())
+        .expect("scratch");
     let scratch_time = t0.elapsed();
 
     assert!(session.answer(drilled).same_cells(&scratch));

@@ -14,24 +14,29 @@ use rdfcube::prelude::*;
 use std::time::Instant;
 
 /// Parses an extended query against the session's instance dictionary.
-fn pose(
-    session: &mut OlapSession,
-    classifier: &str,
-    measure: &str,
-    agg: AggFunc,
-) -> ExtendedQuery {
-    session.parse_query(classifier, measure, agg).expect("query parses")
+fn pose(session: &mut OlapSession, classifier: &str, measure: &str, agg: AggFunc) -> ExtendedQuery {
+    session
+        .parse_query(classifier, measure, agg)
+        .expect("query parses")
 }
 
 fn main() {
-    let cfg = BloggerConfig { n_bloggers: 3_000, multi_city_prob: 0.1, ..Default::default() };
+    let cfg = BloggerConfig {
+        n_bloggers: 3_000,
+        multi_city_prob: 0.1,
+        ..Default::default()
+    };
     let mut session = OlapSession::new(datagen::generate_instance(&cfg));
     println!("Instance: {} triples\n", session.instance().len());
 
     // An analyst materializes one broad cube…
     let t0 = Instant::now();
     let broad = session
-        .register(datagen::EXAMPLE1_CLASSIFIER, datagen::EXAMPLE1_MEASURE, AggFunc::Count)
+        .register(
+            datagen::EXAMPLE1_CLASSIFIER,
+            datagen::EXAMPLE1_MEASURE,
+            AggFunc::Count,
+        )
         .expect("broad cube registers");
     println!(
         "materialized broad cube (age × city): {} cells in {:?}\n",
@@ -75,9 +80,16 @@ fn main() {
         let (h, strategy) = session.answer_query(eq).expect("query answered");
         let took = t0.elapsed();
         let scratch_t0 = Instant::now();
-        let scratch = session.cube(h).query().answer(session.instance()).expect("scratch");
+        let scratch = session
+            .cube(h)
+            .query()
+            .answer(session.instance())
+            .expect("scratch");
         let scratch_took = scratch_t0.elapsed();
-        assert!(session.answer(h).same_cells(&scratch), "derivation diverged!");
+        assert!(
+            session.answer(h).same_cells(&scratch),
+            "derivation diverged!"
+        );
         println!("query: {label}");
         println!(
             "  answered by {strategy} in {took:?} (from scratch: {scratch_took:?}); \

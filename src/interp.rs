@@ -86,7 +86,10 @@ pub struct Interpreter {
 impl Interpreter {
     /// Creates an empty interpreter.
     pub fn new() -> Self {
-        Interpreter { schema: AnalyticalSchema::new("script"), ..Default::default() }
+        Interpreter {
+            schema: AnalyticalSchema::new("script"),
+            ..Default::default()
+        }
     }
 
     /// Runs a whole script; returns the concatenated command outputs.
@@ -160,7 +163,10 @@ impl Interpreter {
         match &mut self.base {
             Some(base) => {
                 let added = base.absorb(&graph);
-                Ok(format!("loaded {added} new triples (base: {})\n", base.len()))
+                Ok(format!(
+                    "loaded {added} new triples (base: {})\n",
+                    base.len()
+                ))
             }
             None => {
                 self.base = Some(graph);
@@ -175,7 +181,10 @@ impl Interpreter {
             .as_mut()
             .ok_or_else(|| InterpError::State("no base graph loaded".into()))?;
         let added = saturate(base);
-        Ok(format!("saturation added {added} triples (base: {})\n", base.len()))
+        Ok(format!(
+            "saturation added {added} triples (base: {})\n",
+            base.len()
+        ))
     }
 
     fn cmd_node(&mut self, rest: &str) -> Result<String, InterpError> {
@@ -192,7 +201,9 @@ impl Interpreter {
         let (from, rest) = split_word(rest);
         let (to, query) = split_word(rest);
         if prop.is_empty() || from.is_empty() || to.is_empty() || query.is_empty() {
-            return Err(InterpError::Usage("edge <prop> <From> <To> <binary query>".into()));
+            return Err(InterpError::Usage(
+                "edge <prop> <From> <To> <binary query>".into(),
+            ));
         }
         self.schema.add_edge(prop, from, to, query);
         Ok(format!("edge {prop}: {from} → {to} declared\n"))
@@ -207,7 +218,9 @@ impl Interpreter {
         let n = instance.len();
         self.session = Some(OlapSession::new(instance));
         self.cubes.clear();
-        Ok(format!("materialized instance: {n} triples; session open\n"))
+        Ok(format!(
+            "materialized instance: {n} triples; session open\n"
+        ))
     }
 
     fn cmd_instance(&mut self) -> Result<String, InterpError> {
@@ -218,7 +231,9 @@ impl Interpreter {
         let n = base.len();
         self.session = Some(OlapSession::new(base));
         self.cubes.clear();
-        Ok(format!("using base graph as instance: {n} triples; session open\n"))
+        Ok(format!(
+            "using base graph as instance: {n} triples; session open\n"
+        ))
     }
 
     fn session(&mut self) -> Result<&mut OlapSession, InterpError> {
@@ -228,7 +243,10 @@ impl Interpreter {
     }
 
     fn cube_handle(&self, name: &str) -> Result<CubeHandle, InterpError> {
-        self.cubes.get(name).copied().ok_or_else(|| InterpError::UnknownCube(name.to_string()))
+        self.cubes
+            .get(name)
+            .copied()
+            .ok_or_else(|| InterpError::UnknownCube(name.to_string()))
     }
 
     fn cmd_cube(&mut self, rest: &str) -> Result<String, InterpError> {
@@ -271,9 +289,14 @@ impl Interpreter {
         self.transform(rest, |args| {
             let (dim, value) = split_word(args);
             if dim.is_empty() || value.is_empty() {
-                return Err(InterpError::Usage("slice <new> from <old> <dim> <value>".into()));
+                return Err(InterpError::Usage(
+                    "slice <new> from <old> <dim> <value>".into(),
+                ));
             }
-            Ok(OlapOp::Slice { dim: dim.to_string(), value: parse_term(value) })
+            Ok(OlapOp::Slice {
+                dim: dim.to_string(),
+                value: parse_term(value),
+            })
         })
     }
 
@@ -286,26 +309,29 @@ impl Interpreter {
                 ));
             }
             let selector = if let Some((lo, hi)) = spec.split_once("..") {
-                let lo = lo.parse::<i64>().map_err(|_| {
-                    InterpError::Usage(format!("bad range bound '{lo}'"))
-                })?;
-                let hi = hi.parse::<i64>().map_err(|_| {
-                    InterpError::Usage(format!("bad range bound '{hi}'"))
-                })?;
+                let lo = lo
+                    .parse::<i64>()
+                    .map_err(|_| InterpError::Usage(format!("bad range bound '{lo}'")))?;
+                let hi = hi
+                    .parse::<i64>()
+                    .map_err(|_| InterpError::Usage(format!("bad range bound '{hi}'")))?;
                 ValueSelector::IntRange { lo, hi }
             } else {
                 ValueSelector::OneOf(spec.split(',').map(parse_term).collect())
             };
-            Ok(OlapOp::Dice { constraints: vec![(dim.to_string(), selector)] })
+            Ok(OlapOp::Dice {
+                constraints: vec![(dim.to_string(), selector)],
+            })
         })
     }
 
     fn cmd_drill_out(&mut self, rest: &str) -> Result<String, InterpError> {
         self.transform(rest, |args| {
-            let dims: Vec<String> =
-                args.split_whitespace().map(str::to_string).collect();
+            let dims: Vec<String> = args.split_whitespace().map(str::to_string).collect();
             if dims.is_empty() {
-                return Err(InterpError::Usage("drillout <new> from <old> <dim>…".into()));
+                return Err(InterpError::Usage(
+                    "drillout <new> from <old> <dim>…".into(),
+                ));
             }
             Ok(OlapOp::DrillOut { dims })
         })
@@ -317,7 +343,9 @@ impl Interpreter {
             if var.is_empty() || !extra.is_empty() {
                 return Err(InterpError::Usage("drillin <new> from <old> <var>".into()));
             }
-            Ok(OlapOp::DrillIn { var: var.to_string() })
+            Ok(OlapOp::DrillIn {
+                var: var.to_string(),
+            })
         })
     }
 
@@ -330,7 +358,10 @@ impl Interpreter {
                     "rollup <new> from <old> <dim> via <property>".into(),
                 ));
             }
-            Ok(OlapOp::RollUp { dim: dim.to_string(), via: prop.to_string() })
+            Ok(OlapOp::RollUp {
+                dim: dim.to_string(),
+                via: prop.to_string(),
+            })
         })
     }
 
@@ -341,7 +372,10 @@ impl Interpreter {
         }
         let handle = self.cube_handle(name)?;
         let session = self.session()?;
-        Ok(format!("{name}:\n{}", session.answer(handle).to_table(session.instance().dict())))
+        Ok(format!(
+            "{name}:\n{}",
+            session.answer(handle).to_table(session.instance().dict())
+        ))
     }
 
     fn cmd_pres(&mut self, rest: &str) -> Result<String, InterpError> {

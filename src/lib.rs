@@ -65,9 +65,9 @@ pub use rdfcube_engine as engine;
 pub use rdfcube_rdf as rdf;
 
 pub use rdfcube_core::{
-    answer, apply, build_aux_query, AnalyticalQuery, AnalyticalSchema, CoreError, Cube,
-    CubeHandle, ExtendedQuery, MaterializedCube, OlapOp, OlapSession, PartialResult, Sigma,
-    Strategy, ValueSelector,
+    answer, apply, build_aux_query, AnalyticalQuery, AnalyticalSchema, CoreError, Cube, CubeHandle,
+    ExtendedQuery, MaterializedCube, OlapOp, OlapSession, PartialResult, Sigma, Strategy,
+    ValueSelector,
 };
 pub use rdfcube_engine::{
     evaluate, evaluate_sparql, explain, parse_query, parse_sparql, AggFunc, AggValue, Bgp,
@@ -81,8 +81,8 @@ pub use rdfcube_rdf::{
 /// One-stop imports for applications.
 pub mod prelude {
     pub use rdfcube_core::{
-        AnalyticalQuery, AnalyticalSchema, Cube, ExtendedQuery, OlapOp, OlapSession,
-        PartialResult, Sigma, Strategy, ValueSelector,
+        AnalyticalQuery, AnalyticalSchema, Cube, ExtendedQuery, OlapOp, OlapSession, PartialResult,
+        Sigma, Strategy, ValueSelector,
     };
     pub use rdfcube_datagen::{BloggerConfig, VideoConfig};
     pub use rdfcube_engine::{evaluate, parse_query, AggFunc, AggValue, Semantics};

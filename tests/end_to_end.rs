@@ -27,7 +27,12 @@ fn pipeline_with_rdfs_inference() {
         .add_node("Site", "n(?s) :- ?p on ?s")
         .add_edge("hasAge", "Blogger", "Age", "e(?x, ?a) :- ?x age ?a")
         .add_edge("livesIn", "Blogger", "City", "e(?x, ?c) :- ?x city ?c")
-        .add_edge("wrotePost", "Blogger", "BlogPost", "e(?x, ?p) :- ?x posted ?p")
+        .add_edge(
+            "wrotePost",
+            "Blogger",
+            "BlogPost",
+            "e(?x, ?p) :- ?x posted ?p",
+        )
         .add_edge("postedOn", "BlogPost", "Site", "e(?p, ?s) :- ?p on ?s");
 
     // Without saturation user2 is not a Person, so only user1 classifies.
@@ -40,7 +45,11 @@ fn pipeline_with_rdfs_inference() {
             AggFunc::Count,
         )
         .unwrap();
-    let madrid = s_before.instance().dict().id(&Term::literal("Madrid")).unwrap();
+    let madrid = s_before
+        .instance()
+        .dict()
+        .id(&Term::literal("Madrid"))
+        .unwrap();
     assert_eq!(s_before.answer(h).get(&[madrid]), Some(&AggValue::Int(1)));
 
     // With saturation user2's posts join the Madrid cell.
@@ -54,7 +63,11 @@ fn pipeline_with_rdfs_inference() {
             AggFunc::Count,
         )
         .unwrap();
-    let madrid = s_after.instance().dict().id(&Term::literal("Madrid")).unwrap();
+    let madrid = s_after
+        .instance()
+        .dict()
+        .id(&Term::literal("Madrid"))
+        .unwrap();
     assert_eq!(s_after.answer(h).get(&[madrid]), Some(&AggValue::Int(3)));
 }
 
@@ -63,7 +76,11 @@ fn pipeline_with_rdfs_inference() {
 #[test]
 fn instance_round_trip_preserves_cubes() {
     use rdfcube::datagen::{generate_instance, BloggerConfig};
-    let cfg = BloggerConfig { n_bloggers: 150, seed: 11, ..Default::default() };
+    let cfg = BloggerConfig {
+        n_bloggers: 150,
+        seed: 11,
+        ..Default::default()
+    };
     let instance = generate_instance(&cfg);
     let text = to_ntriples(&instance);
     let reloaded = parse_ntriples(&text).unwrap();
@@ -84,7 +101,10 @@ fn instance_round_trip_preserves_cubes() {
             .cells()
             .iter()
             .map(|(k, v)| {
-                (k.iter().map(|&id| dict.term(id).to_string()).collect(), v.display(dict))
+                (
+                    k.iter().map(|&id| dict.term(id).to_string()).collect(),
+                    v.display(dict),
+                )
             })
             .collect();
         cells.sort();
@@ -97,8 +117,12 @@ fn instance_round_trip_preserves_cubes() {
 #[test]
 fn interleaved_multi_cube_session() {
     use rdfcube::datagen::{generate_instance, BloggerConfig};
-    let cfg =
-        BloggerConfig { n_bloggers: 200, multi_city_prob: 0.3, seed: 5, ..Default::default() };
+    let cfg = BloggerConfig {
+        n_bloggers: 200,
+        multi_city_prob: 0.3,
+        seed: 5,
+        ..Default::default()
+    };
     let mut session = OlapSession::new(generate_instance(&cfg));
 
     let count_cube = session
@@ -117,7 +141,12 @@ fn interleaved_multi_cube_session() {
         .unwrap();
 
     let (c1, s1) = session
-        .transform(count_cube, &OlapOp::DrillOut { dims: vec!["dcity".into()] })
+        .transform(
+            count_cube,
+            &OlapOp::DrillOut {
+                dims: vec!["dcity".into()],
+            },
+        )
         .unwrap();
     let (a1, s2) = session
         .transform(
@@ -128,7 +157,13 @@ fn interleaved_multi_cube_session() {
         )
         .unwrap();
     let (c2, s3) = session
-        .transform(c1, &OlapOp::Slice { dim: "dage".into(), value: Term::integer(25) })
+        .transform(
+            c1,
+            &OlapOp::Slice {
+                dim: "dage".into(),
+                value: Term::integer(25),
+            },
+        )
         .unwrap();
     assert_eq!(s1, Strategy::Algorithm1);
     assert_eq!(s2, Strategy::SelectionOnAns);
@@ -176,8 +211,16 @@ fn all_aggregation_functions() {
         let g1 = dict.id(&Term::iri("g1")).unwrap();
         let g2 = dict.id(&Term::iri("g2")).unwrap();
         let cube = session.answer(h);
-        assert_eq!(cube.get(&[g1]).unwrap().display(dict), g1_expected, "{agg} g1");
-        assert_eq!(cube.get(&[g2]).unwrap().display(dict), g2_expected, "{agg} g2");
+        assert_eq!(
+            cube.get(&[g1]).unwrap().display(dict),
+            g1_expected,
+            "{agg} g1"
+        );
+        assert_eq!(
+            cube.get(&[g2]).unwrap().display(dict),
+            g2_expected,
+            "{agg} g2"
+        );
     }
 }
 
@@ -185,7 +228,11 @@ fn all_aggregation_functions() {
 #[test]
 fn video_drill_in_pipeline() {
     use rdfcube::datagen::{generate_videos, VideoConfig};
-    let cfg = VideoConfig { n_videos: 300, n_websites: 40, ..Default::default() };
+    let cfg = VideoConfig {
+        n_videos: 300,
+        n_websites: 40,
+        ..Default::default()
+    };
     let mut session = OlapSession::new(generate_videos(&cfg));
     let h = session
         .register(
@@ -194,12 +241,21 @@ fn video_drill_in_pipeline() {
             AggFunc::Sum,
         )
         .unwrap();
-    let (h2, strategy) = session.transform(h, &OlapOp::DrillIn { var: "d3".into() }).unwrap();
+    let (h2, strategy) = session
+        .transform(h, &OlapOp::DrillIn { var: "d3".into() })
+        .unwrap();
     assert_eq!(strategy, Strategy::Algorithm2);
     let scratch = session.cube(h2).query().answer(session.instance()).unwrap();
     assert!(session.answer(h2).same_cells(&scratch));
     // Drill back out of the browser dimension: Algorithm 1.
-    let (h3, strategy) = session.transform(h2, &OlapOp::DrillOut { dims: vec!["d3".into()] }).unwrap();
+    let (h3, strategy) = session
+        .transform(
+            h2,
+            &OlapOp::DrillOut {
+                dims: vec!["d3".into()],
+            },
+        )
+        .unwrap();
     assert_eq!(strategy, Strategy::Algorithm1);
     // … which must agree with the original cube (browser was added then
     // removed; the remaining dimension is the same d2).

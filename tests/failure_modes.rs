@@ -8,35 +8,44 @@ use rdfcube::{parse_query, Dictionary, EngineError};
 #[test]
 fn malformed_rdf_inputs() {
     for bad in [
-        "<s> <p>",                  // incomplete triple
-        "<s> <p> <o>",              // missing dot
-        "<s> <p> \"unterminated",   // unterminated literal
-        "<s> <p> <o> extra .",      // junk
-        "@prefix broken",           // broken directive
-        "ex:s <p> <o> .",           // unknown prefix
-        "<s> <p> \"x\"^^ .",        // dangling datatype
-        "<s> <p> _: .",             // broken bnode — empty label then dot-as-object fails
+        "<s> <p>",                // incomplete triple
+        "<s> <p> <o>",            // missing dot
+        "<s> <p> \"unterminated", // unterminated literal
+        "<s> <p> <o> extra .",    // junk
+        "@prefix broken",         // broken directive
+        "ex:s <p> <o> .",         // unknown prefix
+        "<s> <p> \"x\"^^ .",      // dangling datatype
+        "<s> <p> _: .",           // broken bnode — empty label then dot-as-object fails
     ] {
-        assert!(parse_turtle(bad).is_err(), "accepted malformed turtle: {bad}");
+        assert!(
+            parse_turtle(bad).is_err(),
+            "accepted malformed turtle: {bad}"
+        );
     }
-    assert!(parse_ntriples("<s> <p> 28 .").is_err(), "ntriples must reject bare numbers");
+    assert!(
+        parse_ntriples("<s> <p> 28 .").is_err(),
+        "ntriples must reject bare numbers"
+    );
 }
 
 #[test]
 fn malformed_queries() {
     let mut dict = Dictionary::new();
     for bad in [
-        "",                               // empty
-        "q",                              // no head
-        "q()",                            // no body
-        "q(?x) :-",                       // empty body
-        "q(?x) : ?x p ?x",                // bad separator
-        "q(?x) :- ?x p",                  // incomplete pattern
-        "q(?x, ?y) :- ?x p ?x",           // ?y unbound
-        "q(?x) :- ?x nope:local ?y",      // unknown prefix
-        "q(?) :- ?x p ?x",                // empty variable name
+        "",                          // empty
+        "q",                         // no head
+        "q()",                       // no body
+        "q(?x) :-",                  // empty body
+        "q(?x) : ?x p ?x",           // bad separator
+        "q(?x) :- ?x p",             // incomplete pattern
+        "q(?x, ?y) :- ?x p ?x",      // ?y unbound
+        "q(?x) :- ?x nope:local ?y", // unknown prefix
+        "q(?) :- ?x p ?x",           // empty variable name
     ] {
-        assert!(parse_query(bad, &mut dict).is_err(), "accepted malformed query: {bad}");
+        assert!(
+            parse_query(bad, &mut dict).is_err(),
+            "accepted malformed query: {bad}"
+        );
     }
 }
 
@@ -73,23 +82,35 @@ fn invalid_analytical_queries() {
 
 #[test]
 fn invalid_operations_on_sessions() {
-    let instance = parse_turtle(
-        "<a> rdf:type <C> ; <dim> <d1> ; <val> 3 .",
-    )
-    .unwrap();
+    let instance = parse_turtle("<a> rdf:type <C> ; <dim> <d1> ; <val> 3 .").unwrap();
     let mut s = OlapSession::new(instance);
     let h = s
-        .register("c(?x, ?d) :- ?x rdf:type C, ?x dim ?d", "m(?x, ?v) :- ?x val ?v", AggFunc::Sum)
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Sum,
+        )
         .unwrap();
 
     // Unknown dimension.
     assert!(matches!(
-        s.transform(h, &OlapOp::Slice { dim: "ghost".into(), value: Term::integer(1) }),
+        s.transform(
+            h,
+            &OlapOp::Slice {
+                dim: "ghost".into(),
+                value: Term::integer(1)
+            }
+        ),
         Err(CoreError::UnknownDimension(_))
     ));
     // Unknown variable for drill-in.
     assert!(matches!(
-        s.transform(h, &OlapOp::DrillIn { var: "ghost".into() }),
+        s.transform(
+            h,
+            &OlapOp::DrillIn {
+                var: "ghost".into()
+            }
+        ),
         Err(CoreError::UnknownVariable(_))
     ));
     // Drill-in on an existing dimension.
@@ -98,7 +119,14 @@ fn invalid_operations_on_sessions() {
         Err(CoreError::InvalidOperation(_))
     ));
     // Empty dice.
-    assert!(s.transform(h, &OlapOp::Dice { constraints: vec![] }).is_err());
+    assert!(s
+        .transform(
+            h,
+            &OlapOp::Dice {
+                constraints: vec![]
+            }
+        )
+        .is_err());
     // Failed transforms must not have materialized anything.
     assert_eq!(s.len(), 1);
 }
@@ -129,9 +157,12 @@ fn non_numeric_aggregation_errors_cleanly() {
 #[test]
 fn schema_violations() {
     let mut schema = AnalyticalSchema::new("s");
-    schema
-        .add_node("C", "n(?x) :- ?x rdf:type Thing")
-        .add_edge("p", "C", "Ghost", "e(?x, ?y) :- ?x p ?y");
+    schema.add_node("C", "n(?x) :- ?x rdf:type Thing").add_edge(
+        "p",
+        "C",
+        "Ghost",
+        "e(?x, ?y) :- ?x p ?y",
+    );
     let mut base = parse_turtle("<a> rdf:type <Thing> .").unwrap();
     assert!(schema.materialize(&mut base).is_err());
 
@@ -154,15 +185,32 @@ fn empty_inputs_are_fine_everywhere() {
     // Empty instance: queries answer with empty cubes, not errors.
     let mut s = OlapSession::new(Graph::new());
     let h = s
-        .register("c(?x, ?d) :- ?x rdf:type C, ?x dim ?d", "m(?x, ?v) :- ?x val ?v", AggFunc::Sum)
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Sum,
+        )
         .unwrap();
     assert!(s.answer(h).is_empty());
     // Operations on empty cubes stay empty and consistent.
     let (h2, _) = s
-        .transform(h, &OlapOp::Slice { dim: "d".into(), value: Term::integer(1) })
+        .transform(
+            h,
+            &OlapOp::Slice {
+                dim: "d".into(),
+                value: Term::integer(1),
+            },
+        )
         .unwrap();
     assert!(s.answer(h2).is_empty());
-    let (h3, _) = s.transform(h, &OlapOp::DrillOut { dims: vec!["d".into()] }).unwrap();
+    let (h3, _) = s
+        .transform(
+            h,
+            &OlapOp::DrillOut {
+                dims: vec!["d".into()],
+            },
+        )
+        .unwrap();
     assert!(s.answer(h3).is_empty());
 }
 

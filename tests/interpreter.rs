@@ -37,13 +37,28 @@ stats
 #[test]
 fn paper_example_script_end_to_end() {
     let mut interp = Interpreter::new();
-    let out = interp.run_script(SCRIPT).map_err(|(l, e)| format!("line {l}: {e}")).unwrap();
+    let out = interp
+        .run_script(SCRIPT)
+        .map_err(|(l, e)| format!("line {l}: {e}"))
+        .unwrap();
     assert!(out.contains("loaded 19 triples"), "out: {out}");
     assert!(out.contains("cube Q1: 2 cells materialized"), "out: {out}");
-    assert!(out.contains("cube Q2: 1 cells via selection over ans(Q)"), "out: {out}");
-    assert!(out.contains("cube Q3: 1 cells via selection over ans(Q)"), "out: {out}");
-    assert!(out.contains("cube Q4: 2 cells via Algorithm 1"), "out: {out}");
-    assert!(out.contains("cube Q5: 2 cells via Algorithm 2"), "out: {out}");
+    assert!(
+        out.contains("cube Q2: 1 cells via selection over ans(Q)"),
+        "out: {out}"
+    );
+    assert!(
+        out.contains("cube Q3: 1 cells via selection over ans(Q)"),
+        "out: {out}"
+    );
+    assert!(
+        out.contains("cube Q4: 2 cells via Algorithm 1"),
+        "out: {out}"
+    );
+    assert!(
+        out.contains("cube Q5: 2 cells via Algorithm 2"),
+        "out: {out}"
+    );
     // Example 2's answer in the rendered table.
     assert!(out.contains("Madrid"));
     assert!(out.contains("| 3"), "count 3 for (28, Madrid): {out}");
@@ -68,7 +83,9 @@ fn instance_shortcut_skips_the_lens() {
 #[test]
 fn errors_carry_line_numbers() {
     let mut interp = Interpreter::new();
-    let err = interp.run_script("loadstr <a> <b> <c> .\nfrobnicate\n").unwrap_err();
+    let err = interp
+        .run_script("loadstr <a> <b> <c> .\nfrobnicate\n")
+        .unwrap_err();
     assert_eq!(err.0, 2);
     assert!(matches!(err.1, InterpError::Usage(_)));
 }
@@ -76,17 +93,32 @@ fn errors_carry_line_numbers() {
 #[test]
 fn state_errors() {
     let mut interp = Interpreter::new();
-    assert!(matches!(interp.exec("saturate"), Err(InterpError::State(_))));
-    assert!(matches!(interp.exec("materialize"), Err(InterpError::State(_))));
+    assert!(matches!(
+        interp.exec("saturate"),
+        Err(InterpError::State(_))
+    ));
+    assert!(matches!(
+        interp.exec("materialize"),
+        Err(InterpError::State(_))
+    ));
     assert!(matches!(
         interp.exec("cube Q count c(?x) :- ?x p ?x | m(?x,?v) :- ?x q ?v"),
         Err(InterpError::State(_))
     ));
     interp.exec("loadstr <a> <p> <b> .").unwrap();
     interp.exec("instance").unwrap();
-    assert!(matches!(interp.exec("show nope"), Err(InterpError::UnknownCube(_))));
-    assert!(matches!(interp.exec("cube Q wat c | m"), Err(InterpError::Usage(_))));
-    assert!(matches!(interp.exec("slice A from B"), Err(InterpError::Usage(_))));
+    assert!(matches!(
+        interp.exec("show nope"),
+        Err(InterpError::UnknownCube(_))
+    ));
+    assert!(matches!(
+        interp.exec("cube Q wat c | m"),
+        Err(InterpError::Usage(_))
+    ));
+    assert!(matches!(
+        interp.exec("slice A from B"),
+        Err(InterpError::Usage(_))
+    ));
 }
 
 #[test]
@@ -123,7 +155,10 @@ fn rollup_command() {
         )
         .map_err(|(l, e)| format!("line {l}: {e}"))
         .unwrap();
-    assert!(out.contains("cube R: 2 cells via roll-up composition"), "out: {out}");
+    assert!(
+        out.contains("cube R: 2 cells via roll-up composition"),
+        "out: {out}"
+    );
     assert!(out.contains("spain"));
 }
 

@@ -21,22 +21,29 @@ use rdfcube::{AnalyticalQuery, Term};
 /// A classifier with an existential variable (?p) so DRILL-IN is possible.
 const CLASSIFIER: &str = "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, \
      ?x livesIn ?dcity, ?x wrotePost ?p";
-const MEASURE: &str =
-    "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?q, ?q hasWordCount ?v";
+const MEASURE: &str = "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?q, ?q hasWordCount ?v";
 
 fn arb_config() -> impl Strategy<Value = BloggerConfig> {
-    (10usize..120, 0.0f64..0.8, 0.0f64..0.4, any::<u64>(), 2usize..12, 2usize..12).prop_map(
-        |(n, multi, missing, seed, n_cities, n_ages)| BloggerConfig {
-            n_bloggers: n,
-            multi_city_prob: multi,
-            missing_age_prob: missing,
-            n_cities,
-            n_ages,
-            max_posts: 4,
-            seed,
-            ..Default::default()
-        },
+    (
+        10usize..120,
+        0.0f64..0.8,
+        0.0f64..0.4,
+        any::<u64>(),
+        2usize..12,
+        2usize..12,
     )
+        .prop_map(
+            |(n, multi, missing, seed, n_cities, n_ages)| BloggerConfig {
+                n_bloggers: n,
+                multi_city_prob: multi,
+                missing_age_prob: missing,
+                n_cities,
+                n_ages,
+                max_posts: 4,
+                seed,
+                ..Default::default()
+            },
+        )
 }
 
 fn arb_agg() -> impl Strategy<Value = AggFunc> {

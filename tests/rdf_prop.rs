@@ -13,9 +13,8 @@ fn arb_term() -> impl Strategy<Value = Term> {
         (0u8..5).prop_map(|n| Term::blank(format!("b{n}"))),
         "[a-zA-Z \"\\\\\n\t]{0,12}".prop_map(Term::literal),
         any::<i64>().prop_map(Term::integer),
-        (0u8..5).prop_map(|n| {
-            Term::Literal(rdfcube::rdf::Literal::lang(format!("w{n}"), "en"))
-        }),
+        (0u8..5)
+            .prop_map(|n| { Term::Literal(rdfcube::rdf::Literal::lang(format!("w{n}"), "en")) }),
     ]
 }
 

@@ -1,0 +1,176 @@
+//! Rewriting-soundness property suite: for seeded random cubes over
+//! `datagen::blogger` worlds, the answer produced by **every strategy
+//! applicable to an operation** must equal full re-evaluation of the
+//! rewritten query (Definition 1). Where `propositions_prop.rs` checks each
+//! proposition in isolation, this suite enumerates, per operation, all the
+//! evaluation routes the session could take:
+//!
+//! * SLICE/DICE — σ over `ans(Q)` (Proposition 1), σ over `pres(Q)` then
+//!   Equation 3, and from-scratch;
+//! * DRILL-OUT — Algorithm 1 over `pres(Q)` and from-scratch; plus, when
+//!   the removed dimension is single-valued, the naive `ans(Q)`-based
+//!   re-aggregation (sound exactly in that regime — Example 5's caveat);
+//! * DRILL-IN — Algorithm 2 over `pres(Q)` + instance and from-scratch;
+//! * the session's own pick, which must match from-scratch whatever
+//!   strategy it chose.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use rdfcube::core::rewrite;
+use rdfcube::datagen::{generate_instance, BloggerConfig};
+use rdfcube::prelude::*;
+use rdfcube::AnalyticalQuery;
+
+/// Classifier with the existential `?p`, so every operation is applicable.
+const CLASSIFIER: &str = "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, \
+     ?x livesIn ?dcity, ?x wrotePost ?p";
+const MEASURE: &str = "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?q, ?q hasWordCount ?v";
+
+fn arb_config(multi: impl Strategy<Value = f64> + 'static) -> impl Strategy<Value = BloggerConfig> {
+    (12usize..100, multi, any::<u64>(), 2usize..10, 3usize..15).prop_map(
+        |(n, multi_city_prob, seed, n_cities, n_ages)| BloggerConfig {
+            n_bloggers: n,
+            multi_city_prob,
+            n_cities,
+            n_ages,
+            max_posts: 3,
+            seed,
+            ..Default::default()
+        },
+    )
+}
+
+fn arb_agg() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::CountDistinct),
+        Just(AggFunc::Sum),
+        Just(AggFunc::Avg),
+        Just(AggFunc::Min),
+        Just(AggFunc::Max),
+    ]
+}
+
+fn fixture(cfg: &BloggerConfig, agg: AggFunc) -> (Graph, ExtendedQuery, PartialResult, Cube) {
+    let mut instance = generate_instance(cfg);
+    let q = AnalyticalQuery::parse(CLASSIFIER, MEASURE, agg, instance.dict_mut()).unwrap();
+    let eq = ExtendedQuery::from_query(q);
+    let pres = PartialResult::compute(&eq, &instance).unwrap();
+    let ans = pres.to_cube(instance.dict()).unwrap();
+    (instance, eq, pres, ans)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// SLICE and DICE: all three applicable routes coincide.
+    #[test]
+    fn sigma_ops_all_routes_agree(
+        cfg in arb_config(0.0f64..0.6),
+        agg in arb_agg(),
+        slice_age in 18i64..40,
+        lo in 18i64..40,
+        width in 0i64..12,
+    ) {
+        let (instance, eq, pres, ans) = fixture(&cfg, agg);
+        let ops = [
+            OlapOp::Slice { dim: "dage".into(), value: Term::integer(slice_age) },
+            OlapOp::Dice {
+                constraints: vec![("dage".into(), ValueSelector::IntRange { lo, hi: lo + width })],
+            },
+            OlapOp::Dice {
+                constraints: vec![(
+                    "dcity".into(),
+                    ValueSelector::OneOf(vec![Term::literal("city0"), Term::literal("city2")]),
+                )],
+            },
+        ];
+        for op in &ops {
+            let rewritten = rdfcube::apply(&eq, op).unwrap();
+            let via_ans = rewrite::dice_from_ans(&ans, rewritten.sigma(), instance.dict());
+            let via_pres = rewrite::dice_pres(&pres, rewritten.sigma(), instance.dict())
+                .to_cube(instance.dict())
+                .unwrap();
+            let scratch = rewrite::from_scratch(&rewritten, &instance).unwrap();
+            prop_assert!(via_ans.same_cells(&scratch), "σ over ans(Q) diverged for {op:?}");
+            prop_assert!(via_pres.same_cells(&scratch), "σ over pres(Q) diverged for {op:?}");
+        }
+    }
+
+    /// DRILL-OUT: Algorithm 1 agrees with from-scratch for any
+    /// multi-valuedness, on every dimension subset.
+    #[test]
+    fn drill_out_all_routes_agree(cfg in arb_config(0.0f64..0.6), agg in arb_agg()) {
+        let (instance, eq, pres, _ans) = fixture(&cfg, agg);
+        for removed in [vec![0usize], vec![1], vec![0, 1]] {
+            let names: Vec<String> = removed
+                .iter()
+                .map(|&i| eq.query().dim_names()[i].to_string())
+                .collect();
+            let rewritten = rdfcube::apply(&eq, &OlapOp::DrillOut { dims: names }).unwrap();
+            let (alg1, _) = rewrite::drill_out_from_pres(&pres, &removed, instance.dict()).unwrap();
+            let scratch = rewrite::from_scratch(&rewritten, &instance).unwrap();
+            prop_assert!(alg1.same_cells(&scratch), "Algorithm 1 diverged removing {removed:?}");
+        }
+    }
+
+    /// In the single-valued regime the naive ans(Q)-based drill-out is also
+    /// sound for distributive counts — Example 5's error only exists under
+    /// multi-valued dimensions.
+    #[test]
+    fn naive_drill_out_sound_when_single_valued(cfg in arb_config(Just(0.0)), seed_extra in any::<u8>()) {
+        let _ = seed_extra;
+        let (instance, eq, pres, ans) = fixture(&cfg, AggFunc::Count);
+        let (alg1, _) = rewrite::drill_out_from_pres(&pres, &[1], instance.dict()).unwrap();
+        let naive = rewrite::drill_out_from_ans(&ans, &[1], instance.dict()).unwrap();
+        prop_assert!(naive.same_cells(&alg1), "naive ans-based drill-out diverged with single-valued dims");
+        let rewritten = rdfcube::apply(
+            &eq,
+            &OlapOp::DrillOut { dims: vec![eq.query().dim_names()[1].to_string()] },
+        ).unwrap();
+        let scratch = rewrite::from_scratch(&rewritten, &instance).unwrap();
+        prop_assert!(alg1.same_cells(&scratch));
+    }
+
+    /// DRILL-IN: Algorithm 2 agrees with from-scratch.
+    #[test]
+    fn drill_in_all_routes_agree(cfg in arb_config(0.0f64..0.6), agg in arb_agg()) {
+        let (instance, eq, pres, _ans) = fixture(&cfg, agg);
+        let p = eq.query().classifier().vars().id("p").unwrap();
+        let (alg2, _) = rewrite::drill_in_from_pres(eq.query(), &pres, p, &instance).unwrap();
+        let rewritten = rdfcube::apply(&eq, &OlapOp::DrillIn { var: "p".into() }).unwrap();
+        let scratch = rewrite::from_scratch(&rewritten, &instance).unwrap();
+        prop_assert!(alg2.same_cells(&scratch), "Algorithm 2 diverged");
+    }
+
+    /// The session's automatically chosen strategy is sound for every
+    /// operation, and it picks the rewriting (never from-scratch) for the
+    /// four paper operations.
+    #[test]
+    fn session_choice_is_sound(cfg in arb_config(0.0f64..0.6), agg in arb_agg(), slice_age in 18i64..40) {
+        let mut instance = generate_instance(&cfg);
+        let q = AnalyticalQuery::parse(CLASSIFIER, MEASURE, agg, instance.dict_mut()).unwrap();
+        let mut session = OlapSession::new(instance);
+        let h = session.register_query(ExtendedQuery::from_query(q)).unwrap();
+        let ops = [
+            OlapOp::Slice { dim: "dage".into(), value: Term::integer(slice_age) },
+            OlapOp::Dice {
+                constraints: vec![("dage".into(), ValueSelector::IntRange { lo: 20, hi: 30 })],
+            },
+            OlapOp::DrillOut { dims: vec!["dcity".into()] },
+            OlapOp::DrillIn { var: "p".into() },
+        ];
+        for op in &ops {
+            let (next, strategy) = session.transform(h, op).unwrap();
+            prop_assert!(
+                strategy != rdfcube::Strategy::FromScratch,
+                "session fell back to from-scratch for {op:?}"
+            );
+            let scratch = session.cube(next).query().answer(session.instance()).unwrap();
+            prop_assert!(
+                session.answer(next).same_cells(&scratch),
+                "session strategy {strategy:?} diverged for {op:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no registry access, so the e1–e7 benches link
+//! against this miniature instead: [`Criterion::benchmark_group`],
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `bench_with_input` + [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The harness is honest but simple: per benchmark it warms up for the
+//! configured time, then takes `sample_size` wall-clock samples (each sized
+//! to fill `measurement_time / sample_size`) and prints min/median/mean.
+//! There is no statistical outlier analysis, HTML report, or saved baseline.
+
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as upstream criterion provides.
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free arg.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.ends_with(".json"));
+        Criterion { filter, ran: 0 }
+    }
+}
+
+impl Criterion {
+    /// Mirror of upstream's CLI hookup; the shim parses args in `default`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Upstream prints a summary at exit; the shim prints per-bench lines
+    /// as they finish, so this only flags a filter that matched nothing —
+    /// otherwise an empty run is indistinguishable from success.
+    pub fn final_summary(&mut self) {
+        if self.ran == 0 {
+            if let Some(filter) = &self.filter {
+                eprintln!("warning: no benchmarks matched filter {filter:?}");
+            }
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (upstream default 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before measurement begins.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Total measurement duration budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.id.clone();
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+        self.criterion.ran += 1;
+    }
+}
+
+/// Passed to benchmark closures; `iter` performs the measurement.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Mean duration of one routine call, per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then taking the configured number
+    /// of samples. Each sample runs the routine enough times to cover its
+    /// share of the measurement budget, so very fast routines still get
+    /// resolvable timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, and calibrate how long one call takes.
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || calls == 0 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_call.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<60} (no samples — closure never called iter)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{id:<60} min {:>12} med {:>12} mean {:>12} ({} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            sorted.len(),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Mirror of `criterion::criterion_group!` — defines a function running each
+/// target against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!` — the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_formats() {
+        let mut c = Criterion {
+            filter: None,
+            ran: 0,
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(10));
+        let mut ran = false;
+        group.bench_function("tiny", |b| {
+            ran = true;
+            b.iter(|| black_box(3u64).wrapping_mul(7))
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &42usize, |b, n| {
+            b.iter(|| black_box(*n) + 1)
+        });
+        group.finish();
+        assert!(ran);
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+    }
+}

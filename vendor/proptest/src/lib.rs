@@ -1,0 +1,616 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides an
+//! API-compatible miniature: the [`strategy::Strategy`] trait with
+//! `prop_map`/`boxed`, strategies for integer/float ranges, tuples, `Just`,
+//! `any`, character-class regex strings and [`collection::vec`], plus the
+//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`]
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its case number and message;
+//!   reruns are deterministic (the seed is derived from the test path, or
+//!   `PROPTEST_SEED` when set), so failures reproduce exactly;
+//! * regex strategies support only `[class]{lo,hi}` patterns (character
+//!   classes with ranges and `\n`/`\t`/`\\` escapes), which is all the
+//!   workspace's generators need.
+
+#![deny(unsafe_code)]
+
+/// Test-runner configuration and the deterministic RNG behind every strategy.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Mirror of `proptest::test_runner::Config` — only `cases` matters here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// A failed property case (produced by `prop_assert!`-style macros).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Shorthand for a property body's result type.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Extracts a human-readable message from a `catch_unwind` payload.
+    /// Used by the `proptest!` macro; not part of the upstream API.
+    #[doc(hidden)]
+    pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("panicked: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("panicked: {s}")
+        } else {
+            "panicked with a non-string payload".to_string()
+        }
+    }
+
+    /// Deterministic splitmix64 stream seeding every strategy.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from `PROPTEST_SEED` if set, else from a hash of `test_path`
+        /// so distinct tests explore distinct streams but reruns repeat.
+        pub fn from_env(test_path: &str) -> Self {
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                // A set-but-invalid seed must not silently fall back: the
+                // user believes they are reproducing a specific stream.
+                match seed.parse::<u64>() {
+                    Ok(seed) => return TestRng { state: seed },
+                    Err(e) => panic!("PROPTEST_SEED={seed:?} is not a u64: {e}"),
+                }
+            }
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be positive.
+        pub fn index(&mut self, n: usize) -> usize {
+            debug_assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and the combinators built on it.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values — the heart of proptest's API.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy so heterogeneous alternatives can share
+        /// a `Vec` (see [`Union`] / `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; `options` must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*}
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            // Clamp: the lerp can round up to `end` at large-ulp magnitudes,
+            // and the range contract is half-open.
+            (self.start + rng.next_f64() * (self.end - self.start)).min(self.end.next_down())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*}
+    }
+    impl_tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    }
+
+    /// `&'static str` as a `[class]{lo,hi}` regex strategy producing `String`s.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self).unwrap_or_else(|| {
+                panic!(
+                    "unsupported regex strategy {self:?} (shim supports only `[class]{{lo,hi}}`)"
+                )
+            });
+            let len = lo + rng.index(hi - lo + 1);
+            (0..len)
+                .map(|_| alphabet[rng.index(alphabet.len())])
+                .collect()
+        }
+    }
+
+    /// Parses `[chars]{lo,hi}` into (alphabet, lo, hi). Returns `None` on
+    /// anything the shim does not support.
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = {
+            // Find the unescaped closing bracket.
+            let mut idx = None;
+            let mut escaped = false;
+            for (i, c) in rest.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == ']' {
+                    idx = Some(i);
+                    break;
+                }
+            }
+            idx?
+        };
+        let class: Vec<char> = {
+            let mut out = Vec::new();
+            let mut chars = rest[..close].chars().peekable();
+            while let Some(c) = chars.next() {
+                let c = if c == '\\' {
+                    match chars.next()? {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    }
+                } else {
+                    c
+                };
+                // `a-z` range (a `-` not followed by a class member is literal).
+                if chars.peek() == Some(&'-') {
+                    let mut lookahead = chars.clone();
+                    lookahead.next();
+                    match lookahead.next() {
+                        Some(end) if end != ']' => {
+                            chars = lookahead;
+                            let end = if end == '\\' { chars.next()? } else { end };
+                            for v in (c as u32)..=(end as u32) {
+                                out.extend(char::from_u32(v));
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                out.push(c);
+            }
+            out
+        };
+        if class.is_empty() {
+            return None;
+        }
+        let reps = &rest[close + 1..];
+        let (lo, hi) = if reps.is_empty() {
+            (1, 1)
+        } else {
+            let body = reps.strip_prefix('{')?.strip_suffix('}')?;
+            let (a, b) = body.split_once(',')?;
+            (a.trim().parse().ok()?, b.trim().parse().ok()?)
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((class, lo, hi))
+    }
+}
+
+/// `any::<T>()` — full-domain values with a bias toward edge cases.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias: edge values show up often, as upstream's do.
+                    match rng.next_u64() % 8 {
+                        0 => 0,
+                        1 => 1,
+                        2 => <$t>::MAX,
+                        3 => <$t>::MIN,
+                        4 => (rng.next_u64() % 256) as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*}
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Mirror of `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let len = self.size.start + rng.index(self.size.end - self.size.start);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with lengths drawn from `size` (half-open, as upstream).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Everything a property-test file conventionally glob-imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among heterogeneous strategies sharing a `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`, minus shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_env(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                // catch_unwind so a panicking body (an `.unwrap()` inside a
+                // property) still reports which case triggered it.
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        },
+                    ),
+                );
+                let __failure: ::core::option::Option<::std::string::String> = match __outcome {
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => {
+                        ::core::option::Option::None
+                    }
+                    ::core::result::Result::Ok(::core::result::Result::Err(__e)) => {
+                        ::core::option::Option::Some(__e.to_string())
+                    }
+                    ::core::result::Result::Err(__payload) => ::core::option::Option::Some(
+                        $crate::test_runner::panic_message(__payload.as_ref()),
+                    ),
+                };
+                if let ::core::option::Option::Some(__msg) = __failure {
+                    ::core::panic!(
+                        "proptest case {}/{} of `{}` failed: {}\n(deterministic seed — rerun reproduces; set PROPTEST_SEED to explore)",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+}
+
+/// Asserts within a property body, failing the case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_pattern_generates_within_alphabet() {
+        let mut rng = TestRng::from_env("shim::class");
+        let strat = "[a-c\\n\\t\"\\\\]{0,12}";
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(s.len() <= 12);
+            for c in s.chars() {
+                assert!(
+                    matches!(c, 'a'..='c' | '\n' | '\t' | '"' | '\\'),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u8..8, 10i64..20), v in crate::collection::vec(0usize..5, 0..6)) {
+            prop_assert!(a < 8);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(v.len() < 6);
+            for x in v {
+                prop_assert!(x < 5, "x = {x}");
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1i64), (5i64..9).prop_map(|v| v * 10), any::<i64>()]) {
+            // Any i64 is fine; the point is that heterogeneous alternatives compile.
+            let _ = x;
+        }
+
+        /// A panicking body (e.g. an `.unwrap()`) must still be attributed
+        /// to its case, not abort with a bare panic.
+        #[test]
+        #[should_panic(expected = "proptest case 1/64 of `body_panic_reports_case` failed: panicked: boom")]
+        fn body_panic_reports_case(x in 0u8..4) {
+            let _ = x;
+            panic!("boom");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline shim for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no registry access, so instead of the real
+//! crate we vendor a tiny, API-compatible replacement: [`rngs::StdRng`]
+//! (seedable from a `u64`, backed by xoshiro256**), the [`Rng`] extension
+//! trait with `gen`, `gen_bool` and `gen_range` over integer and float
+//! ranges, and [`SeedableRng`].
+//!
+//! Determinism is the only contract the workspace relies on: the same seed
+//! always yields the same stream. The streams do **not** match upstream
+//! `rand`'s ChaCha-based `StdRng` — all in-repo golden values were produced
+//! with this shim.
+
+#![deny(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types samplable uniformly from the full value domain via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value of the range from `rng`. Panics on empty ranges,
+    /// matching `rand` 0.8.
+    fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*}
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // `start + x*(end-start)` can round up to `end` when the endpoints
+        // sit at large-ulp magnitudes; clamp to keep the range half-open.
+        (self.start + f64::sample_standard(rng) * (self.end - self.start)).min(self.end.next_down())
+    }
+}
+
+/// The user-facing random-value API, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value whose type implements [`Standard`].
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_range(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `p ∈ [0, 1]`,
+    /// matching `rand` 0.8.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of RNGs from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand`'s
+    /// `StdRng`. Same seed ⇒ same stream, on every platform.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_half_open_at_large_ulp() {
+        // ulp(1e16) is 2.0, so an unclamped lerp returns the excluded end
+        // on about half of all draws.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(1e16f64..1e16 + 2.0);
+            assert!(
+                (1e16..1e16 + 2.0).contains(&v),
+                "v={v} escaped the half-open range"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}
