@@ -1,0 +1,50 @@
+//! E8 — bulk loading vs per-triple insertion into the CSR triple store.
+//!
+//! Loads a generated ≥100k-triple blogger world two ways from identical
+//! inputs (the same pre-encoded dictionary and triple list):
+//!
+//! * `bulk_from_triples` — [`Graph::from_triples`], which sorts + dedups
+//!   each SPO/POS/OSP column set once;
+//! * `per_triple_insert` — the incremental [`Graph::insert_ids`] path, which
+//!   routes through the delta buffer and its periodic merges.
+//!
+//! The roadmap acceptance bar for the storage rework is bulk ≥ 2× faster.
+//! Both arms clone the dictionary and triple list per iteration, so the
+//! (identical) setup cost is included on both sides of the ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfcube_datagen::{generate_instance, BloggerConfig};
+use rdfcube_rdf::{Graph, Triple};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = BloggerConfig::with_approx_triples(100_000);
+    let world = generate_instance(&cfg);
+    let dict = world.dict().clone();
+    let triples: Vec<Triple> = world.triples().collect();
+    let n = triples.len();
+
+    let mut group = c.benchmark_group("e8_bulk_load");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_with_input(BenchmarkId::new("bulk_from_triples", n), &n, |b, _| {
+        b.iter(|| black_box(Graph::from_triples(dict.clone(), triples.iter().copied())))
+    });
+
+    group.bench_with_input(BenchmarkId::new("per_triple_insert", n), &n, |b, _| {
+        b.iter(|| {
+            let mut g = Graph::from_triples(dict.clone(), std::iter::empty());
+            for t in &triples {
+                g.insert_ids(t.s, t.p, t.o);
+            }
+            black_box(g)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,7 +13,9 @@ use rdfcube_engine::{evaluate, evaluate_in_order, parse_query, AggFunc, Semantic
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// Median wall-clock over `runs` executions of `f`.
+/// Median wall-clock over `runs` executions of `f`. For an even number of
+/// runs the two middle samples are averaged — returning the upper-middle
+/// sample alone would bias every reported median upward.
 fn median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
     let mut times: Vec<Duration> = (0..runs)
         .map(|_| {
@@ -23,7 +25,12 @@ fn median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
         })
         .collect();
     times.sort_unstable();
-    times[times.len() / 2]
+    let mid = times.len() / 2;
+    if times.len() % 2 == 1 {
+        times[mid]
+    } else {
+        (times[mid - 1] + times[mid]) / 2
+    }
 }
 
 fn fmt(d: Duration) -> String {

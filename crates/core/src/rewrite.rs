@@ -296,7 +296,7 @@ pub fn roll_up_from_pres(
     let mut seen: FxHashSet<(TermId, Vec<TermId>, u32)> = FxHashSet::default();
     let mut rows: Vec<(TermId, Vec<TermId>, u32, TermId)> = Vec::new();
     for r in pres.rows() {
-        for &coarse in instance.objects(r.dims[dim_idx], via) {
+        for coarse in instance.objects(r.dims[dim_idx], via) {
             let mut dims = r.dims.to_vec();
             dims[dim_idx] = coarse;
             if seen.insert((r.root, dims.clone(), r.key)) {

@@ -165,8 +165,12 @@ impl AnalyticalSchema {
     pub fn materialize(&self, base: &mut Graph) -> Result<Graph, CoreError> {
         self.validate()?;
         let mut instance = Graph::new();
-        let rdf_type = Term::iri(vocab::RDF_TYPE);
+        let rdf_type = instance.encode(&Term::iri(vocab::RDF_TYPE));
 
+        // Stage every node/edge answer as an encoded triple and hand the
+        // whole instance to the bulk loader in one batch (set semantics is
+        // restored by the loader's dedup).
+        let mut staged: Vec<rdfcube_rdf::Triple> = Vec::new();
         for node in &self.nodes {
             let q = parse_query(&node.query, base.dict_mut())?;
             if q.head().len() != 1 {
@@ -177,10 +181,10 @@ impl AnalyticalSchema {
                 )));
             }
             let rel = evaluate(base, &q, Semantics::Set)?;
-            let class_term = Term::iri(node.class.as_str());
+            let class_id = instance.encode(&Term::iri(node.class.as_str()));
             for row in rel.rows() {
-                let member = base.dict().term(row[0]).clone();
-                instance.insert(&member, &rdf_type, &class_term);
+                let member = instance.encode(base.dict().term(row[0]));
+                staged.push(rdfcube_rdf::Triple::new(member, rdf_type, class_id));
             }
         }
 
@@ -194,14 +198,15 @@ impl AnalyticalSchema {
                 )));
             }
             let rel = evaluate(base, &q, Semantics::Set)?;
-            let prop_term = Term::iri(edge.property.as_str());
+            let prop_id = instance.encode(&Term::iri(edge.property.as_str()));
             for row in rel.rows() {
-                let s = base.dict().term(row[0]).clone();
-                let o = base.dict().term(row[1]).clone();
-                instance.insert(&s, &prop_term, &o);
+                let s = instance.encode(base.dict().term(row[0]));
+                let o = instance.encode(base.dict().term(row[1]));
+                staged.push(rdfcube_rdf::Triple::new(s, prop_id, o));
             }
         }
 
+        instance.bulk_insert_ids(staged);
         Ok(instance)
     }
 }

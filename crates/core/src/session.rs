@@ -95,7 +95,12 @@ pub struct OlapSession {
 
 impl OlapSession {
     /// Opens a session over a materialized analytical-schema instance.
-    pub fn new(instance: Graph) -> Self {
+    ///
+    /// The instance is compacted up front: OLAP sessions are read-heavy, so
+    /// any pending insert delta is folded into the store's sorted CSR runs
+    /// once, and every BGP evaluation afterwards is a pure index scan.
+    pub fn new(mut instance: Graph) -> Self {
+        instance.compact();
         OlapSession {
             instance,
             cubes: Vec::new(),

@@ -26,7 +26,7 @@ use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rdfcube_core::AnalyticalSchema;
-use rdfcube_rdf::{Graph, Term};
+use rdfcube_rdf::{Graph, Term, TermId, Triple};
 
 /// Configuration of the blogger-world generator.
 #[derive(Debug, Clone)]
@@ -195,45 +195,52 @@ fn generate(cfg: &BloggerConfig, vocab: Vocab) -> Graph {
     let posts_dist = Zipf::new(cfg.max_posts.max(1), cfg.post_skew);
     let site_dist = Zipf::new(cfg.n_sites.max(1), 1.0);
 
-    let rdf_type = Term::iri(rdfcube_rdf::vocab::RDF_TYPE);
-    let class = Term::iri(vocab.person_class);
-    let p_age = Term::iri(vocab.age);
-    let p_city = Term::iri(vocab.city);
-    let p_name = Term::iri(vocab.name);
-    let p_knows = Term::iri(vocab.knows);
-    let p_posted = Term::iri(vocab.posted);
-    let p_on = Term::iri(vocab.on);
-    let p_words = Term::iri(vocab.words);
+    // Intern the fixed vocabulary and the dimension domains once, then stage
+    // id-level triples for one bulk load at the end: the store sorts + dedups
+    // each index a single time instead of maintaining them per insert.
+    let rdf_type = g.encode(&Term::iri(rdfcube_rdf::vocab::RDF_TYPE));
+    let class = g.encode(&Term::iri(vocab.person_class));
+    let p_age = g.encode(&Term::iri(vocab.age));
+    let p_city = g.encode(&Term::iri(vocab.city));
+    let p_name = g.encode(&Term::iri(vocab.name));
+    let p_knows = g.encode(&Term::iri(vocab.knows));
+    let p_posted = g.encode(&Term::iri(vocab.posted));
+    let p_on = g.encode(&Term::iri(vocab.on));
+    let p_words = g.encode(&Term::iri(vocab.words));
 
-    let cities: Vec<Term> = (0..cfg.n_cities.max(1))
-        .map(|i| Term::literal(format!("city{i}")))
+    let cities: Vec<TermId> = (0..cfg.n_cities.max(1))
+        .map(|i| g.encode(&Term::literal(format!("city{i}"))))
         .collect();
-    let sites: Vec<Term> = (0..cfg.n_sites.max(1))
-        .map(|i| Term::iri(format!("site{i}")))
+    let sites: Vec<TermId> = (0..cfg.n_sites.max(1))
+        .map(|i| g.encode(&Term::iri(format!("site{i}"))))
         .collect();
 
+    let mut staged: Vec<Triple> = Vec::with_capacity(cfg.n_bloggers * 8);
     let mut post_counter = 0usize;
     for b in 0..cfg.n_bloggers {
-        let user = Term::iri(format!("user{b}"));
-        g.insert(&user, &rdf_type, &class);
+        let user = g.encode(&Term::iri(format!("user{b}")));
+        staged.push(Triple::new(user, rdf_type, class));
 
         if !rng.gen_bool(cfg.missing_age_prob.clamp(0.0, 1.0)) {
             let age = 18 + (rng.gen_range(0..cfg.n_ages.max(1)) as i64);
-            g.insert(&user, &p_age, &Term::integer(age));
+            let age = g.encode(&Term::integer(age));
+            staged.push(Triple::new(user, p_age, age));
         }
 
-        let city = &cities[rng.gen_range(0..cities.len())];
-        g.insert(&user, &p_city, city);
+        let city = cities[rng.gen_range(0..cities.len())];
+        staged.push(Triple::new(user, p_city, city));
         if rng.gen_bool(cfg.multi_city_prob.clamp(0.0, 1.0)) {
-            let second = &cities[rng.gen_range(0..cities.len())];
-            // May coincide with the first, in which case the graph's set
-            // semantics absorbs it — exactly like real RDF data.
-            g.insert(&user, &p_city, second);
+            let second = cities[rng.gen_range(0..cities.len())];
+            // May coincide with the first, in which case the bulk loader's
+            // dedup absorbs it — exactly like real RDF data.
+            staged.push(Triple::new(user, p_city, second));
         }
 
-        g.insert(&user, &p_name, &Term::literal(format!("name{b}")));
+        let name = g.encode(&Term::literal(format!("name{b}")));
+        staged.push(Triple::new(user, p_name, name));
         if rng.gen_bool(cfg.multi_name_prob.clamp(0.0, 1.0)) {
-            g.insert(&user, &p_name, &Term::literal(format!("alias{b}")));
+            let alias = g.encode(&Term::literal(format!("alias{b}")));
+            staged.push(Triple::new(user, p_name, alias));
         }
 
         let n_acq = cfg.acquaintances_per_blogger.max(0.0);
@@ -242,21 +249,24 @@ fn generate(cfg: &BloggerConfig, vocab: Vocab) -> Graph {
         for _ in 0..acq_count.min(cfg.n_bloggers.saturating_sub(1)) {
             let other = rng.gen_range(0..cfg.n_bloggers);
             if other != b {
-                g.insert(&user, &p_knows, &Term::iri(format!("user{other}")));
+                let other = g.encode(&Term::iri(format!("user{other}")));
+                staged.push(Triple::new(user, p_knows, other));
             }
         }
 
         let n_posts = posts_dist.sample(&mut rng);
         for _ in 0..n_posts {
-            let post = Term::iri(format!("post{post_counter}"));
+            let post = g.encode(&Term::iri(format!("post{post_counter}")));
             post_counter += 1;
-            g.insert(&user, &p_posted, &post);
-            let site = &sites[site_dist.sample(&mut rng) - 1];
-            g.insert(&post, &p_on, site);
+            staged.push(Triple::new(user, p_posted, post));
+            let site = sites[site_dist.sample(&mut rng) - 1];
+            staged.push(Triple::new(post, p_on, site));
             let words = rng.gen_range(50..=2000);
-            g.insert(&post, &p_words, &Term::integer(words));
+            let words = g.encode(&Term::integer(words));
+            staged.push(Triple::new(post, p_words, words));
         }
     }
+    g.bulk_insert_ids(staged);
     g
 }
 

@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rdfcube_rdf::{Graph, Term};
+use rdfcube_rdf::{Graph, Term, TermId, Triple};
 
 /// Configuration of the video-world generator.
 #[derive(Debug, Clone)]
@@ -54,37 +54,44 @@ pub fn generate_videos(cfg: &VideoConfig) -> Graph {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut g = Graph::new();
 
-    let rdf_type = Term::iri(rdfcube_rdf::vocab::RDF_TYPE);
-    let video_class = Term::iri("Video");
-    let p_posted = Term::iri("postedOn");
-    let p_url = Term::iri("hasUrl");
-    let p_browser = Term::iri("supportsBrowser");
-    let p_views = Term::iri("viewNum");
+    // Intern the vocabulary up front and stage id-level triples for one
+    // bulk load — same fast path as the blogger generator.
+    let rdf_type = g.encode(&Term::iri(rdfcube_rdf::vocab::RDF_TYPE));
+    let video_class = g.encode(&Term::iri("Video"));
+    let p_posted = g.encode(&Term::iri("postedOn"));
+    let p_url = g.encode(&Term::iri("hasUrl"));
+    let p_browser = g.encode(&Term::iri("supportsBrowser"));
+    let p_views = g.encode(&Term::iri("viewNum"));
+    let browsers: Vec<TermId> = BROWSERS.iter().map(|b| g.encode(&Term::iri(*b))).collect();
 
-    let websites: Vec<Term> = (0..cfg.n_websites.max(1))
-        .map(|i| Term::iri(format!("website{i}")))
+    let websites: Vec<TermId> = (0..cfg.n_websites.max(1))
+        .map(|i| g.encode(&Term::iri(format!("website{i}"))))
         .collect();
-    for (i, site) in websites.iter().enumerate() {
-        g.insert(site, &p_url, &Term::iri(format!("URL{i}")));
+    let mut staged: Vec<Triple> = Vec::with_capacity(cfg.n_videos * 4 + websites.len() * 3);
+    for (i, &site) in websites.iter().enumerate() {
+        let url = g.encode(&Term::iri(format!("URL{i}")));
+        staged.push(Triple::new(site, p_url, url));
         let n_browsers = rng.gen_range(1..=cfg.max_browsers.clamp(1, BROWSERS.len()));
         // Choose distinct browsers by rotating through a shuffled start.
         let start = rng.gen_range(0..BROWSERS.len());
         for b in 0..n_browsers {
-            let browser = BROWSERS[(start + b) % BROWSERS.len()];
-            g.insert(site, &p_browser, &Term::iri(browser));
+            let browser = browsers[(start + b) % BROWSERS.len()];
+            staged.push(Triple::new(site, p_browser, browser));
         }
     }
 
     for v in 0..cfg.n_videos {
-        let video = Term::iri(format!("video{v}"));
-        g.insert(&video, &rdf_type, &video_class);
-        g.insert(&video, &p_views, &Term::integer(rng.gen_range(0..100_000)));
+        let video = g.encode(&Term::iri(format!("video{v}")));
+        staged.push(Triple::new(video, rdf_type, video_class));
+        let views = g.encode(&Term::integer(rng.gen_range(0..100_000)));
+        staged.push(Triple::new(video, p_views, views));
         let n_postings = rng.gen_range(1..=cfg.max_postings.max(1));
         for _ in 0..n_postings {
-            let site = &websites[rng.gen_range(0..websites.len())];
-            g.insert(&video, &p_posted, site);
+            let site = websites[rng.gen_range(0..websites.len())];
+            staged.push(Triple::new(video, p_posted, site));
         }
     }
+    g.bulk_insert_ids(staged);
     g
 }
 

@@ -304,13 +304,29 @@ fn estimate(graph: &Graph, pattern: QueryPattern, bound: &FxHashSet<VarId>) -> f
         as_const(pattern.p),
         as_const(pattern.o),
     );
-    let mut est = graph.count_matching(shape) as f64;
+    let count = graph.count_matching(shape);
+    let mut est = count as f64;
+    // Discount once per *distinct* already-bound variable: a repeated
+    // variable (`?x p ?x`) behaves like one constant at execution time, not
+    // two, so discounting each occurrence would square the factor.
+    let mut discounted: [Option<VarId>; 3] = [None; 3];
+    let mut n_discounted = 0;
     for pos in pattern.positions() {
         if let PatternTerm::Var(v) = pos {
-            if bound.contains(&v) {
+            if bound.contains(&v) && !discounted[..n_discounted].contains(&Some(v)) {
+                discounted[n_discounted] = Some(v);
+                n_discounted += 1;
                 est /= 8.0;
             }
         }
+    }
+    // A matchable pattern yields at least one candidate row per probe;
+    // without the floor, stacked discounts underflow toward 0 and make
+    // heavily-bound patterns look free, misordering joins. Truly empty
+    // patterns (count == 0) keep their exact 0 so they are tried first and
+    // short-circuit evaluation.
+    if count > 0 {
+        est = est.max(1.0)
     }
     est
 }
@@ -510,6 +526,41 @@ mod tests {
             !plan[1].connected,
             "second step must be a cartesian product"
         );
+    }
+
+    #[test]
+    fn estimate_discounts_repeated_bound_variables_once_and_floors() {
+        // 32 triples under predicate p.
+        let mut g = Graph::new();
+        for i in 0..32 {
+            g.insert_iri(
+                &format!("n{i}"),
+                "p",
+                &rdfcube_rdf::Term::iri(format!("m{i}")),
+            );
+        }
+        let q = parse_query("q(?x) :- ?x p ?x", g.dict_mut()).unwrap();
+        let x = q.vars().id("x").unwrap();
+        let mut bound = FxHashSet::default();
+        bound.insert(x);
+        // ?x occupies two positions but must be discounted once: 32/8 = 4
+        // (the old per-position discount gave 32/64 = 0.5).
+        assert_eq!(estimate(&g, q.body()[0], &bound), 4.0);
+
+        // Stacked discounts bottom out at 1 row, not 0.
+        let mut g2 = parse_turtle("<a> <p> <b> .").unwrap();
+        let q2 = parse_query("q(?x, ?y) :- ?x p ?y", g2.dict_mut()).unwrap();
+        let mut both = FxHashSet::default();
+        both.insert(q2.vars().id("x").unwrap());
+        both.insert(q2.vars().id("y").unwrap());
+        assert_eq!(estimate(&g2, q2.body()[0], &both), 1.0);
+
+        // Truly empty patterns keep their exact zero (tried first, so the
+        // evaluator short-circuits).
+        let q3 = parse_query("q(?x) :- ?x nosuch ?x", g2.dict_mut()).unwrap();
+        let mut bound3 = FxHashSet::default();
+        bound3.insert(q3.vars().id("x").unwrap());
+        assert_eq!(estimate(&g2, q3.body()[0], &bound3), 0.0);
     }
 
     #[test]

@@ -1,32 +1,245 @@
-//! An in-memory, dictionary-encoded RDF graph with three access-path indexes.
+//! An in-memory, dictionary-encoded RDF graph over flat CSR-style indexes.
 //!
-//! The store keeps each triple in three nested maps — SPO, POS and OSP — so
-//! that every one of the eight triple-pattern shapes has an index-backed
-//! access path (the classic "triple table with permuted indexes" design).
-//! Leaf adjacency lists are kept **sorted**, which gives set semantics
-//! (duplicate inserts are no-ops) via binary search and cache-friendly scans.
+//! ## Storage layout
+//!
+//! Each triple is stored three times, once per access-path permutation —
+//! SPO, POS and OSP — as a *sorted column set* rather than nested maps:
+//!
+//! * per permutation, the triples are sorted by `(first, second, third)` and
+//!   the second/third components live in two parallel flat columns;
+//! * a CSR **offset table** indexed by the first component's dense [`TermId`]
+//!   (`offsets[id] .. offsets[id + 1]`) replaces the outer hash map: one
+//!   array lookup locates a first-component group, one binary search inside
+//!   its `seconds` run locates a `(first, second)` pair, and that pair's
+//!   `thirds` are a contiguous sorted slice.
+//!
+//! This gives every one of the eight triple-pattern shapes an index-backed
+//! access path with zero pointer chasing: lookups are array arithmetic plus
+//! binary search, scans are linear over dense `u32` columns.
+//!
+//! ## Bulk loading vs incremental inserts
+//!
+//! The fast path is the **bulk loader** ([`Graph::from_triples`] /
+//! [`Graph::bulk_insert_ids`]): it sorts and dedups each permutation once
+//! per batch instead of maintaining sorted leaves per insert. The parsers,
+//! the data generators, the reasoner and schema materialization all load
+//! through it.
+//!
+//! The incremental [`Graph::insert`] path stays available through a small
+//! unsorted **delta buffer** (plus a hash set for duplicate checks) that
+//! every read path consults alongside the sorted runs. The delta is merged
+//! into the CSR runs automatically once it exceeds a fraction of the store,
+//! or eagerly via [`Graph::compact`].
 //!
 //! Graphs are append-only: the analytical framework of the paper only ever
 //! loads data, saturates it, and materializes analytical-schema instances —
 //! none of which deletes triples.
 
 use crate::dictionary::{Dictionary, TermId};
-use crate::fx::FxHashMap;
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
 
-type Index = FxHashMap<TermId, FxHashMap<TermId, Vec<TermId>>>;
+/// Minimum delta size before an automatic merge is considered; below this
+/// the linear delta scans are cheaper than re-merging the columns.
+const DELTA_MERGE_MIN: usize = 1024;
+
+/// Upper bound on the delta regardless of store size: read probes sweep the
+/// delta linearly, so letting it track `len / 4` unbounded would degrade
+/// index lookups on incrementally-built giant graphs.
+const DELTA_MERGE_MAX: usize = 65_536;
+
+/// One access-path index: triples sorted by a fixed component permutation,
+/// stored as split columns under a CSR offset table over the first
+/// component. The permutation itself is the caller's convention — this type
+/// only sees `(first, second, third)` tuples.
+#[derive(Debug, Default, Clone)]
+struct CsrIndex {
+    /// `offsets[a] .. offsets[a + 1]` is the row range whose first component
+    /// is the term id `a`. Ids beyond the table (interned after the last
+    /// rebuild) simply have no sorted rows.
+    offsets: Vec<u32>,
+    /// Second components, grouped by first component, sorted within a group.
+    seconds: Vec<TermId>,
+    /// Third components, sorted within each `(first, second)` run.
+    thirds: Vec<TermId>,
+}
+
+impl CsrIndex {
+    /// Number of rows (triples) in the sorted store.
+    fn len(&self) -> usize {
+        self.seconds.len()
+    }
+
+    /// The row range of first component `a`.
+    fn group(&self, a: TermId) -> (usize, usize) {
+        let i = a.index();
+        if i + 1 >= self.offsets.len() {
+            return (0, 0);
+        }
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+
+    /// Number of rows with first component `a`.
+    fn first_len(&self, a: TermId) -> usize {
+        let (lo, hi) = self.group(a);
+        hi - lo
+    }
+
+    /// The row range of the `(a, b)` pair, found by binary search within
+    /// `a`'s group.
+    fn pair_range(&self, a: TermId, b: TermId) -> (usize, usize) {
+        let (lo, hi) = self.group(a);
+        let run = &self.seconds[lo..hi];
+        let from = lo + run.partition_point(|&x| x < b);
+        let to = lo + run.partition_point(|&x| x <= b);
+        (from, to)
+    }
+
+    /// The sorted third components of the `(a, b)` pair — a contiguous
+    /// column slice.
+    fn thirds_of_pair(&self, a: TermId, b: TermId) -> &[TermId] {
+        let (from, to) = self.pair_range(a, b);
+        &self.thirds[from..to]
+    }
+
+    /// True if the `(a, b, c)` tuple is present.
+    fn contains(&self, a: TermId, b: TermId, c: TermId) -> bool {
+        self.thirds_of_pair(a, b).binary_search(&c).is_ok()
+    }
+
+    /// `(second, third)` pairs of first component `a`, in sorted order.
+    fn pairs_of_first(&self, a: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        let (lo, hi) = self.group(a);
+        self.seconds[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.thirds[lo..hi].iter().copied())
+    }
+
+    /// All tuples in sorted order (first components reconstructed from the
+    /// offset table).
+    fn tuples(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
+        (0..self.offsets.len().saturating_sub(1)).flat_map(move |a| {
+            let (lo, hi) = (self.offsets[a] as usize, self.offsets[a + 1] as usize);
+            (lo..hi).map(move |i| (TermId(a as u32), self.seconds[i], self.thirds[i]))
+        })
+    }
+
+    /// Number of distinct first components with at least one row.
+    fn distinct_firsts(&self) -> usize {
+        self.offsets.windows(2).filter(|w| w[0] < w[1]).count()
+    }
+
+    /// `(first, group size)` for every non-empty first component.
+    fn first_group_sizes(&self) -> impl Iterator<Item = (TermId, usize)> + '_ {
+        self.offsets
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0] < w[1])
+            .map(|(a, w)| (TermId(a as u32), (w[1] - w[0]) as usize))
+    }
+
+    /// Builds the CSR offset table (histogram + prefix sum over the first
+    /// component) for `tuples`, covering ids `0..top`.
+    fn build_offsets(tuples: &[(TermId, TermId, TermId)], top: usize) -> Vec<u32> {
+        let mut offsets = vec![0u32; top + 1];
+        for t in tuples {
+            offsets[t.0.index() + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        offsets
+    }
+
+    /// Replaces the store with `tuples`, which must be sorted and deduped.
+    fn rebuild(&mut self, tuples: Vec<(TermId, TermId, TermId)>) {
+        debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]), "unsorted rebuild");
+        let top = tuples.last().map_or(0, |t| t.0.index() + 1);
+        self.offsets = Self::build_offsets(&tuples, top);
+        self.seconds = tuples.iter().map(|t| t.1).collect();
+        self.thirds = tuples.iter().map(|t| t.2).collect();
+    }
+
+    /// Replaces the store with `tuples`, which must be deduped but may be in
+    /// any order. Classic CSR construction: a counting pass over the first
+    /// component buckets the rows in O(n), then each (small) bucket is
+    /// sorted by (second, third) — much cheaper than a global three-way
+    /// sort, and the bulk loader's fast path for the two permutations whose
+    /// order it does not already have.
+    fn rebuild_grouped(&mut self, tuples: Vec<(TermId, TermId, TermId)>) {
+        let top = tuples.iter().map(|t| t.0.index() + 1).max().unwrap_or(0);
+        let offsets = Self::build_offsets(&tuples, top);
+        let mut cursor = offsets.clone();
+        let mut pairs: Vec<(TermId, TermId)> = vec![(TermId(0), TermId(0)); tuples.len()];
+        for t in &tuples {
+            let c = &mut cursor[t.0.index()];
+            pairs[*c as usize] = (t.1, t.2);
+            *c += 1;
+        }
+        drop(tuples);
+        let mut start = 0usize;
+        for a in 0..top {
+            let end = offsets[a + 1] as usize;
+            pairs[start..end].sort_unstable();
+            start = end;
+        }
+        self.offsets = offsets;
+        self.seconds = pairs.iter().map(|p| p.0).collect();
+        self.thirds = pairs.iter().map(|p| p.1).collect();
+    }
+
+    /// Merges `add` (sorted, internally deduped) into the store, skipping
+    /// tuples already present. Returns the number of tuples actually added.
+    fn merge(&mut self, add: Vec<(TermId, TermId, TermId)>) -> usize {
+        if add.is_empty() {
+            return 0;
+        }
+        let old_len = self.len();
+        if old_len == 0 {
+            let added = add.len();
+            self.rebuild(add);
+            return added;
+        }
+        let mut merged = Vec::with_capacity(old_len + add.len());
+        {
+            let mut incoming = add.iter().copied().peekable();
+            for old in self.tuples() {
+                while let Some(&a) = incoming.peek() {
+                    if a < old {
+                        merged.push(a);
+                        incoming.next();
+                    } else if a == old {
+                        incoming.next();
+                    } else {
+                        break;
+                    }
+                }
+                merged.push(old);
+            }
+            merged.extend(incoming);
+        }
+        let added = merged.len() - old_len;
+        self.rebuild(merged);
+        added
+    }
+}
 
 /// An indexed RDF graph owning its [`Dictionary`].
 #[derive(Debug, Default, Clone)]
 pub struct Graph {
     dict: Dictionary,
-    /// subject → predicate → sorted objects
-    spo: Index,
-    /// predicate → object → sorted subjects
-    pos: Index,
-    /// object → subject → sorted predicates
-    osp: Index,
+    /// Sorted as (s, p, o).
+    spo: CsrIndex,
+    /// Sorted as (p, o, s).
+    pos: CsrIndex,
+    /// Sorted as (o, s, p).
+    osp: CsrIndex,
+    /// Recent incremental inserts not yet merged, in insertion order.
+    delta: Vec<Triple>,
+    /// The delta's triples again, for O(1) duplicate checks.
+    delta_set: FxHashSet<Triple>,
     len: usize,
 }
 
@@ -34,6 +247,18 @@ impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds a graph from an owned dictionary and a batch of triples
+    /// encoded against it, through the bulk loader (one sort + dedup per
+    /// permutation — the fast path for loading at scale).
+    pub fn from_triples(dict: Dictionary, triples: impl IntoIterator<Item = Triple>) -> Self {
+        let mut g = Graph {
+            dict,
+            ..Graph::default()
+        };
+        g.bulk_insert_ids(triples);
+        g
     }
 
     /// Read access to the term dictionary.
@@ -62,6 +287,101 @@ impl Graph {
         self.len == 0
     }
 
+    /// Number of triples sitting in the unsorted delta buffer (not yet
+    /// merged into the CSR runs). Exposed for instrumentation and tests.
+    pub fn pending_delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Bulk-inserts a batch of already-encoded triples: sorts + dedups the
+    /// batch (folding in any pending delta) and merges each permutation into
+    /// the CSR runs in one pass. Returns the number of newly added triples.
+    ///
+    /// Small batches arriving at a large store (e.g. a reasoner round that
+    /// entails a handful of triples over millions) are routed through the
+    /// delta buffer instead: a full three-index rebuild for a few rows would
+    /// cost O(n), while the delta's auto-merge amortizes it away.
+    ///
+    /// The ids must come from this graph's dictionary (debug-asserted).
+    pub fn bulk_insert_ids(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
+        let batch: Vec<Triple> = triples.into_iter().collect();
+        if self.spo.len() > 0 && self.delta.len() + batch.len() < self.delta_threshold() {
+            let mut added = 0;
+            for t in batch {
+                added += usize::from(self.insert_ids(t.s, t.p, t.o));
+            }
+            return added;
+        }
+        self.merge_into_runs(batch)
+    }
+
+    /// The merge path of [`Self::bulk_insert_ids`]: folds the delta plus
+    /// `batch` into the sorted CSR runs unconditionally.
+    fn merge_into_runs(&mut self, batch: Vec<Triple>) -> usize {
+        let before = self.len;
+        let mut spo_add: Vec<(TermId, TermId, TermId)> = self
+            .delta
+            .iter()
+            .chain(batch.iter())
+            .map(|t| {
+                debug_assert!(t.s.index() < self.dict.len(), "foreign subject id");
+                debug_assert!(t.p.index() < self.dict.len(), "foreign predicate id");
+                debug_assert!(t.o.index() < self.dict.len(), "foreign object id");
+                (t.s, t.p, t.o)
+            })
+            .collect();
+        drop(batch);
+        self.delta.clear();
+        self.delta_set.clear();
+        if spo_add.is_empty() {
+            return 0;
+        }
+        spo_add.sort_unstable();
+        spo_add.dedup();
+        // One global sort + dedup covers all three permutations (a duplicate
+        // triple is a duplicate in every component order). The permuted
+        // batches therefore only need ordering, not dedup: when the store is
+        // empty they go through the O(n) counting-scatter construction, and
+        // only merges into a non-empty store pay for full permuted sorts.
+        let pos_add: Vec<(TermId, TermId, TermId)> =
+            spo_add.iter().map(|&(s, p, o)| (p, o, s)).collect();
+        let osp_add: Vec<(TermId, TermId, TermId)> =
+            spo_add.iter().map(|&(s, p, o)| (o, s, p)).collect();
+        if self.spo.len() == 0 {
+            self.pos.rebuild_grouped(pos_add);
+            self.osp.rebuild_grouped(osp_add);
+            self.spo.rebuild(spo_add);
+        } else {
+            self.spo.merge(spo_add);
+            let mut pos_add = pos_add;
+            pos_add.sort_unstable();
+            self.pos.merge(pos_add);
+            let mut osp_add = osp_add;
+            osp_add.sort_unstable();
+            self.osp.merge(osp_add);
+        }
+
+        self.len = self.spo.len();
+        self.len - before
+    }
+
+    /// Folds the pending delta buffer into the sorted CSR runs, so that
+    /// subsequent reads are pure index scans. Idempotent; cheap when the
+    /// delta is empty.
+    pub fn compact(&mut self) {
+        if !self.delta.is_empty() {
+            self.merge_into_runs(Vec::new());
+        }
+    }
+
+    /// Delta size at which an automatic merge fires. Proportional to the
+    /// store so incremental building stays amortized-cheap, but capped so
+    /// read probes (which sweep the delta linearly) never pay more than a
+    /// bounded scan on top of their index lookups.
+    fn delta_threshold(&self) -> usize {
+        DELTA_MERGE_MIN.max((self.spo.len() / 4).min(DELTA_MERGE_MAX))
+    }
+
     /// Inserts a triple given as terms; returns `true` if it was new.
     pub fn insert(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
         let s = self.dict.encode(s);
@@ -80,25 +400,23 @@ impl Graph {
 
     /// Inserts an already-encoded triple; returns `true` if it was new.
     ///
-    /// The ids must come from this graph's dictionary (debug-asserted).
+    /// The ids must come from this graph's dictionary (debug-asserted). The
+    /// triple lands in the delta buffer; the buffer auto-merges into the CSR
+    /// runs once it outgrows a fraction of the store.
     pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
         debug_assert!(s.index() < self.dict.len(), "foreign subject id");
         debug_assert!(p.index() < self.dict.len(), "foreign predicate id");
         debug_assert!(o.index() < self.dict.len(), "foreign object id");
-        let objects = self.spo.entry(s).or_default().entry(p).or_default();
-        match objects.binary_search(&o) {
-            Ok(_) => return false,
-            Err(pos) => objects.insert(pos, o),
+        let t = Triple::new(s, p, o);
+        if self.spo.contains(s, p, o) || self.delta_set.contains(&t) {
+            return false;
         }
-        let subjects = self.pos.entry(p).or_default().entry(o).or_default();
-        if let Err(pos) = subjects.binary_search(&s) {
-            subjects.insert(pos, s);
-        }
-        let predicates = self.osp.entry(o).or_default().entry(s).or_default();
-        if let Err(pos) = predicates.binary_search(&p) {
-            predicates.insert(pos, p);
-        }
+        self.delta.push(t);
+        self.delta_set.insert(t);
         self.len += 1;
+        if self.delta.len() >= self.delta_threshold() {
+            self.compact();
+        }
         true
     }
 
@@ -109,10 +427,7 @@ impl Graph {
 
     /// True if the encoded triple is present.
     pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
-        self.spo
-            .get(&s)
-            .and_then(|pm| pm.get(&p))
-            .is_some_and(|objs| objs.binary_search(&o).is_ok())
+        self.spo.contains(s, p, o) || self.delta_set.contains(&Triple::new(s, p, o))
     }
 
     /// True if the term-level triple is present.
@@ -123,89 +438,87 @@ impl Graph {
         }
     }
 
-    /// The objects of `(s, p, ·)`, sorted; empty if none.
-    pub fn objects(&self, s: TermId, p: TermId) -> &[TermId] {
-        self.spo
-            .get(&s)
-            .and_then(|pm| pm.get(&p))
-            .map_or(&[], Vec::as_slice)
+    /// The objects of `(s, p, ·)`: the sorted CSR run first, then any
+    /// not-yet-merged delta inserts.
+    pub fn objects(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        self.spo.thirds_of_pair(s, p).iter().copied().chain(
+            self.delta
+                .iter()
+                .filter(move |t| t.s == s && t.p == p)
+                .map(|t| t.o),
+        )
     }
 
-    /// The subjects of `(·, p, o)`, sorted; empty if none.
-    pub fn subjects(&self, p: TermId, o: TermId) -> &[TermId] {
-        self.pos
-            .get(&p)
-            .and_then(|om| om.get(&o))
-            .map_or(&[], Vec::as_slice)
+    /// The subjects of `(·, p, o)`: the sorted CSR run first, then any
+    /// not-yet-merged delta inserts.
+    pub fn subjects(&self, p: TermId, o: TermId) -> impl Iterator<Item = TermId> + '_ {
+        self.pos.thirds_of_pair(p, o).iter().copied().chain(
+            self.delta
+                .iter()
+                .filter(move |t| t.p == p && t.o == o)
+                .map(|t| t.s),
+        )
     }
 
-    /// Iterates every triple (order unspecified).
+    /// Iterates every triple (sorted SPO runs first, then the delta).
     pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().flat_map(|(&s, pm)| {
-            pm.iter()
-                .flat_map(move |(&p, objs)| objs.iter().map(move |&o| Triple::new(s, p, o)))
-        })
+        self.spo
+            .tuples()
+            .map(|(s, p, o)| Triple::new(s, p, o))
+            .chain(self.delta.iter().copied())
     }
 
     /// Calls `f` for every triple matching `pattern`, using the cheapest
-    /// index for the pattern's shape.
+    /// index for the pattern's shape — every shape is index-backed.
     pub fn for_each_match<F: FnMut(Triple)>(&self, pattern: TriplePattern, mut f: F) {
         match (pattern.s, pattern.p, pattern.o) {
             (Some(s), Some(p), Some(o)) => {
+                // contains_ids covers the delta; return before the delta
+                // sweep below to avoid double-firing.
                 if self.contains_ids(s, p, o) {
                     f(Triple::new(s, p, o));
                 }
+                return;
             }
             (Some(s), Some(p), None) => {
-                for &o in self.objects(s, p) {
+                for &o in self.spo.thirds_of_pair(s, p) {
                     f(Triple::new(s, p, o));
                 }
             }
             (None, Some(p), Some(o)) => {
-                for &s in self.subjects(p, o) {
+                for &s in self.pos.thirds_of_pair(p, o) {
                     f(Triple::new(s, p, o));
                 }
             }
             (Some(s), None, Some(o)) => {
-                if let Some(sm) = self.osp.get(&o) {
-                    if let Some(preds) = sm.get(&s) {
-                        for &p in preds {
-                            f(Triple::new(s, p, o));
-                        }
-                    }
+                for &p in self.osp.thirds_of_pair(o, s) {
+                    f(Triple::new(s, p, o));
                 }
             }
             (Some(s), None, None) => {
-                if let Some(pm) = self.spo.get(&s) {
-                    for (&p, objs) in pm {
-                        for &o in objs {
-                            f(Triple::new(s, p, o));
-                        }
-                    }
+                for (p, o) in self.spo.pairs_of_first(s) {
+                    f(Triple::new(s, p, o));
                 }
             }
             (None, Some(p), None) => {
-                if let Some(om) = self.pos.get(&p) {
-                    for (&o, subs) in om {
-                        for &s in subs {
-                            f(Triple::new(s, p, o));
-                        }
-                    }
+                for (o, s) in self.pos.pairs_of_first(p) {
+                    f(Triple::new(s, p, o));
                 }
             }
             (None, None, Some(o)) => {
-                if let Some(sm) = self.osp.get(&o) {
-                    for (&s, preds) in sm {
-                        for &p in preds {
-                            f(Triple::new(s, p, o));
-                        }
-                    }
+                for (s, p) in self.osp.pairs_of_first(o) {
+                    f(Triple::new(s, p, o));
                 }
             }
             (None, None, None) => {
-                for t in self.triples() {
-                    f(t);
+                for (s, p, o) in self.spo.tuples() {
+                    f(Triple::new(s, p, o));
                 }
+            }
+        }
+        for t in &self.delta {
+            if pattern.matches(t) {
+                f(*t);
             }
         }
     }
@@ -217,31 +530,33 @@ impl Graph {
         out
     }
 
-    /// Exact number of triples matching `pattern`, computed from index
-    /// metadata where possible (used for join-order selectivity estimates).
+    /// Exact number of triples matching `pattern`, computed from the CSR
+    /// offset/run metadata (plus a sweep of the bounded delta buffer) — no
+    /// shape falls back to a full scan. Used for join-order selectivity.
     pub fn count_matching(&self, pattern: TriplePattern) -> usize {
-        match (pattern.s, pattern.p, pattern.o) {
-            (Some(s), Some(p), Some(o)) => usize::from(self.contains_ids(s, p, o)),
-            (Some(s), Some(p), None) => self.objects(s, p).len(),
-            (None, Some(p), Some(o)) => self.subjects(p, o).len(),
-            (Some(s), None, Some(o)) => self
-                .osp
-                .get(&o)
-                .and_then(|sm| sm.get(&s))
-                .map_or(0, Vec::len),
-            (Some(s), None, None) => self
-                .spo
-                .get(&s)
-                .map_or(0, |pm| pm.values().map(Vec::len).sum()),
-            (None, Some(p), None) => self
-                .pos
-                .get(&p)
-                .map_or(0, |om| om.values().map(Vec::len).sum()),
-            (None, None, Some(o)) => self
-                .osp
-                .get(&o)
-                .map_or(0, |sm| sm.values().map(Vec::len).sum()),
-            (None, None, None) => self.len,
+        let sorted = match (pattern.s, pattern.p, pattern.o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(s, p, o)),
+            (Some(s), Some(p), None) => {
+                let (from, to) = self.spo.pair_range(s, p);
+                to - from
+            }
+            (None, Some(p), Some(o)) => {
+                let (from, to) = self.pos.pair_range(p, o);
+                to - from
+            }
+            (Some(s), None, Some(o)) => {
+                let (from, to) = self.osp.pair_range(o, s);
+                to - from
+            }
+            (Some(s), None, None) => self.spo.first_len(s),
+            (None, Some(p), None) => self.pos.first_len(p),
+            (None, None, Some(o)) => self.osp.first_len(o),
+            (None, None, None) => return self.len,
+        };
+        if self.delta.is_empty() {
+            sorted
+        } else {
+            sorted + self.delta.iter().filter(|t| pattern.matches(t)).count()
         }
     }
 
@@ -260,43 +575,64 @@ impl Graph {
     /// Per-predicate triple counts, sorted descending — the store's summary
     /// statistics (used by consoles and for eyeballing generated workloads).
     pub fn predicate_counts(&self) -> Vec<(TermId, usize)> {
-        let mut counts: Vec<(TermId, usize)> = self
-            .pos
-            .iter()
-            .map(|(&p, om)| (p, om.values().map(Vec::len).sum()))
-            .collect();
+        let mut counts: FxHashMap<TermId, usize> = FxHashMap::default();
+        for (p, n) in self.pos.first_group_sizes() {
+            counts.insert(p, n);
+        }
+        for t in &self.delta {
+            *counts.entry(t.p).or_insert(0) += 1;
+        }
+        let mut counts: Vec<(TermId, usize)> = counts.into_iter().collect();
         counts.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         counts
     }
 
+    /// Distinct first components of `idx`, counting delta extras not yet in
+    /// the sorted runs.
+    fn distinct_with_delta(&self, idx: &CsrIndex, key: impl Fn(&Triple) -> TermId) -> usize {
+        let base = idx.distinct_firsts();
+        if self.delta.is_empty() {
+            return base;
+        }
+        let mut extra: FxHashSet<TermId> = FxHashSet::default();
+        for t in &self.delta {
+            let k = key(t);
+            if idx.first_len(k) == 0 {
+                extra.insert(k);
+            }
+        }
+        base + extra.len()
+    }
+
     /// Number of distinct subjects.
     pub fn subject_count(&self) -> usize {
-        self.spo.len()
+        self.distinct_with_delta(&self.spo, |t| t.s)
     }
 
     /// Number of distinct predicates.
     pub fn predicate_count(&self) -> usize {
-        self.pos.len()
+        self.distinct_with_delta(&self.pos, |t| t.p)
     }
 
     /// Number of distinct objects.
     pub fn object_count(&self) -> usize {
-        self.osp.len()
+        self.distinct_with_delta(&self.osp, |t| t.o)
     }
 
     /// Copies every triple of `other` into `self`, re-encoding terms into
-    /// this graph's dictionary. Returns the number of newly added triples.
+    /// this graph's dictionary through the bulk loader. Returns the number
+    /// of newly added triples.
     pub fn absorb(&mut self, other: &Graph) -> usize {
-        let mut added = 0;
+        let mut batch = Vec::with_capacity(other.len());
         for t in other.triples() {
             let (s, p, o) = other.decode(t);
-            // Clone into locals first: `insert` borrows self mutably.
-            let (s, p, o) = (s.clone(), p.clone(), o.clone());
-            if self.insert(&s, &p, &o) {
-                added += 1;
-            }
+            batch.push(Triple::new(
+                self.dict.encode(s),
+                self.dict.encode(p),
+                self.dict.encode(o),
+            ));
         }
-        added
+        self.bulk_insert_ids(batch)
     }
 }
 
@@ -315,72 +651,142 @@ mod tests {
         g
     }
 
+    /// The same graph with the delta folded into the CSR runs, so tests can
+    /// exercise both storage states.
+    fn sample_compacted() -> Graph {
+        let mut g = sample();
+        g.compact();
+        assert_eq!(g.pending_delta_len(), 0);
+        g
+    }
+
     #[test]
     fn insert_deduplicates() {
         let mut g = Graph::new();
         assert!(g.insert_iri("a", "p", &Term::literal("x")));
         assert!(!g.insert_iri("a", "p", &Term::literal("x")));
         assert_eq!(g.len(), 1);
+        // Dedup also holds across the delta/CSR boundary.
+        g.compact();
+        assert!(!g.insert_iri("a", "p", &Term::literal("x")));
+        assert_eq!(g.len(), 1);
     }
 
     #[test]
     fn contains_and_decode() {
-        let g = sample();
-        assert!(g.contains(
-            &Term::iri("user1"),
-            &Term::iri("hasAge"),
-            &Term::integer(28)
-        ));
-        assert!(!g.contains(
-            &Term::iri("user1"),
-            &Term::iri("hasAge"),
-            &Term::integer(99)
-        ));
-        let t = g.matching(TriplePattern::new(g.dict().iri_id("user2"), None, None))[0];
-        let (s, _, o) = g.decode(t);
-        assert_eq!(s, &Term::iri("user2"));
-        assert_eq!(o, &Term::integer(40));
+        for g in [sample(), sample_compacted()] {
+            assert!(g.contains(
+                &Term::iri("user1"),
+                &Term::iri("hasAge"),
+                &Term::integer(28)
+            ));
+            assert!(!g.contains(
+                &Term::iri("user1"),
+                &Term::iri("hasAge"),
+                &Term::integer(99)
+            ));
+            let t = g.matching(TriplePattern::new(g.dict().iri_id("user2"), None, None))[0];
+            let (s, _, o) = g.decode(t);
+            assert_eq!(s, &Term::iri("user2"));
+            assert_eq!(o, &Term::integer(40));
+        }
     }
 
     #[test]
     fn all_eight_pattern_shapes_agree_with_full_scan() {
-        let g = sample();
-        let all: Vec<Triple> = g.triples().collect();
-        assert_eq!(all.len(), g.len());
-        // Enumerate every (s?, p?, o?) choice drawn from an actual triple and
-        // check index-backed matching equals a brute-force filter.
-        let probe = all[0];
-        for mask in 0u8..8 {
-            let pat = TriplePattern::new(
-                (mask & 1 != 0).then_some(probe.s),
-                (mask & 2 != 0).then_some(probe.p),
-                (mask & 4 != 0).then_some(probe.o),
-            );
-            let mut via_index = g.matching(pat);
-            let mut via_scan: Vec<Triple> =
-                all.iter().copied().filter(|t| pat.matches(t)).collect();
-            via_index.sort();
-            via_scan.sort();
-            assert_eq!(via_index, via_scan, "pattern shape {mask:#05b}");
-            assert_eq!(g.count_matching(pat), via_scan.len(), "count {mask:#05b}");
+        for g in [sample(), sample_compacted()] {
+            let all: Vec<Triple> = g.triples().collect();
+            assert_eq!(all.len(), g.len());
+            // Enumerate every (s?, p?, o?) choice drawn from an actual triple
+            // and check index-backed matching equals a brute-force filter.
+            let probe = all[0];
+            for mask in 0u8..8 {
+                let pat = TriplePattern::new(
+                    (mask & 1 != 0).then_some(probe.s),
+                    (mask & 2 != 0).then_some(probe.p),
+                    (mask & 4 != 0).then_some(probe.o),
+                );
+                let mut via_index = g.matching(pat);
+                let mut via_scan: Vec<Triple> =
+                    all.iter().copied().filter(|t| pat.matches(t)).collect();
+                via_index.sort();
+                via_scan.sort();
+                assert_eq!(via_index, via_scan, "pattern shape {mask:#05b}");
+                assert_eq!(g.count_matching(pat), via_scan.len(), "count {mask:#05b}");
+            }
         }
+    }
+
+    #[test]
+    fn bulk_loader_equals_incremental_inserts() {
+        let incremental = sample_compacted();
+        let bulk = Graph::from_triples(
+            incremental.dict().clone(),
+            incremental.triples().collect::<Vec<_>>(),
+        );
+        assert_eq!(bulk.len(), incremental.len());
+        for t in incremental.triples() {
+            assert!(bulk.contains_ids(t.s, t.p, t.o));
+        }
+        // Bulk loading dedups batch-internal repeats too.
+        let twice: Vec<Triple> = incremental.triples().chain(incremental.triples()).collect();
+        let deduped = Graph::from_triples(incremental.dict().clone(), twice);
+        assert_eq!(deduped.len(), incremental.len());
+    }
+
+    #[test]
+    fn bulk_insert_reports_only_new_triples() {
+        let mut g = sample();
+        let existing: Vec<Triple> = g.triples().collect();
+        // Re-inserting the whole graph adds nothing…
+        assert_eq!(g.bulk_insert_ids(existing), 0);
+        // …and the delta was folded in by the bulk call.
+        assert_eq!(g.pending_delta_len(), 0);
+        let s = g.encode(&Term::iri("user9"));
+        let p = g.encode(&Term::iri("livesIn"));
+        let o = g.encode(&Term::literal("Kyoto"));
+        assert_eq!(g.bulk_insert_ids([Triple::new(s, p, o)]), 1);
+        assert!(g.contains_ids(s, p, o));
+    }
+
+    #[test]
+    fn delta_auto_merges_at_threshold() {
+        let mut g = Graph::new();
+        let p = g.encode(&Term::iri("p"));
+        let ids: Vec<TermId> = (0..2 * DELTA_MERGE_MIN)
+            .map(|i| g.encode(&Term::iri(format!("n{i}"))))
+            .collect();
+        for (i, &s) in ids.iter().enumerate() {
+            g.insert_ids(s, p, ids[(i + 1) % ids.len()]);
+        }
+        assert!(
+            g.pending_delta_len() < DELTA_MERGE_MIN,
+            "delta should have auto-merged at least once, still {}",
+            g.pending_delta_len()
+        );
+        assert_eq!(g.len(), 2 * DELTA_MERGE_MIN);
+        assert_eq!(
+            g.count_matching(TriplePattern::new(None, Some(p), None)),
+            g.len()
+        );
     }
 
     #[test]
     fn multi_valued_properties_are_kept() {
         // user1 is identified both as William and as Bill (paper §2).
-        let g = sample();
-        let p = g.dict().iri_id("identifiedBy").unwrap();
-        let s = g.dict().iri_id("user1").unwrap();
-        assert_eq!(g.objects(s, p).len(), 2);
+        for g in [sample(), sample_compacted()] {
+            let p = g.dict().iri_id("identifiedBy").unwrap();
+            let s = g.dict().iri_id("user1").unwrap();
+            assert_eq!(g.objects(s, p).count(), 2);
+        }
     }
 
     #[test]
     fn objects_and_subjects_missing_are_empty() {
         let g = sample();
         let s = g.dict().iri_id("user1").unwrap();
-        assert!(g.objects(s, TermId(9999)).is_empty());
-        assert!(g.subjects(TermId(9999), s).is_empty());
+        assert_eq!(g.objects(s, TermId(9999)).count(), 0);
+        assert_eq!(g.subjects(TermId(9999), s).count(), 0);
     }
 
     #[test]
@@ -408,16 +814,47 @@ mod tests {
 
     #[test]
     fn summary_statistics() {
-        let g = sample();
-        assert_eq!(g.subject_count(), 3);
-        assert_eq!(g.predicate_count(), 3); // hasAge, livesIn, identifiedBy
-        let counts = g.predicate_counts();
-        assert_eq!(counts.len(), 3);
-        // hasAge has 3 triples, identifiedBy 2, livesIn 1 — sorted desc.
-        assert_eq!(counts[0].1, 3);
-        assert_eq!(counts[1].1, 2);
-        assert_eq!(counts[2].1, 1);
-        assert_eq!(counts.iter().map(|(_, n)| n).sum::<usize>(), g.len());
-        assert!(g.object_count() >= 5);
+        for g in [sample(), sample_compacted()] {
+            assert_eq!(g.subject_count(), 3);
+            assert_eq!(g.predicate_count(), 3); // hasAge, livesIn, identifiedBy
+            let counts = g.predicate_counts();
+            assert_eq!(counts.len(), 3);
+            // hasAge has 3 triples, identifiedBy 2, livesIn 1 — sorted desc.
+            assert_eq!(counts[0].1, 3);
+            assert_eq!(counts[1].1, 2);
+            assert_eq!(counts[2].1, 1);
+            assert_eq!(counts.iter().map(|(_, n)| n).sum::<usize>(), g.len());
+            assert!(g.object_count() >= 5);
+        }
+    }
+
+    #[test]
+    fn mixed_bulk_then_incremental_then_bulk() {
+        // Interleave the three load paths and check reads stay consistent.
+        let mut g = sample_compacted();
+        assert!(g.insert_iri("user2", "livesIn", &Term::literal("Oslo")));
+        assert_eq!(g.pending_delta_len(), 1);
+        let s = g.encode(&Term::iri("user3"));
+        let p = g.encode(&Term::iri("livesIn"));
+        let o = g.encode(&Term::literal("Lima"));
+        assert_eq!(g.bulk_insert_ids([Triple::new(s, p, o)]), 1);
+        // A small batch into a non-empty store rides the delta buffer (a
+        // full three-index rebuild for one row would cost O(n))…
+        assert_eq!(g.pending_delta_len(), 2);
+        assert_eq!(g.len(), 8);
+        // …and compaction folds it in on demand.
+        g.compact();
+        assert_eq!(g.pending_delta_len(), 0);
+        assert_eq!(g.len(), 8);
+        let lives = g.dict().iri_id("livesIn").unwrap();
+        assert_eq!(
+            g.count_matching(TriplePattern::new(None, Some(lives), None)),
+            3
+        );
+        assert!(g.contains(
+            &Term::iri("user2"),
+            &Term::iri("livesIn"),
+            &Term::literal("Oslo")
+        ));
     }
 }

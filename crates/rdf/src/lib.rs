@@ -5,8 +5,11 @@
 //!
 //! * [`term`] / [`dictionary`] — RDF 1.1 terms, interned to dense `u32`
 //!   [`TermId`]s so every downstream operator works on integers;
-//! * [`graph`] — an append-only triple store with SPO/POS/OSP indexes
-//!   covering all eight triple-pattern shapes;
+//! * [`graph`] — an append-only columnar triple store: sorted SPO/POS/OSP
+//!   column sets under CSR offset tables, a bulk loader for
+//!   sort-once-dedup-once construction, and a delta buffer keeping
+//!   incremental inserts cheap — all eight triple-pattern shapes are
+//!   index-backed;
 //! * [`parser`] / [`writer`] — N-Triples and a practical Turtle subset, plus
 //!   deterministic N-Triples output;
 //! * [`reasoner`] — RDFS (ρdf) saturation, required by the analytical-schema

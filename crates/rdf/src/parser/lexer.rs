@@ -337,6 +337,21 @@ mod tests {
     }
 
     #[test]
+    fn control_character_escapes_round_trip() {
+        // The writer emits \uXXXX for unnamed C0 controls and DEL
+        // (see `term::escape_literal`); the lexer must take them back.
+        assert_eq!(
+            toks(r#""a\u0000b\u0001c\u001Fd\u007Fe""#),
+            vec![Token::StringLiteral("a\u{0}b\u{1}c\u{1F}d\u{7F}e".into())]
+        );
+        // Lowercase hex digits and long-form \U are accepted too.
+        assert_eq!(
+            toks(r#""\u001f\U0000007F""#),
+            vec![Token::StringLiteral("\u{1F}\u{7F}".into())]
+        );
+    }
+
+    #[test]
     fn language_and_datatype_markers() {
         assert_eq!(
             toks(r#""x"@en "#),

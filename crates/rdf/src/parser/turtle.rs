@@ -5,6 +5,7 @@ use crate::error::ParseError;
 use crate::fx::FxHashMap;
 use crate::graph::Graph;
 use crate::term::{Literal, Term};
+use crate::triple::Triple;
 use crate::vocab;
 
 /// Parses strict N-Triples into a fresh graph.
@@ -98,7 +99,22 @@ impl Parser {
         }
     }
 
+    /// Parses the whole input, staging encoded triples and handing the
+    /// complete batch to the graph's bulk loader in one call (one sort +
+    /// dedup per index instead of per-triple maintenance). On error nothing
+    /// is inserted; only dictionary interning has happened.
     fn run(&mut self, graph: &mut Graph) -> Result<(), ParseError> {
+        let mut staged: Vec<Triple> = Vec::new();
+        self.statements(graph, &mut staged)?;
+        graph.bulk_insert_ids(staged);
+        Ok(())
+    }
+
+    fn statements(
+        &mut self,
+        graph: &mut Graph,
+        staged: &mut Vec<Triple>,
+    ) -> Result<(), ParseError> {
         while let Some(spanned) = self.peek() {
             match &spanned.token {
                 Token::At(word) if word == "prefix" => {
@@ -115,7 +131,7 @@ impl Parser {
                     self.bump();
                     self.directive(false)?;
                 }
-                _ => self.triples(graph)?,
+                _ => self.triples(graph, staged)?,
             }
         }
         Ok(())
@@ -144,13 +160,13 @@ impl Parser {
         Ok(())
     }
 
-    fn triples(&mut self, graph: &mut Graph) -> Result<(), ParseError> {
-        let subject = self.subject(graph)?;
+    fn triples(&mut self, graph: &mut Graph, staged: &mut Vec<Triple>) -> Result<(), ParseError> {
+        let subject = self.subject(graph, staged)?;
         loop {
             let predicate = self.predicate()?;
             loop {
-                let object = self.object(graph)?;
-                graph.insert(&subject, &predicate, &object);
+                let object = self.object(graph, staged)?;
+                stage(graph, staged, &subject, &predicate, &object);
                 match self.peek().map(|s| &s.token) {
                     Some(Token::Comma) if self.mode == Mode::Turtle => {
                         self.bump();
@@ -172,7 +188,7 @@ impl Parser {
         self.expect_dot()
     }
 
-    fn subject(&mut self, graph: &mut Graph) -> Result<Term, ParseError> {
+    fn subject(&mut self, graph: &mut Graph, staged: &mut Vec<Triple>) -> Result<Term, ParseError> {
         match self.bump() {
             Some(Spanned {
                 token: Token::Iri(iri),
@@ -192,7 +208,7 @@ impl Parser {
             Some(Spanned {
                 token: Token::LBracket,
                 ..
-            }) if self.mode == Mode::Turtle => self.blank_property_list(graph),
+            }) if self.mode == Mode::Turtle => self.blank_property_list(graph, staged),
             _ => Err(self.error_here("expected subject (IRI or blank node)")),
         }
     }
@@ -200,7 +216,11 @@ impl Parser {
     /// Parses `[ predicateObjectList ]` (the opening bracket is already
     /// consumed), asserting the inner triples and returning the fresh node.
     /// An empty `[]` is a plain anonymous node.
-    fn blank_property_list(&mut self, graph: &mut Graph) -> Result<Term, ParseError> {
+    fn blank_property_list(
+        &mut self,
+        graph: &mut Graph,
+        staged: &mut Vec<Triple>,
+    ) -> Result<Term, ParseError> {
         let node = self.fresh_blank();
         if matches!(self.peek().map(|s| &s.token), Some(Token::RBracket)) {
             self.bump();
@@ -209,8 +229,8 @@ impl Parser {
         loop {
             let predicate = self.predicate()?;
             loop {
-                let object = self.object(graph)?;
-                graph.insert(&node, &predicate, &object);
+                let object = self.object(graph, staged)?;
+                stage(graph, staged, &node, &predicate, &object);
                 match self.peek().map(|s| &s.token) {
                     Some(Token::Comma) => {
                         self.bump();
@@ -258,7 +278,7 @@ impl Parser {
         }
     }
 
-    fn object(&mut self, graph: &mut Graph) -> Result<Term, ParseError> {
+    fn object(&mut self, graph: &mut Graph, staged: &mut Vec<Triple>) -> Result<Term, ParseError> {
         match self.bump() {
             Some(Spanned {
                 token: Token::Iri(iri),
@@ -278,7 +298,7 @@ impl Parser {
             Some(Spanned {
                 token: Token::LBracket,
                 ..
-            }) if self.mode == Mode::Turtle => self.blank_property_list(graph),
+            }) if self.mode == Mode::Turtle => self.blank_property_list(graph, staged),
             Some(Spanned {
                 token: Token::StringLiteral(body),
                 ..
@@ -353,6 +373,13 @@ impl Parser {
             .map(|ns| format!("{ns}{local}"))
             .ok_or_else(|| ParseError::new(line, column, format!("unknown prefix '{prefix}:'")))
     }
+}
+
+/// Interns the three terms and stages the encoded triple for the one-shot
+/// bulk insertion at the end of the parse.
+fn stage(graph: &mut Graph, staged: &mut Vec<Triple>, s: &Term, p: &Term, o: &Term) {
+    let t = Triple::new(graph.encode(s), graph.encode(p), graph.encode(o));
+    staged.push(t);
 }
 
 #[cfg(test)]
@@ -493,7 +520,7 @@ mod tests {
             .o;
         assert!(g.dict().term(addr).is_blank());
         let street = g.dict().iri_id("street").unwrap();
-        assert_eq!(g.objects(addr, street).len(), 1);
+        assert_eq!(g.objects(addr, street).count(), 1);
     }
 
     #[test]

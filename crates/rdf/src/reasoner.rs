@@ -35,19 +35,25 @@ pub fn saturate(graph: &mut Graph) -> usize {
 
     let mut added = 0;
 
+    // Each rule collects its entailed triples and loads them through the
+    // graph's bulk loader: one sort + merge per round instead of per-triple
+    // index maintenance, and the next rule then queries a compacted store.
+
     // Rule 1: transitive closures of the two hierarchies.
     let class_up = transitive_closure(graph, sub_class);
     let prop_up = transitive_closure(graph, sub_prop);
+    let mut closures: Vec<Triple> = Vec::new();
     for (child, ancestors) in &class_up {
         for &anc in ancestors {
-            added += graph.insert_ids(*child, sub_class, anc) as usize;
+            closures.push(Triple::new(*child, sub_class, anc));
         }
     }
     for (child, ancestors) in &prop_up {
         for &anc in ancestors {
-            added += graph.insert_ids(*child, sub_prop, anc) as usize;
+            closures.push(Triple::new(*child, sub_prop, anc));
         }
     }
+    added += graph.bulk_insert_ids(closures);
 
     // Rule 2: propagate triples up the property hierarchy.
     let mut inherited: Vec<Triple> = Vec::new();
@@ -58,9 +64,7 @@ pub fn saturate(graph: &mut Graph) -> usize {
             }
         });
     }
-    for t in inherited {
-        added += graph.insert_triple(t) as usize;
-    }
+    added += graph.bulk_insert_ids(inherited);
 
     // Rules 3–4: domain and range produce rdf:type triples. Collect the
     // declarations first, then scan each declared property's extension.
@@ -78,9 +82,7 @@ pub fn saturate(graph: &mut Graph) -> usize {
             typings.push(Triple::new(node, rdf_type, class));
         });
     }
-    for t in typings {
-        added += graph.insert_triple(t) as usize;
-    }
+    added += graph.bulk_insert_ids(typings);
 
     // Rule 5: propagate rdf:type up the class hierarchy.
     let mut uptyped: Vec<Triple> = Vec::new();
@@ -91,9 +93,7 @@ pub fn saturate(graph: &mut Graph) -> usize {
             }
         });
     }
-    for t in uptyped {
-        added += graph.insert_triple(t) as usize;
-    }
+    added += graph.bulk_insert_ids(uptyped);
 
     added
 }

@@ -232,7 +232,13 @@ impl fmt::Display for Term {
 }
 
 /// Escapes a literal's lexical form for N-Triples output.
+///
+/// Besides the named escapes, every remaining C0 control character
+/// (U+0000–U+001F) and DEL (U+007F) is emitted as a `\uXXXX` escape — raw
+/// control bytes inside a quoted literal are not valid N-Triples, and the
+/// Turtle lexer round-trips the `\u` form back to the original character.
 pub(crate) fn escape_literal(s: &str) -> String {
+    use std::fmt::Write;
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -241,6 +247,9 @@ pub(crate) fn escape_literal(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            c if c <= '\u{1F}' || c == '\u{7F}' => {
+                let _ = write!(out, "\\u{:04X}", c as u32);
+            }
             other => out.push(other),
         }
     }
@@ -303,6 +312,23 @@ mod tests {
             escape_literal("a\"b\\c\nd\te\rf"),
             "a\\\"b\\\\c\\nd\\te\\rf"
         );
+    }
+
+    #[test]
+    fn escaping_covers_all_c0_controls_and_del() {
+        // Unnamed C0 controls and DEL must come out as \uXXXX, not raw.
+        assert_eq!(escape_literal("a\u{0}b"), "a\\u0000b");
+        assert_eq!(escape_literal("\u{1}\u{1F}\u{7F}"), "\\u0001\\u001F\\u007F");
+        // Nothing above DEL is touched (é, 日 pass through).
+        assert_eq!(escape_literal("é日"), "é日");
+        // The result never contains a raw control character.
+        let all_controls: String = (0u32..0x20)
+            .chain([0x7F])
+            .map(|c| char::from_u32(c).unwrap())
+            .collect();
+        assert!(escape_literal(&all_controls)
+            .chars()
+            .all(|c| !c.is_control()));
     }
 
     #[test]

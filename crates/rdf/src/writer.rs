@@ -52,6 +52,23 @@ mod tests {
     }
 
     #[test]
+    fn control_characters_round_trip_and_stay_escaped() {
+        let mut g = Graph::new();
+        let gnarly = Term::literal("bell\u{7}null\u{0}del\u{7F}tab\tend");
+        g.insert_iri("s", "p", &gnarly);
+        let text = to_ntriples(&g);
+        // No raw control characters may reach the wire (newline terminates
+        // each statement, which is the only control byte allowed).
+        assert!(
+            text.chars().all(|c| c == '\n' || !c.is_control()),
+            "{text:?}"
+        );
+        assert!(text.contains("\\u0007"), "{text:?}");
+        let back = parse_ntriples(&text).unwrap();
+        assert!(back.contains(&Term::iri("s"), &Term::iri("p"), &gnarly));
+    }
+
+    #[test]
     fn output_is_deterministic() {
         let mut g1 = Graph::new();
         let mut g2 = Graph::new();

@@ -1,0 +1,208 @@
+//! Property suite for the CSR triple store: on random graphs, every
+//! index-backed read path must agree with a naive full-scan oracle over the
+//! triple list, across **all eight pattern shapes** and across every way the
+//! store can be in — pure bulk load, pure incremental inserts (delta
+//! resident), bulk-then-incremental (CSR runs plus delta), and explicitly
+//! compacted. This pins down the tentpole invariant of the storage rework:
+//! the sorted-columns/delta-buffer split is invisible to readers.
+
+use proptest::prelude::*;
+use rdfcube::{Graph, Term, Triple, TriplePattern};
+
+/// A random triple spec over a small closed universe, so that patterns
+/// probe both present and absent components and collisions are common.
+fn arb_spec() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..12, 0u8..6, 0u8..12), 0..80)
+}
+
+fn term(kind: &str, n: u8) -> Term {
+    Term::iri(format!("{kind}{n}"))
+}
+
+/// Builds the same graph four ways:
+/// 1. per-triple inserts only (everything in the delta buffer);
+/// 2. bulk load of the whole batch;
+/// 3. bulk load of the first half, per-triple inserts for the rest
+///    (CSR runs + live delta — the insert-then-bulk-merge path);
+/// 4. variant 3 followed by an explicit `compact()`.
+fn build_all_ways(spec: &[(u8, u8, u8)]) -> Vec<Graph> {
+    let mut incremental = Graph::new();
+    for &(s, p, o) in spec {
+        incremental.insert(&term("s", s), &term("p", p), &term("o", o));
+    }
+
+    let mut bulk = Graph::new();
+    let batch: Vec<Triple> = spec
+        .iter()
+        .map(|&(s, p, o)| {
+            Triple::new(
+                bulk.encode(&term("s", s)),
+                bulk.encode(&term("p", p)),
+                bulk.encode(&term("o", o)),
+            )
+        })
+        .collect();
+    bulk.bulk_insert_ids(batch);
+
+    let mut mixed = Graph::new();
+    let half = spec.len() / 2;
+    let first: Vec<Triple> = spec[..half]
+        .iter()
+        .map(|&(s, p, o)| {
+            Triple::new(
+                mixed.encode(&term("s", s)),
+                mixed.encode(&term("p", p)),
+                mixed.encode(&term("o", o)),
+            )
+        })
+        .collect();
+    mixed.bulk_insert_ids(first);
+    for &(s, p, o) in &spec[half..] {
+        mixed.insert(&term("s", s), &term("p", p), &term("o", o));
+    }
+
+    let mut compacted = mixed.clone();
+    compacted.compact();
+    assert_eq!(compacted.pending_delta_len(), 0);
+
+    vec![incremental, bulk, mixed, compacted]
+}
+
+/// Decoded, sorted triple list — the graph's content independent of id
+/// assignment order, comparable across differently-built dictionaries.
+fn content(g: &Graph) -> Vec<String> {
+    let mut out: Vec<String> = g
+        .triples()
+        .map(|t| {
+            let (s, p, o) = g.decode(t);
+            format!("{s} {p} {o}")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// All construction paths produce the same graph.
+    #[test]
+    fn construction_paths_agree(spec in arb_spec()) {
+        let graphs = build_all_ways(&spec);
+        let reference = content(&graphs[0]);
+        for (i, g) in graphs.iter().enumerate() {
+            prop_assert_eq!(content(g), reference.clone(), "construction path {}", i);
+            prop_assert_eq!(g.len(), reference.len(), "len of path {}", i);
+        }
+    }
+
+    /// `matching` and `count_matching` agree with a full-scan oracle for all
+    /// eight pattern shapes, in every storage state.
+    #[test]
+    fn matching_agrees_with_full_scan_oracle(spec in arb_spec(), probe in 0usize..80) {
+        for (i, g) in build_all_ways(&spec).iter().enumerate() {
+            let all: Vec<Triple> = g.triples().collect();
+            if all.is_empty() {
+                prop_assert_eq!(g.count_matching(TriplePattern::default()), 0);
+                continue;
+            }
+            let t = all[probe % all.len()];
+            for mask in 0u8..8 {
+                let pat = TriplePattern::new(
+                    (mask & 1 != 0).then_some(t.s),
+                    (mask & 2 != 0).then_some(t.p),
+                    (mask & 4 != 0).then_some(t.o),
+                );
+                let mut via_index = g.matching(pat);
+                let mut via_scan: Vec<Triple> =
+                    all.iter().copied().filter(|x| pat.matches(x)).collect();
+                via_index.sort();
+                via_scan.sort();
+                prop_assert_eq!(
+                    &via_index, &via_scan,
+                    "path {} shape {:#05b} mismatch", i, mask
+                );
+                prop_assert_eq!(
+                    g.count_matching(pat), via_scan.len(),
+                    "path {} shape {:#05b} count", i, mask
+                );
+            }
+        }
+    }
+
+    /// Pattern shapes probed with components *absent* from the graph return
+    /// empty results instead of panicking or over-matching, in every state.
+    #[test]
+    fn absent_components_match_nothing(spec in arb_spec()) {
+        for g in build_all_ways(&spec) {
+            // An id the dictionary never handed out: the offset tables are
+            // shorter than it, which the range guards must absorb.
+            let ghost = rdfcube::TermId((g.dict().len() + 7) as u32);
+            for mask in 1u8..8 {
+                let pat = TriplePattern::new(
+                    (mask & 1 != 0).then_some(ghost),
+                    (mask & 2 != 0).then_some(ghost),
+                    (mask & 4 != 0).then_some(ghost),
+                );
+                prop_assert_eq!(g.matching(pat).len(), 0);
+                prop_assert_eq!(g.count_matching(pat), 0);
+            }
+        }
+    }
+
+    /// Summary statistics (distinct subjects/predicates/objects, per-predicate
+    /// counts) agree with the oracle in every storage state.
+    #[test]
+    fn summary_statistics_agree_with_oracle(spec in arb_spec()) {
+        for (i, g) in build_all_ways(&spec).iter().enumerate() {
+            let all: Vec<Triple> = g.triples().collect();
+            let distinct = |f: fn(&Triple) -> rdfcube::TermId| {
+                let mut ids: Vec<_> = all.iter().map(f).collect();
+                ids.sort();
+                ids.dedup();
+                ids.len()
+            };
+            prop_assert_eq!(g.subject_count(), distinct(|t| t.s), "subjects, path {}", i);
+            prop_assert_eq!(g.predicate_count(), distinct(|t| t.p), "predicates, path {}", i);
+            prop_assert_eq!(g.object_count(), distinct(|t| t.o), "objects, path {}", i);
+            let total: usize = g.predicate_counts().iter().map(|(_, n)| n).sum();
+            prop_assert_eq!(total, g.len(), "predicate_counts sum, path {}", i);
+            for (p, n) in g.predicate_counts() {
+                let oracle = all.iter().filter(|t| t.p == p).count();
+                prop_assert_eq!(n, oracle, "count of predicate {} on path {}", p, i);
+            }
+        }
+    }
+
+    /// `objects` / `subjects` enumerations agree with the oracle, including
+    /// values that only live in the delta buffer.
+    #[test]
+    fn adjacency_enumeration_agrees(spec in arb_spec(), probe in 0usize..80) {
+        for (i, g) in build_all_ways(&spec).iter().enumerate() {
+            let all: Vec<Triple> = g.triples().collect();
+            if all.is_empty() {
+                continue;
+            }
+            let t = all[probe % all.len()];
+            let mut objs: Vec<_> = g.objects(t.s, t.p).collect();
+            let mut objs_oracle: Vec<_> = all
+                .iter()
+                .filter(|x| x.s == t.s && x.p == t.p)
+                .map(|x| x.o)
+                .collect();
+            objs.sort();
+            objs_oracle.sort();
+            prop_assert_eq!(objs, objs_oracle, "objects, path {}", i);
+
+            let mut subs: Vec<_> = g.subjects(t.p, t.o).collect();
+            let mut subs_oracle: Vec<_> = all
+                .iter()
+                .filter(|x| x.p == t.p && x.o == t.o)
+                .map(|x| x.s)
+                .collect();
+            subs.sort();
+            subs_oracle.sort();
+            prop_assert_eq!(subs, subs_oracle, "subjects, path {}", i);
+        }
+    }
+}
