@@ -1,0 +1,69 @@
+//! E9 — end-to-end analytical-query evaluation and pure-BGP matching.
+//!
+//! Times the query pipeline above the store on the ~100k-triple blogger
+//! world:
+//!
+//! * `answer_100k` — the whole `answer()` path: classifier (set semantics)
+//!   + measure (bag semantics) + classifier ⋈ measure + γ aggregation;
+//! * `bgp_classifier_100k` — the 3-pattern classifier alone under set
+//!   semantics (binding propagation + δ);
+//! * `bgp_measure_100k` — the 3-pattern measure alone under bag semantics
+//!   (binding propagation only, no dedup).
+//!
+//! The roadmap acceptance bar for the flat-buffer pipeline rework is a ≥2×
+//! median speedup on `answer_100k` versus the row-at-a-time evaluator.
+//!
+//! A separate `e9_smoke` group runs the same pipeline on a small world with
+//! a minimal sample budget; CI executes only that group (via the vendored
+//! criterion filter) to guard the bench against bit-rot without paying for
+//! a full measurement run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfcube_bench::blogger_fixture;
+use rdfcube_core::answer;
+use rdfcube_engine::{evaluate, Semantics};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = blogger_fixture(100_000, 0.1);
+    let n = f.instance.len();
+    let q = f.eq.query();
+
+    let mut group = c.benchmark_group("e9_eval");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_with_input(BenchmarkId::new("answer_100k", n), &n, |b, _| {
+        b.iter(|| black_box(answer(q, &f.instance).unwrap()))
+    });
+
+    group.bench_with_input(BenchmarkId::new("bgp_classifier_100k", n), &n, |b, _| {
+        b.iter(|| black_box(evaluate(&f.instance, q.classifier(), Semantics::Set).unwrap()))
+    });
+
+    group.bench_with_input(BenchmarkId::new("bgp_measure_100k", n), &n, |b, _| {
+        b.iter(|| black_box(evaluate(&f.instance, q.measure(), Semantics::Bag).unwrap()))
+    });
+
+    group.finish();
+}
+
+fn smoke(c: &mut Criterion) {
+    let f = blogger_fixture(5_000, 0.1);
+    let q = f.eq.query();
+
+    let mut group = c.benchmark_group("e9_smoke");
+    group.sample_size(2);
+    group.warm_up_time(std::time::Duration::from_millis(50));
+    group.measurement_time(std::time::Duration::from_millis(200));
+
+    group.bench_function("answer_5k", |b| {
+        b.iter(|| black_box(answer(q, &f.instance).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench, smoke);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
-//! Experiment report generator: runs experiments E1–E7 and prints the
-//! markdown tables recorded in EXPERIMENTS.md (medians of repeated runs).
+//! Experiment report generator: runs experiments E1–E7 and E9 and prints
+//! the markdown tables recorded in EXPERIMENTS.md (medians of repeated
+//! runs).
 //!
 //! Run with: `cargo run --release -p rdfcube-bench --bin report`
 //! Pass `--quick` for a fast, smaller-scale pass.
@@ -7,7 +8,7 @@
 use rdfcube_bench::{
     blogger_fixture, blogger_fixture_with, e1_slice_op, e2_dice_op, video_fixture, CLASSIFIER_3D,
 };
-use rdfcube_core::{apply, rewrite, OlapOp};
+use rdfcube_core::{answer, apply, rewrite, OlapOp};
 use rdfcube_datagen::BloggerConfig;
 use rdfcube_engine::{evaluate, evaluate_in_order, parse_query, AggFunc, Semantics};
 use std::hint::black_box;
@@ -354,6 +355,33 @@ fn main() {
             "| post-filter | {} | {} slower |",
             fmt(t_post),
             speedup(t_post, t_push)
+        );
+    }
+
+    // ---------------- E9: end-to-end evaluation pipeline ----------------
+    println!("\n## E9 — end-to-end answer(): flat-buffer evaluation pipeline\n");
+    println!("(classifier under set semantics, measure under bag semantics, and the");
+    println!("full classifier ⋈ measure + γ path — the from-scratch cost every");
+    println!("rewriting in E1–E5 is compared against)\n");
+    println!("| triples | classifier (set) | measure (bag) | answer() | cells |");
+    println!("|---|---|---|---|---|");
+    for &scale in &scales {
+        let f = blogger_fixture(scale, 0.1);
+        let q = f.eq.query();
+        let t_c = median(runs, || {
+            evaluate(&f.instance, q.classifier(), Semantics::Set).unwrap()
+        });
+        let t_m = median(runs, || {
+            evaluate(&f.instance, q.measure(), Semantics::Bag).unwrap()
+        });
+        let t_ans = median(runs, || answer(q, &f.instance).unwrap());
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            f.instance.len(),
+            fmt(t_c),
+            fmt(t_m),
+            fmt(t_ans),
+            f.ans.len()
         );
     }
 

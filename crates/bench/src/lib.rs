@@ -1,5 +1,5 @@
 //! Shared fixtures for the benchmark suite (criterion benches and the
-//! `report` binary reproduce the same experiments E1–E7; see DESIGN.md §4
+//! `report` binary reproduce the same experiments E1–E9; see DESIGN.md §4
 //! and EXPERIMENTS.md for the experiment ↔ paper-claim mapping).
 
 #![warn(missing_docs)]

@@ -191,10 +191,11 @@ fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
 
 /// Evaluates `ans(Q, I)` directly over the instance (Definition 1): the
 /// classifier under set semantics, the measure under bag semantics, joined
-/// on the fact variable and aggregated per dimension vector.
+/// on the fact variable and aggregated per dimension vector (sort-based γ).
 ///
 /// This is the reference ("from scratch") evaluation every rewriting in
-/// [`crate::rewrite`] is benchmarked and tested against.
+/// [`crate::rewrite`] is benchmarked and tested against, and the subject of
+/// benchmark E9.
 pub fn answer(q: &AnalyticalQuery, instance: &Graph) -> Result<Cube, CoreError> {
     let c_rel = evaluate(instance, q.classifier(), Semantics::Set)?;
     answer_with_classifier_relation(q, c_rel, instance)
@@ -227,6 +228,11 @@ pub(crate) fn measure_value_col(q: &AnalyticalQuery) -> VarId {
 /// Evaluates the measure (bag semantics), rebases its schema onto the
 /// classifier's variable space, and joins with the classifier relation on
 /// the fact variable. The result has schema `[x, d₁…dₙ, v]`.
+///
+/// Both inputs come out of the engine's flat-buffer evaluator, and the
+/// single shared column means [`Relation::natural_join`] takes its packed
+/// `u64`-key path — the whole classifier ⋈ measure step allocates no
+/// per-row keys.
 pub(crate) fn join_classifier_measure(
     q: &AnalyticalQuery,
     c_rel: Relation,
@@ -327,6 +333,31 @@ mod tests {
         let cube = answer(&q, &g).unwrap();
         assert_eq!(cube.len(), 1);
         assert_eq!(cube.get(&[]), Some(&AggValue::Int(5)));
+    }
+
+    #[test]
+    fn zero_dimensional_cube_via_pres_matches_direct() {
+        // Regression for row multiplicity at arity 0: the dims columns are
+        // empty, so both γ and Equation 3 must still see one record per
+        // measure tuple (5 posts), not zero rows.
+        use crate::extended::ExtendedQuery;
+        use crate::pres::PartialResult;
+        let mut g = example_2_instance();
+        let q = AnalyticalQuery::parse(
+            "c(?x) :- ?x rdf:type Blogger",
+            "m(?x, ?v) :- ?x wrotePost ?v",
+            AggFunc::Count,
+            g.dict_mut(),
+        )
+        .unwrap();
+        let direct = answer(&q, &g).unwrap();
+        let eq = ExtendedQuery::from_query(q);
+        let pres = PartialResult::compute(&eq, &g).unwrap();
+        assert_eq!(pres.n_dims(), 0);
+        assert_eq!(pres.len(), 5);
+        let from_pres = pres.to_cube(g.dict()).unwrap();
+        assert!(from_pres.same_cells(&direct));
+        assert_eq!(from_pres.get(&[]), Some(&AggValue::Int(5)));
     }
 
     #[test]

@@ -293,8 +293,9 @@ impl ExtendedQuery {
     }
 
     /// Evaluates the Σ-filtered classifier relation over the instance,
-    /// pushing Σ into pattern matching (bindings violating a restriction
-    /// are pruned the moment the dimension variable binds).
+    /// pushing Σ into pattern matching: bindings violating a restriction
+    /// are pruned — compacted out of the evaluator's flat binding arena in
+    /// place — the moment the dimension variable binds.
     pub fn classifier_relation(&self, instance: &Graph) -> Result<Relation, CoreError> {
         if self.sigma.is_unrestricted() {
             return Ok(evaluate(instance, self.query.classifier(), Semantics::Set)?);

@@ -182,16 +182,33 @@ impl PartialResult {
     /// Equation 3: recovers `ans(Q)` from the partial result by grouping on
     /// the dimension columns (the projection keeps duplicates — bag
     /// semantics — so repeated measure values aggregate correctly).
+    ///
+    /// Sort-based: a row permutation is sorted by dimension vector and the
+    /// runs scanned with one reusable bag buffer — no hash map of per-group
+    /// value bags, and cells emerge already in canonical key order.
     pub fn to_cube(&self, dict: &Dictionary) -> Result<Cube, CoreError> {
-        let mut groups: FxHashMap<&[TermId], Vec<TermId>> = FxHashMap::default();
-        for i in 0..self.len() {
-            let dims = &self.dims[i * self.n_dims..(i + 1) * self.n_dims];
-            groups.entry(dims).or_default().push(self.values[i]);
-        }
-        let mut cells = Vec::with_capacity(groups.len());
-        for (dims, bag) in groups {
-            let agg = self.agg.apply(&bag, dict)?;
-            cells.push((dims.to_vec(), agg));
+        let n = self.n_dims;
+        let rows = self.len();
+        let mut cells = Vec::new();
+        if rows > 0 {
+            let dims_of = |i: usize| &self.dims[i * n..(i + 1) * n];
+            let mut perm: Vec<u32> = (0..rows as u32).collect();
+            perm.sort_unstable_by(|&a, &b| {
+                dims_of(a as usize).cmp(dims_of(b as usize)).then(a.cmp(&b))
+            });
+            let mut bag: Vec<TermId> = Vec::new();
+            let mut start = 0usize;
+            while start < rows {
+                let key = dims_of(perm[start] as usize);
+                bag.clear();
+                let mut end = start;
+                while end < rows && dims_of(perm[end] as usize) == key {
+                    bag.push(self.values[perm[end] as usize]);
+                    end += 1;
+                }
+                cells.push((key.to_vec(), self.agg.apply(&bag, dict)?));
+                start = end;
+            }
         }
         Ok(Cube::from_cells(self.dim_names.clone(), self.agg, cells))
     }

@@ -102,14 +102,39 @@ pub fn drill_out_from_pres(
     let kept: Vec<usize> = (0..n).filter(|i| !removed.contains(i)).collect();
     let dim_names: Vec<String> = kept.iter().map(|&i| pres.dim_names()[i].clone()).collect();
 
-    // π + δ in one pass: hash on (root, kept dims, k). The measure value is
-    // functionally determined by (root, k), so it need not join the key.
-    let mut seen: FxHashSet<(TermId, Vec<TermId>, u32)> = FxHashSet::default();
+    // π + δ sort-based: order a row permutation by (root, kept dims, k) so
+    // duplicates become adjacent, then keep each run's first row — no hash
+    // set of freshly allocated (root, dims, k) tuples per input row. The
+    // measure value is functionally determined by (root, k), so it need not
+    // join the key.
+    let mut perm: Vec<u32> = (0..pres.len() as u32).collect();
+    perm.sort_unstable_by(|&a, &b| {
+        let ra = pres.row(a as usize);
+        let rb = pres.row(b as usize);
+        ra.root
+            .cmp(&rb.root)
+            .then_with(|| {
+                kept.iter()
+                    .map(|&i| ra.dims[i])
+                    .cmp(kept.iter().map(|&i| rb.dims[i]))
+            })
+            .then(ra.key.cmp(&rb.key))
+            .then(a.cmp(&b))
+    });
     let mut rows: Vec<(TermId, Vec<TermId>, u32, TermId)> = Vec::new();
-    for r in pres.rows() {
-        let dims: Vec<TermId> = kept.iter().map(|&i| r.dims[i]).collect();
-        if seen.insert((r.root, dims.clone(), r.key)) {
-            rows.push((r.root, dims, r.key, r.value));
+    for (idx, &pi) in perm.iter().enumerate() {
+        let r = pres.row(pi as usize);
+        let duplicate = idx > 0 && {
+            let p = pres.row(perm[idx - 1] as usize);
+            p.root == r.root && p.key == r.key && kept.iter().all(|&i| p.dims[i] == r.dims[i])
+        };
+        if !duplicate {
+            rows.push((
+                r.root,
+                kept.iter().map(|&i| r.dims[i]).collect(),
+                r.key,
+                r.value,
+            ));
         }
     }
     let new_pres = PartialResult::from_rows(dim_names, pres.agg(), rows);
@@ -233,32 +258,55 @@ pub fn drill_in_from_pres(
         pres_cols.push(pos);
     }
 
-    // Build the hash side from the (small) auxiliary answer:
-    // key = shared var values, payload = new-dimension values.
-    let mut table: FxHashMap<Vec<TermId>, Vec<TermId>> = FxHashMap::default();
-    for row in aux_rel.rows() {
-        let key: Vec<TermId> = row[..shared.len()].to_vec();
-        table.entry(key).or_default().push(row[shared.len()]);
-    }
-
     let mut dim_names: Vec<String> = pres.dim_names().to_vec();
     dim_names.push(c.vars().name(new_var).to_string());
 
-    let mut rows: Vec<(TermId, Vec<TermId>, u32, TermId)> = Vec::new();
-    let mut key: Vec<TermId> = Vec::with_capacity(pres_cols.len());
-    for r in pres.rows() {
-        key.clear();
-        for &pos in &pres_cols {
-            key.push(if pos == 0 { r.root } else { r.dims[pos - 1] });
-        }
-        let Some(new_values) = table.get(&key) else {
-            continue;
-        };
+    // One output row per (pres row, matching new-dimension value).
+    fn emit(
+        r: &crate::pres::PresRow<'_>,
+        new_values: &[TermId],
+        rows: &mut Vec<(TermId, Vec<TermId>, u32, TermId)>,
+    ) {
         for &nv in new_values {
             let mut dims = Vec::with_capacity(r.dims.len() + 1);
             dims.extend_from_slice(r.dims);
             dims.push(nv);
             rows.push((r.root, dims, r.key, r.value));
+        }
+    }
+
+    // Build the hash side from the (small) auxiliary answer: key = shared
+    // var values, payload = new-dimension values. The overwhelmingly common
+    // join key is a single column (the root, or one dimension), which probes
+    // a plain `TermId`-keyed map with no per-row key buffer at all.
+    let mut rows: Vec<(TermId, Vec<TermId>, u32, TermId)> = Vec::new();
+    if let [pos] = pres_cols.as_slice() {
+        let pos = *pos;
+        let mut table: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+        for row in aux_rel.rows() {
+            table.entry(row[0]).or_default().push(row[1]);
+        }
+        for r in pres.rows() {
+            let k = if pos == 0 { r.root } else { r.dims[pos - 1] };
+            if let Some(new_values) = table.get(&k) {
+                emit(&r, new_values, &mut rows);
+            }
+        }
+    } else {
+        let mut table: FxHashMap<Vec<TermId>, Vec<TermId>> = FxHashMap::default();
+        for row in aux_rel.rows() {
+            let key: Vec<TermId> = row[..shared.len()].to_vec();
+            table.entry(key).or_default().push(row[shared.len()]);
+        }
+        let mut key: Vec<TermId> = Vec::with_capacity(pres_cols.len());
+        for r in pres.rows() {
+            key.clear();
+            for &pos in &pres_cols {
+                key.push(if pos == 0 { r.root } else { r.dims[pos - 1] });
+            }
+            if let Some(new_values) = table.get(&key) {
+                emit(&r, new_values, &mut rows);
+            }
         }
     }
     let new_pres = PartialResult::from_rows(dim_names, pres.agg(), rows);

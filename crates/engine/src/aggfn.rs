@@ -10,12 +10,16 @@
 //! Floating-point sums are folded over a **sorted** copy of the bag, so the
 //! same multiset of values always aggregates to bit-identical results no
 //! matter which evaluation strategy produced it — a requirement for testing
-//! the paper's equivalence propositions exactly.
+//! the paper's equivalence propositions exactly. Grouped aggregation
+//! ([`group_aggregate`]) is sort-based: records are clustered by sorting a
+//! flat `(key, value)` scratch buffer (1-/2-column keys packed into `u64`s)
+//! and scanned run by run, so the deterministic input order to each fold —
+//! and the canonical sorted output order — fall out of the sort itself.
 
 use crate::error::EngineError;
 use crate::relation::Relation;
 use crate::var::VarId;
-use rdfcube_rdf::fx::{FxHashMap, FxHashSet};
+use rdfcube_rdf::fx::FxHashSet;
 use rdfcube_rdf::{Dictionary, Term, TermId};
 use std::fmt;
 
@@ -273,6 +277,13 @@ fn extremum(values: &[TermId], dict: &Dictionary, want_max: bool) -> TermId {
 ///
 /// Returns `(group key, aggregate)` pairs sorted by key, a canonical order
 /// that makes results directly comparable across strategies.
+///
+/// The implementation is **sort-based** over flat buffers rather than a
+/// `HashMap<Vec<TermId>, Vec<TermId>>` of per-group bags: the `(key, value)`
+/// records are projected into one flat scratch buffer, sorted by key (1- and
+/// 2-column keys packed into `u64`s), and the runs scanned with a single
+/// reusable bag buffer — no per-row heap allocation, and the output falls
+/// out already in canonical key order.
 pub fn group_aggregate(
     rel: &Relation,
     group_cols: &[VarId],
@@ -285,20 +296,106 @@ pub fn group_aggregate(
         .map(|&v| rel.col_required(v))
         .collect::<Result<_, _>>()?;
     let value_idx = rel.col_required(value_col)?;
-
-    let mut groups: FxHashMap<Vec<TermId>, Vec<TermId>> = FxHashMap::default();
-    for row in rel.rows() {
-        let key: Vec<TermId> = group_idx.iter().map(|&i| row[i]).collect();
-        groups.entry(key).or_default().push(row[value_idx]);
+    if rel.is_empty() {
+        return Ok(Vec::new());
     }
 
-    let mut out = Vec::with_capacity(groups.len());
-    for (key, bag) in groups {
-        let agg = func.apply(&bag, dict)?;
-        out.push((key, agg));
+    match group_idx.as_slice() {
+        // Global aggregate: one group holding every value.
+        [] => {
+            let bag: Vec<TermId> = rel.rows().map(|row| row[value_idx]).collect();
+            Ok(vec![(Vec::new(), func.apply(&bag, dict)?)])
+        }
+        // One dimension column: pack (key, value) into a u64 per record;
+        // sorting the packed records clusters keys in ascending order.
+        &[g] => {
+            let mut records: Vec<u64> = rel
+                .rows()
+                .map(|row| crate::relation::pack2(row[g], row[value_idx]))
+                .collect();
+            records.sort_unstable();
+            let mut out = Vec::new();
+            let mut bag: Vec<TermId> = Vec::new();
+            let mut start = 0;
+            while start < records.len() {
+                let key = records[start] >> 32;
+                bag.clear();
+                let mut end = start;
+                while end < records.len() && records[end] >> 32 == key {
+                    bag.push(TermId(records[end] as u32));
+                    end += 1;
+                }
+                out.push((vec![TermId(key as u32)], func.apply(&bag, dict)?));
+                start = end;
+            }
+            Ok(out)
+        }
+        // Two dimension columns: all three ids packed into one u128 record
+        // (key in the high 64 bits), sorted with a single wide compare.
+        &[g0, g1] => {
+            let mut records: Vec<u128> = rel
+                .rows()
+                .map(|row| {
+                    (u128::from(crate::relation::pack2(row[g0], row[g1])) << 32)
+                        | u128::from(row[value_idx].0)
+                })
+                .collect();
+            records.sort_unstable();
+            let mut out = Vec::new();
+            let mut bag: Vec<TermId> = Vec::new();
+            let mut start = 0;
+            while start < records.len() {
+                let key = (records[start] >> 32) as u64;
+                bag.clear();
+                let mut end = start;
+                while end < records.len() && (records[end] >> 32) as u64 == key {
+                    bag.push(TermId(records[end] as u32));
+                    end += 1;
+                }
+                out.push((
+                    vec![TermId((key >> 32) as u32), TermId(key as u32)],
+                    func.apply(&bag, dict)?,
+                ));
+                start = end;
+            }
+            Ok(out)
+        }
+        // General path: project the `(key…, value)` columns into a scratch
+        // relation and order it with [`Relation::sort_by_cols`] over every
+        // column (key first, then value — fully deterministic), then scan
+        // the runs.
+        _ => {
+            let stride = group_idx.len() + 1;
+            let mut schema: Vec<VarId> = group_cols.to_vec();
+            schema.push(value_col);
+            let mut records = Relation::with_capacity(schema, rel.len());
+            for row in rel.rows() {
+                records.push_row_from(
+                    group_idx
+                        .iter()
+                        .map(|&i| row[i])
+                        .chain(std::iter::once(row[value_idx])),
+                );
+            }
+            let all_cols: Vec<usize> = (0..stride).collect();
+            records.sort_by_cols(&all_cols);
+            let mut out = Vec::new();
+            let mut bag: Vec<TermId> = Vec::new();
+            let mut start = 0;
+            while start < records.len() {
+                let key = &records.row(start)[..stride - 1];
+                bag.clear();
+                let mut end = start;
+                while end < records.len() && &records.row(end)[..stride - 1] == key {
+                    bag.push(records.row(end)[stride - 1]);
+                    end += 1;
+                }
+                out.push((key.to_vec(), func.apply(&bag, dict)?));
+                start = end;
+            }
+            Ok(out)
+        }
     }
-    out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -110,6 +110,12 @@ impl Bgp {
         out
     }
 
+    /// The body variables as a set — the form the evaluator's static
+    /// bound-variable tracking consumes.
+    pub fn body_var_set(&self) -> FxHashSet<VarId> {
+        self.body.iter().flat_map(|p| p.vars()).collect()
+    }
+
     /// Body variables that are *not* distinguished (the existential ones).
     pub fn existential_vars(&self) -> Vec<VarId> {
         let head: FxHashSet<VarId> = self.head.iter().copied().collect();
@@ -128,7 +134,7 @@ impl Bgp {
                 self.name
             )));
         }
-        let body_vars: FxHashSet<VarId> = self.body_vars().into_iter().collect();
+        let body_vars = self.body_var_set();
         for &h in &self.head {
             if !body_vars.contains(&h) {
                 return Err(EngineError::Validation(format!(
@@ -145,7 +151,7 @@ impl Bgp {
     /// patterns subject→object (and subject→predicate for predicate
     /// variables), per the paper's rooted-BGP definition.
     pub fn is_rooted_in(&self, root: VarId) -> bool {
-        let all: FxHashSet<VarId> = self.body_vars().into_iter().collect();
+        let all = self.body_var_set();
         if !all.contains(&root) {
             return false;
         }

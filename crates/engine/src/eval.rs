@@ -7,13 +7,26 @@
 //! triple stores and matches what the paper assumes of the underlying RDF
 //! platform.
 //!
+//! Intermediate solutions live in a [`BindingTable`]: one flat `Vec<TermId>`
+//! arena with a fixed stride (the query's variable count), double-buffered
+//! between pattern steps. Because the join order is fixed before execution,
+//! the set of bound variables at each step is known *statically* — each step
+//! compiles to a tiny [`StepPlan`] saying which positions probe the index,
+//! which write newly bound variables into the arena, and which must merely
+//! be equal (repeated fresh variables like `?x p ?x`). The inner loop
+//! therefore performs **zero per-row heap allocations**: extending a row is
+//! one `extend_from_slice` into the arena plus at most three slot writes,
+//! with no `Option` wrappers and no cloned `Vec`s.
+//!
 //! Two result semantics are offered, as the paper requires both:
 //! [`Semantics::Set`] (classifiers, auxiliary queries — Definition 1 and 6)
 //! and [`Semantics::Bag`] (measures — one row per homomorphism, so repeated
 //! measure values of one fact stay distinct).
 //!
 //! A deliberately naive full-scan nested-loop evaluator
-//! ([`evaluate_nested_loop`]) is kept as an oracle for the property tests.
+//! ([`evaluate_nested_loop`]) is kept as an oracle for the property tests;
+//! it still materializes one `Vec<Option<TermId>>` per row, on purpose — its
+//! value is being obviously correct, not fast.
 
 use crate::bgp::Bgp;
 use crate::error::EngineError;
@@ -32,8 +45,181 @@ pub enum Semantics {
     Bag,
 }
 
-/// A partial assignment of query variables to terms.
+/// A partial assignment of query variables to terms — used only by the
+/// nested-loop oracle, which favors obviousness over speed.
 type PartialRow = Vec<Option<TermId>>;
+
+/// Flat arena of partial bindings: `stride` slots per row, one slot per
+/// query variable. Slots for variables not yet bound at the current step
+/// hold stale sentinels and are never read — the static [`StepPlan`]s
+/// guarantee every read slot was written by an earlier step.
+struct BindingTable {
+    stride: usize,
+    rows: usize,
+    data: Vec<TermId>,
+}
+
+impl BindingTable {
+    fn new(stride: usize) -> Self {
+        BindingTable {
+            stride,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Seeds the table with the single empty binding (all slots sentinel).
+    fn seed(stride: usize) -> Self {
+        BindingTable {
+            stride,
+            rows: 1,
+            data: vec![TermId(0); stride],
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[TermId] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    fn clear(&mut self) {
+        self.rows = 0;
+        self.data.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// In-place σ: keeps the rows satisfying `keep`, compacting the arena.
+    fn retain(&mut self, mut keep: impl FnMut(&[TermId]) -> bool) {
+        let stride = self.stride;
+        if stride == 0 {
+            // Zero-variable rows are indistinguishable; one call decides all.
+            if self.rows > 0 && !keep(&[]) {
+                self.rows = 0;
+            }
+            return;
+        }
+        let mut write = 0usize;
+        for read in 0..self.rows {
+            let start = read * stride;
+            if keep(&self.data[start..start + stride]) {
+                if write != read {
+                    self.data.copy_within(start..start + stride, write * stride);
+                }
+                write += 1;
+            }
+        }
+        self.rows = write;
+        self.data.truncate(write * stride);
+    }
+}
+
+/// How one position of a pattern behaves at a given step, decided statically
+/// from the set of variables bound by earlier steps.
+#[derive(Debug, Clone, Copy)]
+enum Probe {
+    /// A constant: resolved into the index probe.
+    Const(TermId),
+    /// A variable bound by an earlier step: its current value joins the
+    /// index probe (an index nested-loop join key).
+    Bound(usize),
+    /// A variable first bound here: left free in the probe.
+    Free,
+}
+
+/// The compiled form of one evaluation step over one body pattern.
+struct StepPlan {
+    probe: [Probe; 3],
+    /// `(triple position, arena slot)` for the first occurrence of each
+    /// newly bound variable.
+    writes: Vec<(usize, usize)>,
+    /// `(earlier position, later position)` pairs that must match — a fresh
+    /// variable repeated within the same pattern (`?x p ?x`).
+    eq_checks: Vec<(usize, usize)>,
+    /// Variables first bound at this step (drives filter activation).
+    newly_bound: Vec<VarId>,
+}
+
+/// Compiles `order` into per-step plans, tracking the statically-known
+/// bound-variable set across steps.
+fn build_plans(bgp: &Bgp, order: &[usize]) -> Vec<StepPlan> {
+    let mut bound: FxHashSet<VarId> = FxHashSet::default();
+    let mut plans = Vec::with_capacity(order.len());
+    for &pi in order {
+        let pattern = bgp.body()[pi];
+        let mut plan = StepPlan {
+            probe: [Probe::Free; 3],
+            writes: Vec::new(),
+            eq_checks: Vec::new(),
+            newly_bound: Vec::new(),
+        };
+        for (pos, term) in pattern.positions().into_iter().enumerate() {
+            plan.probe[pos] = match term {
+                PatternTerm::Const(c) => Probe::Const(c),
+                PatternTerm::Var(v) if bound.contains(&v) => Probe::Bound(v.index()),
+                PatternTerm::Var(v) => {
+                    match plan.writes.iter().find(|&&(_, slot)| slot == v.index()) {
+                        // Fresh variable repeated within this pattern: the
+                        // index cannot enforce the equality, check at bind.
+                        Some(&(first_pos, _)) => plan.eq_checks.push((first_pos, pos)),
+                        None => {
+                            plan.writes.push((pos, v.index()));
+                            plan.newly_bound.push(v);
+                        }
+                    }
+                    Probe::Free
+                }
+            };
+        }
+        for &v in &plan.newly_bound {
+            bound.insert(v);
+        }
+        plans.push(plan);
+    }
+    plans
+}
+
+/// Runs one compiled step: probes the index under every current row and
+/// appends the extended rows to `next`. The closure writes straight into the
+/// arena — no per-row allocation.
+fn run_step(graph: &Graph, plan: &StepPlan, current: &BindingTable, next: &mut BindingTable) {
+    next.clear();
+    // Most steps keep or grow the row count; pre-sizing to the current
+    // arena avoids repeated doubling in the match closure.
+    next.data.reserve(current.data.len());
+    let stride = current.stride;
+    for i in 0..current.rows {
+        let row = current.row(i);
+        let resolve = |p: Probe| -> Option<TermId> {
+            match p {
+                Probe::Const(c) => Some(c),
+                Probe::Bound(slot) => Some(row[slot]),
+                Probe::Free => None,
+            }
+        };
+        let tp = TriplePattern::new(
+            resolve(plan.probe[0]),
+            resolve(plan.probe[1]),
+            resolve(plan.probe[2]),
+        );
+        graph.for_each_match(tp, |t| {
+            let vals = t.as_array();
+            for &(a, b) in &plan.eq_checks {
+                if vals[a] != vals[b] {
+                    return;
+                }
+            }
+            next.data.extend_from_slice(row);
+            let base = next.data.len() - stride;
+            for &(pos, slot) in &plan.writes {
+                next.data[base + slot] = vals[pos];
+            }
+            next.rows += 1;
+        });
+    }
+}
 
 /// Evaluates `bgp` over `graph` under the given semantics.
 pub fn evaluate(graph: &Graph, bgp: &Bgp, semantics: Semantics) -> Result<Relation, EngineError> {
@@ -44,6 +230,8 @@ pub fn evaluate(graph: &Graph, bgp: &Bgp, semantics: Semantics) -> Result<Relati
 /// applied the moment its variable binds, pruning partial solutions before
 /// they fan out through later patterns. Equivalent to evaluating and then
 /// selecting, but cheaper for selective filters (ablation E7c).
+///
+/// [`FilterExpr`]: crate::filter::FilterExpr
 pub fn evaluate_filtered(
     graph: &Graph,
     bgp: &Bgp,
@@ -54,7 +242,7 @@ pub fn evaluate_filtered(
     // Filter variables must occur in the body (checked up front: evaluation
     // may short-circuit on an empty intermediate result before reaching the
     // pattern that would have bound them).
-    let body_vars: FxHashSet<VarId> = bgp.body_vars().into_iter().collect();
+    let body_vars = bgp.body_var_set();
     for f in filters {
         if !body_vars.contains(&f.var()) {
             return Err(EngineError::Validation(format!(
@@ -64,35 +252,7 @@ pub fn evaluate_filtered(
         }
     }
     let order = order_patterns(graph, bgp);
-    let dict = graph.dict();
-    let mut bound: FxHashSet<VarId> = FxHashSet::default();
-    let mut current: Vec<PartialRow> = vec![vec![None; bgp.vars().len()]];
-    let mut next: Vec<PartialRow> = Vec::new();
-    for &pi in &order {
-        let pattern = bgp.body()[pi];
-        // Filters whose variable binds at this step fire right after it.
-        let newly_bound: Vec<VarId> = pattern.vars().filter(|v| bound.insert(*v)).collect();
-        let active: Vec<&crate::filter::FilterExpr> = filters
-            .iter()
-            .filter(|f| newly_bound.contains(&f.var()))
-            .collect();
-        next.clear();
-        for row in &current {
-            extend(graph, pattern, row, &mut next);
-        }
-        if !active.is_empty() {
-            next.retain(|row| {
-                active
-                    .iter()
-                    .all(|f| row[f.var().index()].is_some_and(|id| f.admits(id, dict)))
-            });
-        }
-        std::mem::swap(&mut current, &mut next);
-        if current.is_empty() {
-            break;
-        }
-    }
-    project_head(bgp, &current, semantics)
+    evaluate_steps(graph, bgp, &order, filters, semantics)
 }
 
 /// Ablation evaluator: index-backed binding propagation like [`evaluate`],
@@ -105,12 +265,35 @@ pub fn evaluate_in_order(
     semantics: Semantics,
 ) -> Result<Relation, EngineError> {
     bgp.validate()?;
-    let mut current: Vec<PartialRow> = vec![vec![None; bgp.vars().len()]];
-    let mut next: Vec<PartialRow> = Vec::new();
-    for &pattern in bgp.body() {
-        next.clear();
-        for row in &current {
-            extend(graph, pattern, row, &mut next);
+    let order: Vec<usize> = (0..bgp.body().len()).collect();
+    evaluate_steps(graph, bgp, &order, &[], semantics)
+}
+
+/// Shared driver: compiles `order` to step plans and runs them over the
+/// double-buffered arena.
+fn evaluate_steps(
+    graph: &Graph,
+    bgp: &Bgp,
+    order: &[usize],
+    filters: &[crate::filter::FilterExpr],
+    semantics: Semantics,
+) -> Result<Relation, EngineError> {
+    let stride = bgp.vars().len();
+    let plans = build_plans(bgp, order);
+    let dict = graph.dict();
+    let mut current = BindingTable::seed(stride);
+    let mut next = BindingTable::new(stride);
+    for plan in &plans {
+        run_step(graph, plan, &current, &mut next);
+        // Filters whose variable binds at this step fire right after it.
+        if !filters.is_empty() {
+            let active: Vec<&crate::filter::FilterExpr> = filters
+                .iter()
+                .filter(|f| plan.newly_bound.contains(&f.var()))
+                .collect();
+            if !active.is_empty() {
+                next.retain(|row| active.iter().all(|f| f.admits(row[f.var().index()], dict)));
+            }
         }
         std::mem::swap(&mut current, &mut next);
         if current.is_empty() {
@@ -142,18 +325,10 @@ pub fn evaluate_nested_loop(
             break;
         }
     }
-    project_head(bgp, &current, semantics)
-}
-
-fn project_head(
-    bgp: &Bgp,
-    solutions: &[PartialRow],
-    semantics: Semantics,
-) -> Result<Relation, EngineError> {
     let head = bgp.head().to_vec();
-    let mut rel = Relation::with_capacity(head.clone(), solutions.len());
+    let mut rel = Relation::with_capacity(head.clone(), current.len());
     let mut out: Vec<TermId> = Vec::with_capacity(head.len());
-    for row in solutions {
+    for row in &current {
         out.clear();
         for &v in &head {
             let Some(id) = row[v.index()] else {
@@ -172,21 +347,29 @@ fn project_head(
     })
 }
 
-/// Extends `row` with every triple matching `pattern` under it.
-fn extend(graph: &Graph, pattern: QueryPattern, row: &PartialRow, out: &mut Vec<PartialRow>) {
-    let resolve = |pos: PatternTerm| -> Option<TermId> {
-        match pos {
-            PatternTerm::Const(c) => Some(c),
-            PatternTerm::Var(v) => row[v.index()],
-        }
-    };
-    let tp = TriplePattern::new(resolve(pattern.s), resolve(pattern.p), resolve(pattern.o));
-    graph.for_each_match(tp, |t| try_bind(&pattern, row, t, out));
+/// Projects the arena's surviving rows onto the head. Every head variable is
+/// statically bound once all steps ran ([`Bgp::validate`] pins head ⊆ body
+/// variables), so slots are read unconditionally.
+fn project_head(
+    bgp: &Bgp,
+    solutions: &BindingTable,
+    semantics: Semantics,
+) -> Result<Relation, EngineError> {
+    let head = bgp.head().to_vec();
+    let mut rel = Relation::with_capacity(head.clone(), solutions.rows);
+    for i in 0..solutions.rows {
+        let row = solutions.row(i);
+        rel.push_row_from(head.iter().map(|&v| row[v.index()]));
+    }
+    Ok(match semantics {
+        Semantics::Set => rel.distinct(),
+        Semantics::Bag => rel,
+    })
 }
 
 /// Attempts to unify `t` with `pattern` under `row`; pushes the extended row
 /// on success. Handles repeated variables (`?x p ?x`) by sequential
-/// assign-then-check over the three positions.
+/// assign-then-check over the three positions. Oracle-only.
 fn try_bind(pattern: &QueryPattern, row: &PartialRow, t: Triple, out: &mut Vec<PartialRow>) {
     let mut extended = row.clone();
     for (pos, value) in pattern.positions().into_iter().zip(t.as_array()) {
@@ -214,8 +397,12 @@ fn try_bind(pattern: &QueryPattern, row: &PartialRow, t: Triple, out: &mut Vec<P
 /// shape, discounted for each position occupied by an already-bound variable
 /// (a bound variable behaves like a constant at execution time; `/8` per
 /// position is a crude but effective stand-in for per-value statistics).
+/// The constant-shape count of each pattern does not depend on the bound
+/// set, so it is probed **once** per pattern and memoized — the greedy loop
+/// is then O(n²) hash-set work, not O(n²) index probes.
 fn order_patterns(graph: &Graph, bgp: &Bgp) -> Vec<usize> {
     let n = bgp.body().len();
+    let base: Vec<usize> = bgp.body().iter().map(|&p| base_count(graph, p)).collect();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut bound: FxHashSet<VarId> = FxHashSet::default();
     let mut order = Vec::with_capacity(n);
@@ -227,7 +414,7 @@ fn order_patterns(graph: &Graph, bgp: &Bgp) -> Vec<usize> {
         for (slot, &pi) in remaining.iter().enumerate() {
             let pattern = bgp.body()[pi];
             let connected = bound.is_empty() || pattern.vars().any(|v| bound.contains(&v));
-            let score = (!connected, estimate(graph, pattern, &bound));
+            let score = (!connected, estimate_with_count(base[pi], pattern, &bound));
             let better = match &best {
                 None => true,
                 Some((_, (b_disc, b_cost))) => {
@@ -297,14 +484,23 @@ fn render_pattern(bgp: &Bgp, pattern: QueryPattern, graph: &Graph) -> String {
     format!("{} {} {}", pos(pattern.s), pos(pattern.p), pos(pattern.o))
 }
 
-fn estimate(graph: &Graph, pattern: QueryPattern, bound: &FxHashSet<VarId>) -> f64 {
+/// The store's exact count for the pattern's constant shape (variables
+/// wildcarded) — the memoizable part of [`estimate`].
+fn base_count(graph: &Graph, pattern: QueryPattern) -> usize {
     let as_const = |pos: PatternTerm| pos.as_const();
     let shape = TriplePattern::new(
         as_const(pattern.s),
         as_const(pattern.p),
         as_const(pattern.o),
     );
-    let count = graph.count_matching(shape);
+    graph.count_matching(shape)
+}
+
+fn estimate(graph: &Graph, pattern: QueryPattern, bound: &FxHashSet<VarId>) -> f64 {
+    estimate_with_count(base_count(graph, pattern), pattern, bound)
+}
+
+fn estimate_with_count(count: usize, pattern: QueryPattern, bound: &FxHashSet<VarId>) -> f64 {
     let mut est = count as f64;
     // Discount once per *distinct* already-bound variable: a repeated
     // variable (`?x p ?x`) behaves like one constant at execution time, not
@@ -412,6 +608,33 @@ mod tests {
         assert_eq!(rel.len(), 1);
         let a = g.dict().iri_id("a").unwrap();
         assert_eq!(rel.row(0), &[a]);
+    }
+
+    #[test]
+    fn repeated_variable_already_bound_is_probed_not_checked() {
+        // Once ?x is bound by the first pattern, the second pattern's two
+        // occurrences both resolve into the index probe.
+        let mut g = parse_turtle("<a> <q> <a> . <a> <p> <a> . <b> <q> <b> .").unwrap();
+        let q = parse_query("q(?x) :- ?x q ?x, ?x p ?x", g.dict_mut()).unwrap();
+        let rel = evaluate(&g, &q, Semantics::Set).unwrap();
+        assert_eq!(rel.len(), 1);
+        let slow = evaluate_nested_loop(&g, &q, Semantics::Set).unwrap();
+        assert!(rel.same_bag(&slow));
+    }
+
+    #[test]
+    fn all_constant_body_counts_homomorphisms() {
+        // A body with no variables: bag semantics yields one zero-column row
+        // per (trivial) homomorphism, set semantics collapses to one.
+        let mut g = parse_turtle("<a> <p> <b> .").unwrap();
+        let q = parse_query("q() :- a p b", g.dict_mut()).unwrap();
+        let bag = evaluate(&g, &q, Semantics::Bag).unwrap();
+        assert_eq!(bag.len(), 1);
+        assert_eq!(bag.arity(), 0);
+        let set = evaluate(&g, &q, Semantics::Set).unwrap();
+        assert_eq!(set.len(), 1);
+        let q2 = parse_query("q() :- a p nope", g.dict_mut()).unwrap();
+        assert!(evaluate(&g, &q2, Semantics::Bag).unwrap().is_empty());
     }
 
     #[test]

@@ -3,22 +3,75 @@
 //! ⋈ natural join).
 //!
 //! A [`Relation`] stores rows of dictionary-encoded terms in one flat,
-//! cache-friendly buffer; the schema names each column with the [`VarId`] it
-//! binds. Operators follow the paper's convention: **bag semantics by
-//! default** (§3: "all relational algebra operators are assumed to have bag
-//! semantics"), with an explicit [`Relation::distinct`] for δ.
+//! cache-friendly buffer with an explicit row count (so even zero-column
+//! relations keep their multiplicity — the zero-dimensional-cube case); the
+//! schema names each column with the [`VarId`] it binds. Operators follow
+//! the paper's convention: **bag semantics by default** (§3: "all relational
+//! algebra operators are assumed to have bag semantics"), with an explicit
+//! [`Relation::distinct`] for δ.
+//!
+//! The hot operators avoid per-row heap traffic: δ and ⋈ specialize 1- and
+//! 2-column keys by packing the `u32` term ids into a single `u64` (falling
+//! back to slice/`Vec` keys at higher arities), and [`Relation::sort_by_cols`]
+//! reorders the flat buffer through a row permutation — the primitive behind
+//! the general (3+ dimension) path of sort-based grouped aggregation in
+//! [`crate::aggfn`] (the 1-/2-column paths sort packed integers directly).
 
 use crate::error::EngineError;
 use crate::var::VarId;
 use rdfcube_rdf::fx::{FxHashMap, FxHashSet};
 use rdfcube_rdf::TermId;
 
+/// Packs two 32-bit term ids into one order-preserving `u64` key
+/// (lexicographic `(a, b)` order equals numeric order of the packed value).
+#[inline]
+pub(crate) fn pack2(a: TermId, b: TermId) -> u64 {
+    (u64::from(a.0) << 32) | u64::from(b.0)
+}
+
 /// A materialized relation over dictionary-encoded terms.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     schema: Vec<VarId>,
     data: Vec<TermId>,
+    /// Explicit row count: `data.len() / arity` when `arity > 0`, but also
+    /// meaningful for zero-column relations, whose rows carry no data.
+    rows: usize,
 }
+
+/// Iterator over the rows of a [`Relation`] as slices. Zero-arity relations
+/// yield one empty slice per row, preserving multiplicity.
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    data: &'a [TermId],
+    arity: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [TermId];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [TermId]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.arity == 0 {
+            Some(&[])
+        } else {
+            let (row, rest) = self.data.split_at(self.arity);
+            self.data = rest;
+            Some(row)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
 
 impl Relation {
     /// Creates an empty relation with the given column schema.
@@ -26,6 +79,7 @@ impl Relation {
         Relation {
             schema,
             data: Vec::new(),
+            rows: 0,
         }
     }
 
@@ -35,6 +89,7 @@ impl Relation {
         Relation {
             schema,
             data: Vec::with_capacity(rows * arity),
+            rows: 0,
         }
     }
 
@@ -48,36 +103,48 @@ impl Relation {
         self.schema.len()
     }
 
-    /// Number of rows.
+    /// Number of rows (multiplicity is tracked even at arity 0).
     pub fn len(&self) -> usize {
-        if self.schema.is_empty() {
-            0
-        } else {
-            self.data.len() / self.schema.len()
-        }
+        self.rows
     }
 
     /// True if the relation has no rows.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.rows == 0
     }
 
     /// Appends a row; its length must equal the arity.
     pub fn push_row(&mut self, row: &[TermId]) {
         debug_assert_eq!(row.len(), self.arity(), "row arity mismatch");
         self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Appends a row produced by an iterator (the evaluator's head
+    /// projection writes arena slots straight into the buffer, with no
+    /// intermediate row `Vec`). The iterator must yield exactly `arity`
+    /// values.
+    pub fn push_row_from(&mut self, row: impl IntoIterator<Item = TermId>) {
+        let before = self.data.len();
+        self.data.extend(row);
+        debug_assert_eq!(self.data.len() - before, self.arity(), "row arity mismatch");
+        self.rows += 1;
     }
 
     /// The `i`-th row.
     pub fn row(&self, i: usize) -> &[TermId] {
+        debug_assert!(i < self.rows, "row index out of range");
         let a = self.arity();
         &self.data[i * a..(i + 1) * a]
     }
 
-    /// Iterates rows as slices.
-    pub fn rows(&self) -> impl Iterator<Item = &[TermId]> {
-        let a = self.arity().max(1);
-        self.data.chunks_exact(a)
+    /// Iterates rows as slices (empty slices for a zero-column relation).
+    pub fn rows(&self) -> Rows<'_> {
+        Rows {
+            data: &self.data,
+            arity: self.arity(),
+            remaining: self.rows,
+        }
     }
 
     /// Index of the column bound to `v`.
@@ -108,6 +175,7 @@ impl Relation {
             for &i in idx {
                 out.data.push(row[i]);
             }
+            out.rows += 1;
         }
         out
     }
@@ -118,19 +186,66 @@ impl Relation {
         for row in self.rows() {
             if keep(row) {
                 out.data.extend_from_slice(row);
+                out.rows += 1;
             }
         }
         out
     }
 
     /// δ — removes duplicate rows (first occurrence kept, order otherwise
-    /// preserved).
+    /// preserved). 1- and 2-column relations dedup through packed `u64` keys
+    /// instead of hashing slices.
     pub fn distinct(&self) -> Relation {
-        let mut seen: FxHashSet<&[TermId]> = FxHashSet::default();
         let mut out = Relation::new(self.schema.clone());
-        for row in self.rows() {
-            if seen.insert(row) {
-                out.data.extend_from_slice(row);
+        match self.arity() {
+            0 => {
+                // All rows are identical; at most one survives δ.
+                out.rows = self.rows.min(1);
+            }
+            1 => {
+                let mut seen: FxHashSet<u32> = FxHashSet::default();
+                seen.reserve(self.rows);
+                for row in self.rows() {
+                    if seen.insert(row[0].0) {
+                        out.data.push(row[0]);
+                        out.rows += 1;
+                    }
+                }
+            }
+            2 => {
+                let mut seen: FxHashSet<u64> = FxHashSet::default();
+                seen.reserve(self.rows);
+                for row in self.rows() {
+                    if seen.insert(pack2(row[0], row[1])) {
+                        out.data.extend_from_slice(row);
+                        out.rows += 1;
+                    }
+                }
+            }
+            3 => {
+                // Three u32 ids fit one u128 — covers the classifier shape
+                // `[x, d₁, d₂]` without hashing slices.
+                let mut seen: FxHashSet<u128> = FxHashSet::default();
+                seen.reserve(self.rows);
+                for row in self.rows() {
+                    let key = (u128::from(row[0].0) << 64)
+                        | (u128::from(row[1].0) << 32)
+                        | u128::from(row[2].0);
+                    if seen.insert(key) {
+                        out.data.extend_from_slice(row);
+                        out.rows += 1;
+                    }
+                }
+            }
+            _ => {
+                let mut seen: FxHashSet<&[TermId]> = FxHashSet::default();
+                seen.reserve(self.rows);
+                for row in self.rows() {
+                    if seen.insert(row) {
+                        out.data.extend_from_slice(row);
+                        out.rows += 1;
+                    }
+                }
             }
         }
         out
@@ -139,6 +254,10 @@ impl Relation {
     /// ⋈ — natural hash join on all shared columns. The output schema is
     /// `self.schema` followed by the non-shared columns of `other`.
     /// Bag semantics: each matching pair of rows produces one output row.
+    ///
+    /// Joins on one or two shared columns (the common shapes: classifier ⋈
+    /// measure on the root, pres-style joins on root + one dimension) pack
+    /// the key into a `u64` instead of allocating a `Vec<TermId>` per row.
     pub fn natural_join(&self, other: &Relation) -> Relation {
         let shared: Vec<(usize, usize)> = self
             .schema
@@ -153,37 +272,149 @@ impl Relation {
         schema.extend(other_extra.iter().map(|&j| other.schema[j]));
 
         let mut out = Relation::new(schema);
-        if shared.is_empty() {
-            // Degenerates to a cartesian product.
-            for left in self.rows() {
-                for right in other.rows() {
-                    out.data.extend_from_slice(left);
-                    out.data.extend(other_extra.iter().map(|&j| right[j]));
+        match shared.as_slice() {
+            [] => {
+                // Degenerates to a cartesian product.
+                for left in self.rows() {
+                    for right in other.rows() {
+                        out.data.extend_from_slice(left);
+                        out.data.extend(other_extra.iter().map(|&j| right[j]));
+                        out.rows += 1;
+                    }
                 }
             }
-            return out;
-        }
-
-        // Build on the right side, probe with the left, so output order
-        // follows the left relation (deterministic given its order).
-        let mut table: FxHashMap<Vec<TermId>, Vec<usize>> = FxHashMap::default();
-        for (ri, right) in other.rows().enumerate() {
-            let key: Vec<TermId> = shared.iter().map(|&(_, j)| right[j]).collect();
-            table.entry(key).or_default().push(ri);
-        }
-        let mut key = Vec::with_capacity(shared.len());
-        for left in self.rows() {
-            key.clear();
-            key.extend(shared.iter().map(|&(i, _)| left[i]));
-            if let Some(matches) = table.get(&key) {
-                for &ri in matches {
-                    let right = other.row(ri);
-                    out.data.extend_from_slice(left);
-                    out.data.extend(other_extra.iter().map(|&j| right[j]));
+            &[(i, j)] => self.join_probe(
+                other,
+                &other_extra,
+                &mut out,
+                |right| u64::from(right[j].0),
+                |left| u64::from(left[i].0),
+            ),
+            &[(i0, j0), (i1, j1)] => self.join_probe(
+                other,
+                &other_extra,
+                &mut out,
+                |right| pack2(right[j0], right[j1]),
+                |left| pack2(left[i0], left[i1]),
+            ),
+            _ => {
+                // General path: build on the right side, probe with the
+                // left, so output order follows the left relation
+                // (deterministic given its order). The probe key reuses one
+                // buffer; only build-side keys allocate.
+                let mut table: FxHashMap<Vec<TermId>, Vec<u32>> = FxHashMap::default();
+                for (ri, right) in other.rows().enumerate() {
+                    let key: Vec<TermId> = shared.iter().map(|&(_, j)| right[j]).collect();
+                    table.entry(key).or_default().push(ri as u32);
+                }
+                let mut key = Vec::with_capacity(shared.len());
+                for left in self.rows() {
+                    key.clear();
+                    key.extend(shared.iter().map(|&(i, _)| left[i]));
+                    if let Some(matches) = table.get(&key) {
+                        for &ri in matches {
+                            let right = other.row(ri as usize);
+                            out.data.extend_from_slice(left);
+                            out.data.extend(other_extra.iter().map(|&j| right[j]));
+                            out.rows += 1;
+                        }
+                    }
                 }
             }
         }
         out
+    }
+
+    /// Shared body of the packed-key join specializations: hash the right
+    /// side under `right_key`, probe with `left_key`.
+    ///
+    /// Rows sharing a key are chained through one flat `next` array instead
+    /// of a `Vec<row>` per hash entry, so building the table allocates
+    /// exactly twice (map + chain) no matter how skewed the key
+    /// distribution is. The chain is built in reverse so traversal visits
+    /// right rows in their original order, keeping the output deterministic
+    /// (left-major, right order within a left row).
+    fn join_probe(
+        &self,
+        other: &Relation,
+        other_extra: &[usize],
+        out: &mut Relation,
+        right_key: impl Fn(&[TermId]) -> u64,
+        left_key: impl Fn(&[TermId]) -> u64,
+    ) {
+        const NONE: u32 = u32::MAX;
+        let n = other.len();
+        debug_assert!(n < NONE as usize, "relation too large for u32 row links");
+        let mut first: FxHashMap<u64, u32> = FxHashMap::default();
+        first.reserve(n);
+        let mut next_link: Vec<u32> = vec![NONE; n];
+        for ri in (0..n).rev() {
+            match first.entry(right_key(other.row(ri))) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    next_link[ri] = *e.get();
+                    e.insert(ri as u32);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(ri as u32);
+                }
+            }
+        }
+        out.data.reserve(self.data.len());
+        // The dominant join shape appends exactly one non-shared right
+        // column (the measure value); a direct push skips the iterator
+        // plumbing in the innermost loop.
+        if let &[j] = other_extra {
+            for left in self.rows() {
+                if let Some(&start) = first.get(&left_key(left)) {
+                    let mut ri = start;
+                    while ri != NONE {
+                        out.data.extend_from_slice(left);
+                        out.data.push(other.row(ri as usize)[j]);
+                        out.rows += 1;
+                        ri = next_link[ri as usize];
+                    }
+                }
+            }
+            return;
+        }
+        for left in self.rows() {
+            if let Some(&start) = first.get(&left_key(left)) {
+                let mut ri = start;
+                while ri != NONE {
+                    let right = other.row(ri as usize);
+                    out.data.extend_from_slice(left);
+                    out.data.extend(other_extra.iter().map(|&j| right[j]));
+                    out.rows += 1;
+                    ri = next_link[ri as usize];
+                }
+            }
+        }
+    }
+
+    /// Sorts rows in place, lexicographically by the column *positions* in
+    /// `cols` (ties broken by original row order, so the sort is stable and
+    /// deterministic). The flat buffer is permuted once, after sorting a
+    /// row-index permutation.
+    pub fn sort_by_cols(&mut self, cols: &[usize]) {
+        let a = self.arity();
+        if a == 0 || self.rows <= 1 {
+            return;
+        }
+        let mut perm: Vec<u32> = (0..self.rows as u32).collect();
+        let data = &self.data;
+        perm.sort_unstable_by(|&x, &y| {
+            let rx = &data[x as usize * a..x as usize * a + a];
+            let ry = &data[y as usize * a..y as usize * a + a];
+            cols.iter()
+                .map(|&c| rx[c])
+                .cmp(cols.iter().map(|&c| ry[c]))
+                .then(x.cmp(&y))
+        });
+        let mut sorted = Vec::with_capacity(self.data.len());
+        for &i in &perm {
+            sorted.extend_from_slice(&self.data[i as usize * a..i as usize * a + a]);
+        }
+        self.data = sorted;
     }
 
     /// Rows sorted lexicographically — canonical form for comparisons in
@@ -197,7 +428,9 @@ impl Relation {
     /// True if `self` and `other` contain the same bag of rows under the
     /// same schema (order-insensitive).
     pub fn same_bag(&self, other: &Relation) -> bool {
-        self.schema == other.schema && self.sorted_rows() == other.sorted_rows()
+        self.schema == other.schema
+            && self.rows == other.rows
+            && self.sorted_rows() == other.sorted_rows()
     }
 
     /// Renames a column in place (used when aligning relations produced by
@@ -256,11 +489,41 @@ mod tests {
     }
 
     #[test]
+    fn zero_arity_relation_keeps_multiplicity() {
+        // The zero-dimensional-cube case: q() under bag semantics counts
+        // homomorphisms, so an arity-0 relation must remember its row count.
+        let mut r = Relation::new(vec![]);
+        assert!(r.is_empty());
+        r.push_row(&[]);
+        r.push_row(&[]);
+        r.push_row(&[]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.rows().count(), 3);
+        assert!(r.rows().all(|row| row.is_empty()));
+        // δ collapses the indistinguishable rows to one.
+        let d = r.distinct();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.rows().count(), 1);
+        // Bag-semantics cartesian join multiplies multiplicities.
+        let l = rel(&[0], &[&[1], &[2]]);
+        assert_eq!(l.natural_join(&r).len(), 6);
+    }
+
+    #[test]
     fn project_reorders_and_repeats() {
         let r = rel(&[0, 1], &[&[1, 2]]);
         let p = r.project(&[v(1), v(0), v(1)]).unwrap();
         assert_eq!(p.schema(), &[v(1), v(0), v(1)]);
         assert_eq!(p.row(0), &[t(2), t(1), t(2)]);
+    }
+
+    #[test]
+    fn project_to_zero_columns_keeps_rows() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let p = r.project(&[]).unwrap();
+        assert_eq!(p.arity(), 0);
+        assert_eq!(p.len(), 2);
     }
 
     #[test]
@@ -284,6 +547,24 @@ mod tests {
         assert_eq!(d.row(0), &[t(1), t(1)]);
         assert_eq!(d.row(1), &[t(2), t(2)]);
         assert_eq!(d.row(2), &[t(3), t(3)]);
+    }
+
+    #[test]
+    fn distinct_agrees_across_arities() {
+        // The packed 1-/2-column paths must agree with the general slice
+        // path; simulate by comparing against sorted+dedup'd rows.
+        for arity in 1u16..4 {
+            let schema: Vec<u16> = (0..arity).collect();
+            let mut r = Relation::new(schema.iter().map(|&n| v(n)).collect());
+            for i in 0..40u32 {
+                let row: Vec<TermId> = (0..arity).map(|c| t((i * 7 + u32::from(c)) % 5)).collect();
+                r.push_row(&row);
+            }
+            let d = r.distinct();
+            let mut expect = r.sorted_rows();
+            expect.dedup();
+            assert_eq!(d.sorted_rows(), expect, "arity {arity}");
+        }
     }
 
     #[test]
@@ -330,12 +611,43 @@ mod tests {
     }
 
     #[test]
+    fn join_on_three_shared_columns_uses_general_path() {
+        let l = rel(&[0, 1, 2], &[&[1, 2, 3], &[4, 5, 6], &[1, 2, 9]]);
+        let r = rel(&[2, 1, 0], &[&[3, 2, 1], &[6, 5, 4], &[8, 8, 8]]);
+        let j = l.natural_join(&r);
+        assert_eq!(
+            j.sorted_rows(),
+            vec![vec![t(1), t(2), t(3)], vec![t(4), t(5), t(6)]]
+        );
+    }
+
+    #[test]
     fn rename_aligns_columns_for_joins() {
         let mut l = rel(&[0], &[&[1]]);
         let r = rel(&[5], &[&[1]]);
         l.rename(v(0), v(5)).unwrap();
         assert_eq!(l.natural_join(&r).len(), 1);
         assert!(l.rename(v(7), v(8)).is_err());
+    }
+
+    #[test]
+    fn sort_by_cols_orders_and_is_stable() {
+        let mut r = rel(&[0, 1], &[&[2, 10], &[1, 30], &[2, 5], &[1, 20], &[1, 30]]);
+        r.sort_by_cols(&[0]);
+        // Sorted by column 0; ties keep original order (stable).
+        assert_eq!(
+            r.rows().map(|x| x.to_vec()).collect::<Vec<_>>(),
+            vec![
+                vec![t(1), t(30)],
+                vec![t(1), t(20)],
+                vec![t(1), t(30)],
+                vec![t(2), t(10)],
+                vec![t(2), t(5)],
+            ]
+        );
+        r.sort_by_cols(&[0, 1]);
+        assert_eq!(r.row(0), &[t(1), t(20)]);
+        assert_eq!(r.row(4), &[t(2), t(10)]);
     }
 
     #[test]
