@@ -4,7 +4,7 @@
 
 #![warn(missing_docs)]
 
-use rdfcube_core::{AnalyticalQuery, Cube};
+use rdfcube_core::{AnalyticalQuery, Cube, OlapSession, Sigma};
 use rdfcube_core::{ExtendedQuery, OlapOp, PartialResult, ValueSelector};
 use rdfcube_datagen::{BloggerConfig, VideoConfig};
 use rdfcube_engine::AggFunc;
@@ -98,6 +98,188 @@ pub fn video_fixture(n_videos: usize) -> VideoFixture {
     VideoFixture { instance, eq, pres }
 }
 
+/// A catalog stress fixture (experiment E10): one blogger-world session
+/// with `n_cubes` materialized cubes spread over every combination of five
+/// classifier bodies, two measures, and the aggregate functions valid for
+/// each — plus Σ-diced variants within each family — and a probe set of
+/// independently-written target queries (renamed variables, reordered
+/// patterns, dice/drill-out/drill-in shapes) that exercise view reuse.
+pub struct CatalogFixture {
+    /// The session with `n_cubes` materialized cubes.
+    pub session: OlapSession,
+    /// Target queries to plan/answer against the catalog.
+    pub probes: Vec<ExtendedQuery>,
+}
+
+/// The five classifier bodies of the E10 workload (each canonicalizes to a
+/// distinct derivation-family body).
+const E10_BODIES: [&str; 5] = [
+    // Example 1's body (age × city).
+    "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+    // Same dimensions plus an existential post (drill-in capable).
+    "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity, \
+     ?x wrotePost ?p",
+    // City only.
+    "c(?x, ?dcity) :- ?x rdf:type Blogger, ?x livesIn ?dcity",
+    // Age only.
+    "c(?x, ?dage) :- ?x rdf:type Blogger, ?x hasAge ?dage",
+    // The 3-D classifier (age × city × site).
+    CLASSIFIER_3D,
+];
+
+/// Independently-written probe classifiers: renamed variables, shuffled
+/// patterns, and dice/drill-out/drill-in shapes over the same bodies.
+const E10_PROBES: [&str; 7] = [
+    // Body 1, renamed + reordered (identity dice).
+    "k(?u, ?years, ?town) :- ?u livesIn ?town, ?u hasAge ?years, ?u rdf:type Blogger",
+    // Body 2, renamed (identity dice).
+    "k(?u, ?years, ?town) :- ?u wrotePost ?w, ?u livesIn ?town, ?u hasAge ?years, \
+     ?u rdf:type Blogger",
+    // Body 2, drill-out shape (age existential).
+    "k(?u, ?town) :- ?u wrotePost ?w, ?u livesIn ?town, ?u hasAge ?a, ?u rdf:type Blogger",
+    // Body 2, drill-in shape (the post promoted to a dimension).
+    "k(?u, ?years, ?town, ?post) :- ?u wrotePost ?post, ?u livesIn ?town, ?u hasAge ?years, \
+     ?u rdf:type Blogger",
+    // Body 3, renamed.
+    "k(?u, ?town) :- ?u livesIn ?town, ?u rdf:type Blogger",
+    // Body 5, drill-out shape (site existential).
+    "k(?u, ?years, ?town) :- ?u rdf:type Blogger, ?u hasAge ?years, ?u livesIn ?town, \
+     ?u wrotePost ?q, ?q postedOn ?s",
+    // Body 5, renamed 3-D (identity dice).
+    "k(?u, ?years, ?town, ?site) :- ?q postedOn ?site, ?u wrotePost ?q, ?u livesIn ?town, \
+     ?u hasAge ?years, ?u rdf:type Blogger",
+];
+
+/// Measures (paper notation) with the aggregates that are valid for each:
+/// sites are IRIs (no arithmetic), word counts are integers.
+fn e10_measures() -> [(&'static str, &'static str, Vec<AggFunc>); 2] {
+    [
+        (
+            rdfcube_datagen::EXAMPLE1_MEASURE,
+            "w(?u, ?s) :- ?u rdf:type Blogger, ?u wrotePost ?q, ?q postedOn ?s",
+            vec![
+                AggFunc::Count,
+                AggFunc::CountDistinct,
+                AggFunc::Min,
+                AggFunc::Max,
+            ],
+        ),
+        (
+            rdfcube_datagen::EXAMPLE4_MEASURE,
+            "w(?u, ?wc) :- ?u rdf:type Blogger, ?u wrotePost ?q, ?q hasWordCount ?wc",
+            vec![
+                AggFunc::Count,
+                AggFunc::CountDistinct,
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Min,
+                AggFunc::Max,
+            ],
+        ),
+    ]
+}
+
+/// Builds the E10 fixture: a session of roughly `triples` triples holding
+/// `n_cubes` materialized cubes, with an unbounded catalog.
+pub fn catalog_fixture(triples: usize, n_cubes: usize) -> CatalogFixture {
+    catalog_fixture_with_budget(triples, n_cubes, None)
+}
+
+/// [`catalog_fixture`] with an optional memory budget on the session. The
+/// generated instance is seeded, so two fixtures at the same scale hold
+/// identical data — the budgeted/unbudgeted answer comparison of E10
+/// relies on that.
+pub fn catalog_fixture_with_budget(
+    triples: usize,
+    n_cubes: usize,
+    budget: Option<usize>,
+) -> CatalogFixture {
+    let cfg = BloggerConfig {
+        multi_city_prob: 0.1,
+        ..BloggerConfig::with_approx_triples(triples)
+    };
+    let instance = rdfcube_datagen::generate_instance(&cfg);
+    let mut session = match budget {
+        Some(bytes) => OlapSession::with_budget(instance, bytes),
+        None => OlapSession::new(instance),
+    };
+
+    // Round-robin the (body, measure, agg) combinations; each subsequent
+    // round registers a narrower Σ-diced variant in the same family.
+    let measures = e10_measures();
+    let mut combos: Vec<(&str, &str, AggFunc)> = Vec::new();
+    for body in E10_BODIES {
+        for (measure, _, aggs) in &measures {
+            for &agg in aggs {
+                combos.push((body, measure, agg));
+            }
+        }
+    }
+    let mut registered = 0usize;
+    let mut variant = 0i64;
+    'fill: loop {
+        for &(classifier, measure, agg) in &combos {
+            if registered == n_cubes {
+                break 'fill;
+            }
+            let mut eq = session
+                .parse_query(classifier, measure, agg)
+                .expect("workload query parses");
+            if variant > 0 {
+                // Each round narrows a different-width Σ so every family
+                // member is a distinct diced variant: age ranges where an
+                // age dimension exists, otherwise city subsets (the
+                // generated worlds name their cities "city0", "city1", …).
+                let mut sigma = Sigma::all(eq.query().n_dims());
+                if let Ok(i) = eq.query().dim_index("dage") {
+                    sigma.set(
+                        i,
+                        ValueSelector::IntRange {
+                            lo: 18,
+                            hi: 18 + variant,
+                        },
+                    );
+                } else if let Ok(i) = eq.query().dim_index("dcity") {
+                    let cities = (0..variant)
+                        .map(|c| Term::literal(format!("city{c}")))
+                        .collect();
+                    sigma.set(i, ValueSelector::OneOf(cities));
+                }
+                eq = ExtendedQuery::with_sigma(eq.query().clone(), sigma)
+                    .expect("sigma arity matches");
+            }
+            session.register_query(eq).expect("workload cube registers");
+            registered += 1;
+        }
+        variant += 1;
+    }
+
+    // Probe set: every probe classifier × a representative (measure, agg)
+    // subset (two aggregates per measure keep the probe loop cheap while
+    // still spanning several families), plus a diced variant of each probe
+    // that has an age dimension.
+    let mut probes = Vec::new();
+    for classifier in E10_PROBES {
+        for (_, renamed_measure, aggs) in &measures {
+            for &agg in &aggs[..2] {
+                let eq = session
+                    .parse_query(classifier, renamed_measure, agg)
+                    .expect("probe parses");
+                if let Ok(i) = eq.query().dim_index("years") {
+                    let mut sigma = Sigma::all(eq.query().n_dims());
+                    sigma.set(i, ValueSelector::IntRange { lo: 20, hi: 40 });
+                    probes.push(
+                        ExtendedQuery::with_sigma(eq.query().clone(), sigma)
+                            .expect("sigma arity matches"),
+                    );
+                }
+                probes.push(eq);
+            }
+        }
+    }
+    CatalogFixture { session, probes }
+}
+
 /// The SLICE used across E1: bind `dage` to one mid-domain value.
 pub fn e1_slice_op() -> OlapOp {
     OlapOp::Slice {
@@ -157,6 +339,37 @@ mod tests {
             rewrite::drill_in_from_pres(f.eq.query(), &f.pres, d3, &f.instance).unwrap();
         let drilled = apply(&f.eq, &OlapOp::DrillIn { var: "d3".into() }).unwrap();
         assert!(cube.same_cells(&rewrite::from_scratch(&drilled, &f.instance).unwrap()));
+    }
+
+    #[test]
+    fn catalog_fixture_builds_and_probes_hit() {
+        let mut f = catalog_fixture(4_000, 30);
+        assert_eq!(f.session.len(), 30);
+        assert!(!f.probes.is_empty());
+        // Most probes must be servable from the catalog; every planned
+        // answer must match from-scratch evaluation.
+        let mut hits = 0usize;
+        for p in &f.probes {
+            if f.session.explain_query(p).catalog_hit {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 2 > f.probes.len(),
+            "majority of probes should hit: {hits}/{}",
+            f.probes.len()
+        );
+        // Spot-check soundness through answer_query on a few probes.
+        for p in f.probes.iter().take(6).cloned().collect::<Vec<_>>() {
+            let (h, _) = f.session.answer_query(p).unwrap();
+            let scratch = f
+                .session
+                .cube(h)
+                .query()
+                .answer(f.session.instance())
+                .unwrap();
+            assert!(f.session.answer(h).same_cells(&scratch));
+        }
     }
 
     #[test]

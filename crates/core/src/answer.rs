@@ -74,6 +74,17 @@ impl Cube {
         self.cells.is_empty()
     }
 
+    /// Approximate memory footprint in bytes, mirroring
+    /// [`crate::PartialResult::approx_bytes`]: per cell, the dimension key
+    /// vector (header + `n_dims` term ids) plus the aggregate value. The
+    /// cube catalog charges both `ans(Q)` and `pres(Q)` against the
+    /// session's memory budget with these estimates.
+    pub fn approx_bytes(&self) -> usize {
+        let per_cell = std::mem::size_of::<(Vec<TermId>, AggValue)>()
+            + self.n_dims() * std::mem::size_of::<TermId>();
+        std::mem::size_of::<Self>() + self.cells.len() * per_cell
+    }
+
     /// The aggregate for an exact dimension vector, if that cell exists.
     pub fn get(&self, key: &[TermId]) -> Option<&AggValue> {
         self.cells
@@ -421,6 +432,39 @@ mod tests {
         assert!(
             !a.same_cells(&b),
             "bit-exact comparison still distinguishes"
+        );
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_rows_and_dims() {
+        let one_dim = |n: usize| {
+            Cube::from_cells(
+                vec!["d".into()],
+                AggFunc::Count,
+                (0..n)
+                    .map(|i| (vec![TermId(i as u32)], AggValue::Int(1)))
+                    .collect(),
+            )
+        };
+        assert!(one_dim(100).approx_bytes() > one_dim(10).approx_bytes());
+
+        let wide = Cube::from_cells(
+            vec!["a".into(), "b".into(), "c".into()],
+            AggFunc::Count,
+            (0..10)
+                .map(|i| {
+                    let t = TermId(i as u32);
+                    (vec![t, t, t], AggValue::Int(1))
+                })
+                .collect(),
+        );
+        assert!(
+            wide.approx_bytes() > one_dim(10).approx_bytes(),
+            "more dimensions per cell must weigh more"
+        );
+        assert!(
+            one_dim(0).approx_bytes() > 0,
+            "empty cubes still have a header"
         );
     }
 

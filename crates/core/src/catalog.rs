@@ -1,0 +1,645 @@
+//! The cube catalog: signature-indexed materialized views under a memory
+//! budget.
+//!
+//! The session layer's answer to the ROADMAP's "heavy traffic" goal. Three
+//! responsibilities live here:
+//!
+//! 1. **Indexing** — every materialized cube is registered under its
+//!    [`ViewKey`] (canonical body text, root, measure signature, ⊕), so a
+//!    target query probes exactly one *derivation family* in O(1) instead
+//!    of linearly rescanning — and re-canonicalizing — every cube. The
+//!    [`ViewSignature`] and canonical dimension names are computed once at
+//!    registration and stored on the entry.
+//! 2. **Applicability** — [`CatalogEntry::classify`] decides whether (and
+//!    how) an entry can soundly answer a target: the paper's Proposition 1
+//!    (dice), Proposition 2 (drill-out with unrestricted removed
+//!    dimensions), or Proposition 3 (drill-in of an existential variable),
+//!    expressed as a [`Derivation`]. *Which* applicable derivation to run
+//!    is not decided here — that is the cost model's job
+//!    ([`crate::cost`]).
+//! 3. **Budgeting** — an optional byte budget over the materialized
+//!    payloads (`ans(Q)` + `pres(Q)`, measured by their `approx_bytes`).
+//!    When the resident set outgrows the budget, cold entries are evicted
+//!    by benefit-weighted LRU: the payload is dropped but the entry — its
+//!    query, signature and statistics — stays, so every [`cube
+//!    handle`](crate::CubeHandle) remains valid forever and an evicted
+//!    cube is transparently recomputed on its next touch
+//!    ([`CubeCatalog::ensure_resident`]).
+//!
+//! The statistics cached on each entry (`ans` cells, `pres` rows, byte
+//! sizes, per-dimension distinct counts) are exactly what the cost model
+//! consumes; they survive eviction, so evicted entries still participate
+//! in planning (with a recompute surcharge).
+
+use crate::answer::Cube;
+use crate::error::CoreError;
+use crate::extended::{ExtendedQuery, Sigma};
+use crate::pres::PartialResult;
+use crate::signature::{BodySignature, ViewKey, ViewSignature};
+use rdfcube_engine::VarId;
+use rdfcube_rdf::fx::FxHashMap;
+use rdfcube_rdf::Graph;
+
+/// How a target query can be soundly derived from a materialized source
+/// cube (the applicability side of Propositions 1–3; costing is separate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Derivation {
+    /// Same dimensions in the same order; the target Σ refines the
+    /// source's → σ over `ans(Q)` (Proposition 1).
+    Dice,
+    /// Target dimensions are an order-preserving subset; the listed source
+    /// dimension indices are dropped (their source Σ must be unrestricted)
+    /// → Algorithm 1 (Proposition 2).
+    DrillOut(Vec<usize>),
+    /// Target has exactly one extra trailing dimension, existential in the
+    /// source classifier → Algorithm 2 (Proposition 3). Holds the source
+    /// classifier variable to promote.
+    DrillIn(VarId),
+}
+
+/// Size statistics cached on a catalog entry at materialization time.
+///
+/// These outlive eviction: the cost model keeps estimating with them while
+/// the payload itself is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeStats {
+    /// Number of cells in `ans(Q)`.
+    pub ans_cells: usize,
+    /// Number of rows in `pres(Q)`.
+    pub pres_rows: usize,
+    /// `ans.approx_bytes() + pres.approx_bytes()` — what the entry charges
+    /// against the budget while resident.
+    pub bytes: usize,
+    /// Distinct values per dimension column of `pres(Q)`, in head order.
+    pub dim_distinct: Vec<usize>,
+}
+
+/// The materialized payload of an entry; dropped on eviction.
+#[derive(Debug, Clone)]
+struct CubePayload {
+    ans: Cube,
+    pres: PartialResult,
+}
+
+/// One materialized (or evicted-but-recomputable) cube in the catalog.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    eq: ExtendedQuery,
+    sig: ViewSignature,
+    stats: CubeStats,
+    payload: Option<CubePayload>,
+    /// Catalog clock value of the last touch (registration, reuse as a
+    /// derivation source, or explicit [`CubeCatalog::touch`]).
+    last_touch: u64,
+    /// Times this entry served as the source of a derivation.
+    hits: u64,
+}
+
+impl CatalogEntry {
+    /// The extended query defining the cube.
+    pub fn query(&self) -> &ExtendedQuery {
+        &self.eq
+    }
+
+    /// The signature computed at registration.
+    pub fn signature(&self) -> &ViewSignature {
+        &self.sig
+    }
+
+    /// The cached size statistics.
+    pub fn stats(&self) -> &CubeStats {
+        &self.stats
+    }
+
+    /// True while `ans(Q)`/`pres(Q)` are materialized (not evicted).
+    pub fn is_resident(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    /// Times this entry served as a derivation source.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// The materialized answer and partial result, if resident.
+    pub fn payload(&self) -> Option<(&Cube, &PartialResult)> {
+        self.payload.as_ref().map(|p| (&p.ans, &p.pres))
+    }
+
+    /// Decides whether (and how) this entry can soundly answer a target
+    /// query with signature `target_sig` and restriction `target_sigma`,
+    /// assuming the family key already matched (same canonical body, root,
+    /// measure and ⊕).
+    pub fn classify(&self, target_sig: &ViewSignature, target_sigma: &Sigma) -> Option<Derivation> {
+        classify_derivation(
+            &self.sig.dims,
+            self.eq.sigma(),
+            &target_sig.dims,
+            target_sigma,
+            self.eq.query().classifier().head(),
+            &self.sig.body,
+        )
+    }
+}
+
+/// Cumulative catalog counters, for observability and the E10 report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogCounters {
+    /// Queries answered by reusing a materialized cube.
+    pub hits: u64,
+    /// Queries that fell back to from-scratch evaluation.
+    pub misses: u64,
+    /// Payloads dropped by the budget enforcer.
+    pub evictions: u64,
+    /// Evicted payloads recomputed on demand.
+    pub rehydrations: u64,
+}
+
+/// The signature-indexed, budget-aware store of materialized cubes.
+#[derive(Debug)]
+pub struct CubeCatalog {
+    entries: Vec<CatalogEntry>,
+    index: FxHashMap<ViewKey, Vec<usize>>,
+    budget: Option<usize>,
+    resident_bytes: usize,
+    peak_resident_bytes: usize,
+    clock: u64,
+    counters: CatalogCounters,
+}
+
+impl Default for CubeCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CubeCatalog {
+    /// An unbounded catalog (no payload is ever evicted).
+    pub fn new() -> Self {
+        CubeCatalog {
+            entries: Vec::new(),
+            index: FxHashMap::default(),
+            budget: None,
+            resident_bytes: 0,
+            peak_resident_bytes: 0,
+            clock: 0,
+            counters: CatalogCounters::default(),
+        }
+    }
+
+    /// A catalog that keeps at most `bytes` of materialized payload
+    /// resident (the most recently touched entry is always kept, even if
+    /// it alone exceeds the budget — a result must be readable right after
+    /// it is produced).
+    pub fn with_budget(bytes: usize) -> Self {
+        CubeCatalog {
+            budget: Some(bytes),
+            ..Self::new()
+        }
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Reconfigures the budget; tightening it evicts immediately.
+    pub fn set_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+        let pin = self.most_recently_touched();
+        self.enforce_budget(pin);
+    }
+
+    /// Number of entries (resident or evicted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the catalog holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of materialized payload currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Number of entries whose payload is currently resident.
+    pub fn resident_len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_resident()).count()
+    }
+
+    /// High-water mark of [`Self::resident_bytes`]. Insertions and
+    /// rehydrations make room *before* attaching their payload, so this
+    /// gauge genuinely never exceeds the budget unless a single cube is
+    /// itself larger than the budget (the newest result is always kept).
+    /// The one cube currently being materialized is accounted only once
+    /// attached.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident_bytes
+    }
+
+    /// Cumulative hit/miss/eviction/rehydration counters.
+    pub fn counters(&self) -> CatalogCounters {
+        self.counters
+    }
+
+    /// Records a reuse hit (the session calls this when a derivation ran).
+    pub fn record_hit(&mut self) {
+        self.counters.hits += 1;
+    }
+
+    /// Records a fallback to from-scratch evaluation.
+    pub fn record_miss(&mut self) {
+        self.counters.misses += 1;
+    }
+
+    /// The entry at `idx`.
+    pub fn entry(&self, idx: usize) -> &CatalogEntry {
+        &self.entries[idx]
+    }
+
+    /// The indices of the derivation family for `key` (empty if none).
+    pub fn family(&self, key: &ViewKey) -> &[usize] {
+        self.index.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Registers a materialized cube, computing its signature and
+    /// statistics once, and enforces the budget (the new entry is pinned).
+    /// Returns the entry index.
+    pub fn insert(&mut self, eq: ExtendedQuery, ans: Cube, pres: PartialResult) -> usize {
+        let sig = ViewSignature::of(eq.query());
+        self.insert_signed(eq, sig, ans, pres)
+    }
+
+    /// [`Self::insert`] with a pre-computed signature (the session already
+    /// computed it to plan the query that produced this cube).
+    pub fn insert_signed(
+        &mut self,
+        eq: ExtendedQuery,
+        sig: ViewSignature,
+        ans: Cube,
+        pres: PartialResult,
+    ) -> usize {
+        let stats = CubeStats {
+            ans_cells: ans.len(),
+            pres_rows: pres.len(),
+            bytes: ans.approx_bytes() + pres.approx_bytes(),
+            dim_distinct: pres.dim_distinct_counts(),
+        };
+        // Evict *before* attaching the new payload, so the accounted
+        // resident set never overshoots the budget mid-insert.
+        self.make_room(stats.bytes, None);
+        let idx = self.entries.len();
+        self.clock += 1;
+        self.resident_bytes += stats.bytes;
+        self.index.entry(sig.key.clone()).or_default().push(idx);
+        self.entries.push(CatalogEntry {
+            eq,
+            sig,
+            stats,
+            payload: Some(CubePayload { ans, pres }),
+            last_touch: self.clock,
+            hits: 0,
+        });
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        idx
+    }
+
+    /// Marks `idx` as used right now (LRU recency) and counts a benefit
+    /// hit for the eviction policy.
+    pub fn touch(&mut self, idx: usize) {
+        self.clock += 1;
+        let e = &mut self.entries[idx];
+        e.last_touch = self.clock;
+        e.hits += 1;
+    }
+
+    /// Recomputes the payload of an evicted entry from the instance (the
+    /// definition of `pres(Q, I)` is deterministic, so the recomputed cube
+    /// answers identically). Returns `true` if a recompute happened.
+    ///
+    /// The rehydrated entry is pinned while the budget is re-enforced, so
+    /// it is resident when this returns.
+    pub fn ensure_resident(&mut self, idx: usize, instance: &Graph) -> Result<bool, CoreError> {
+        if self.entries[idx].is_resident() {
+            return Ok(false);
+        }
+        let pres = PartialResult::compute(&self.entries[idx].eq, instance)?;
+        let ans = pres.to_cube(instance.dict())?;
+        // Make room before attaching, as in `insert_signed`.
+        let bytes = ans.approx_bytes() + pres.approx_bytes();
+        self.make_room(bytes, Some(idx));
+        let e = &mut self.entries[idx];
+        // Recomputed sizes can differ marginally from the derived
+        // original's (row order aside, they are the same table, but stay
+        // honest and re-measure).
+        e.stats.ans_cells = ans.len();
+        e.stats.pres_rows = pres.len();
+        e.stats.bytes = bytes;
+        e.stats.dim_distinct = pres.dim_distinct_counts();
+        e.payload = Some(CubePayload { ans, pres });
+        self.resident_bytes += bytes;
+        self.counters.rehydrations += 1;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        Ok(true)
+    }
+
+    /// The resident entry touched most recently, if any.
+    fn most_recently_touched(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_resident())
+            .max_by_key(|(_, e)| e.last_touch)
+            .map(|(i, _)| i)
+    }
+
+    /// Evicts cold payloads until the current resident set fits the
+    /// budget, then updates the peak gauge.
+    fn enforce_budget(&mut self, pinned: Option<usize>) {
+        self.make_room(0, pinned);
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+    }
+
+    /// Evicts cold payloads until `incoming` more bytes would fit the
+    /// budget (so callers can evict *before* attaching a new payload and
+    /// the accounted resident set never transiently overshoots).
+    ///
+    /// Victim selection is benefit-weighted LRU: among resident, unpinned
+    /// entries, evict the one with the smallest `(hits + 1) / (age + 1)` —
+    /// the coldest entry that has earned the least reuse. Stops early when
+    /// nothing evictable remains (e.g. `incoming` alone exceeds the
+    /// budget — a result must still be storable).
+    ///
+    /// Every sweep that evicts something also halves all hit counters:
+    /// benefit is exponentially decayed under memory pressure, so a
+    /// historically hot cube the workload has moved away from cannot pin
+    /// the budget indefinitely against the live working set. (Without
+    /// decay, an entry with H accumulated hits stays unevictable for ~H
+    /// clock ticks after its last use.)
+    fn make_room(&mut self, incoming: usize, pinned: Option<usize>) {
+        let Some(budget) = self.budget else { return };
+        let mut evicted_any = false;
+        while self.resident_bytes + incoming > budget {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|&(i, e)| e.is_resident() && Some(i) != pinned)
+                .min_by(|(_, a), (_, b)| {
+                    let score = |e: &CatalogEntry| {
+                        (e.hits + 1) as f64 / (self.clock - e.last_touch + 1) as f64
+                    };
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i);
+            let Some(victim) = victim else { break };
+            self.entries[victim].payload = None;
+            self.resident_bytes -= self.entries[victim].stats.bytes;
+            self.counters.evictions += 1;
+            evicted_any = true;
+        }
+        if evicted_any {
+            for e in &mut self.entries {
+                e.hits /= 2;
+            }
+        }
+    }
+}
+
+/// Decides whether (and how) a cube with canonical dimensions `s_dims` and
+/// restriction `s_sigma` can answer a query with `t_dims`/`t_sigma`, given
+/// that classifier bodies, measures, aggregates and roots already match
+/// (the caller probed the [`ViewKey`] index).
+fn classify_derivation(
+    s_dims: &[String],
+    s_sigma: &Sigma,
+    t_dims: &[String],
+    t_sigma: &Sigma,
+    source_head: &[VarId],
+    s_body: &BodySignature,
+) -> Option<Derivation> {
+    if s_dims == t_dims {
+        return t_sigma.refines(s_sigma).then_some(Derivation::Dice);
+    }
+
+    // DrillOut: t_dims is a strict, order-preserving subset of s_dims.
+    if t_dims.len() < s_dims.len() {
+        let mut removed = Vec::new();
+        let mut kept_sigma_ok = true;
+        let mut ti = 0usize;
+        for (si, s_dim) in s_dims.iter().enumerate() {
+            if ti < t_dims.len() && &t_dims[ti] == s_dim {
+                // Kept dimension: the target's restriction must refine the
+                // source's (equal or narrower — a trailing dice fixes up
+                // strict refinement).
+                if !t_sigma.selector(ti).refines(s_sigma.selector(si)) {
+                    kept_sigma_ok = false;
+                    break;
+                }
+                ti += 1;
+            } else {
+                // Dropped dimension: Algorithm 1 needs it unrestricted.
+                if !s_sigma.selector(si).is_all() {
+                    kept_sigma_ok = false;
+                    break;
+                }
+                removed.push(si);
+            }
+        }
+        if kept_sigma_ok && ti == t_dims.len() && !removed.is_empty() {
+            return Some(Derivation::DrillOut(removed));
+        }
+        return None;
+    }
+
+    // DrillIn: t_dims = s_dims + one extra at the end.
+    if t_dims.len() == s_dims.len() + 1 && t_dims[..s_dims.len()] == *s_dims {
+        for ti in 0..s_dims.len() {
+            if !t_sigma.selector(ti).refines(s_sigma.selector(ti)) {
+                return None;
+            }
+        }
+        let extra = &t_dims[s_dims.len()];
+        // Find the source classifier variable with that canonical name; it
+        // must be existential there (not in the head).
+        let var = s_body
+            .var_names
+            .iter()
+            .find(|(_, name)| name.as_str() == extra)
+            .map(|(&v, _)| v)?;
+        if source_head.contains(&var) {
+            return None;
+        }
+        return Some(Derivation::DrillIn(var));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anq::AnalyticalQuery;
+    use rdfcube_engine::AggFunc;
+    use rdfcube_rdf::parse_turtle;
+
+    fn blog_world() -> Graph {
+        parse_turtle(
+            "<user1> rdf:type <Blogger> ; <hasAge> 28 ; <livesIn> \"Madrid\" .
+             <user3> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user4> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user1> <wrotePost> <p1>, <p2>, <p3> .
+             <p1> <postedOn> <s1> . <p2> <postedOn> <s1> . <p3> <postedOn> <s2> .
+             <user3> <wrotePost> <p4> . <p4> <postedOn> <s2> .
+             <user4> <wrotePost> <p5> . <p5> <postedOn> <s3> .",
+        )
+        .unwrap()
+    }
+
+    fn example_1(g: &mut Graph) -> ExtendedQuery {
+        ExtendedQuery::from_query(
+            AnalyticalQuery::parse(
+                "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+                "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?v",
+                AggFunc::Count,
+                g.dict_mut(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn materialize(eq: &ExtendedQuery, g: &Graph) -> (Cube, PartialResult) {
+        let pres = PartialResult::compute(eq, g).unwrap();
+        let ans = pres.to_cube(g.dict()).unwrap();
+        (ans, pres)
+    }
+
+    #[test]
+    fn insert_indexes_by_family_and_caches_stats() {
+        let mut g = blog_world();
+        let eq = example_1(&mut g);
+        let (ans, pres) = materialize(&eq, &g);
+        let mut cat = CubeCatalog::new();
+        let idx = cat.insert(eq.clone(), ans, pres);
+
+        let sig = ViewSignature::of(eq.query());
+        assert_eq!(cat.family(&sig.key), &[idx]);
+        let stats = cat.entry(idx).stats();
+        assert_eq!(stats.ans_cells, 2);
+        assert_eq!(stats.pres_rows, 5);
+        assert_eq!(stats.dim_distinct, vec![2, 2]);
+        assert!(stats.bytes > 0);
+        assert_eq!(cat.resident_bytes(), stats.bytes);
+
+        // A different ⊕ lands in a different family.
+        let mut other_key = sig.key.clone();
+        other_key.agg = AggFunc::Sum;
+        assert!(cat.family(&other_key).is_empty());
+    }
+
+    #[test]
+    fn budget_evicts_cold_entries_but_keeps_them_addressable() {
+        let mut g = blog_world();
+        let eq = example_1(&mut g);
+        let (ans, pres) = materialize(&eq, &g);
+        let one_cube = ans.approx_bytes() + pres.approx_bytes();
+
+        // Room for roughly one cube: the second insert evicts the first.
+        let mut cat = CubeCatalog::with_budget(one_cube + one_cube / 2);
+        let first = cat.insert(eq.clone(), ans.clone(), pres.clone());
+        let second = cat.insert(eq.clone(), ans, pres);
+        assert!(!cat.entry(first).is_resident(), "cold entry evicted");
+        assert!(cat.entry(second).is_resident(), "pinned entry kept");
+        assert!(cat.resident_bytes() <= cat.budget().unwrap());
+        assert_eq!(cat.counters().evictions, 1);
+
+        // The evicted entry still knows its query, signature and stats.
+        assert_eq!(cat.entry(first).stats().pres_rows, 5);
+        assert_eq!(cat.len(), 2);
+
+        // Rehydration brings it back (and may evict the other).
+        assert!(cat.ensure_resident(first, &g).unwrap());
+        assert!(cat.entry(first).is_resident());
+        assert_eq!(cat.counters().rehydrations, 1);
+        // The recomputed payload answers identically.
+        let (re_ans, _) = cat.entry(first).payload().unwrap();
+        let scratch = cat.entry(first).query().answer(&g).unwrap();
+        assert!(re_ans.same_cells(&scratch));
+    }
+
+    #[test]
+    fn eviction_prefers_low_benefit_older_entries() {
+        let mut g = blog_world();
+        let eq = example_1(&mut g);
+        let (ans, pres) = materialize(&eq, &g);
+        let one_cube = ans.approx_bytes() + pres.approx_bytes();
+
+        let mut cat = CubeCatalog::new();
+        let a = cat.insert(eq.clone(), ans.clone(), pres.clone());
+        let b = cat.insert(eq.clone(), ans.clone(), pres.clone());
+        let c = cat.insert(eq.clone(), ans, pres);
+        // `a` is oldest but heavily reused; `b` is cold.
+        cat.touch(a);
+        cat.touch(a);
+        cat.touch(a);
+        cat.touch(c);
+        cat.set_budget(Some(2 * one_cube));
+        assert!(cat.entry(a).is_resident(), "hot entry survives");
+        assert!(!cat.entry(b).is_resident(), "cold entry evicted first");
+        assert!(cat.entry(c).is_resident());
+    }
+
+    #[test]
+    fn zero_budget_keeps_only_the_pinned_entry() {
+        let mut g = blog_world();
+        let eq = example_1(&mut g);
+        let (ans, pres) = materialize(&eq, &g);
+        let mut cat = CubeCatalog::with_budget(0);
+        let a = cat.insert(eq.clone(), ans.clone(), pres.clone());
+        assert!(
+            cat.entry(a).is_resident(),
+            "a result must be readable right after production, budget or not"
+        );
+        let b = cat.insert(eq, ans, pres);
+        assert!(!cat.entry(a).is_resident());
+        assert!(cat.entry(b).is_resident());
+        assert!(cat.peak_resident_bytes() > 0);
+    }
+
+    #[test]
+    fn classify_matches_session_semantics() {
+        let mut g = blog_world();
+        let eq = example_1(&mut g);
+        let (ans, pres) = materialize(&eq, &g);
+        let mut cat = CubeCatalog::new();
+        let idx = cat.insert(eq.clone(), ans, pres);
+
+        // Identical query → Dice (refinement is reflexive).
+        let sig = ViewSignature::of(eq.query());
+        assert_eq!(
+            cat.entry(idx).classify(&sig, eq.sigma()),
+            Some(Derivation::Dice)
+        );
+
+        // Drill-out shape: independently-written 1-D query, same body.
+        let coarse = ExtendedQuery::from_query(
+            AnalyticalQuery::parse(
+                "k(?u, ?town) :- ?u rdf:type Blogger, ?u hasAge ?a, ?u livesIn ?town",
+                "w(?u, ?s) :- ?u rdf:type Blogger, ?u wrotePost ?q, ?q postedOn ?s",
+                AggFunc::Count,
+                g.dict_mut(),
+            )
+            .unwrap(),
+        );
+        let coarse_sig = ViewSignature::of(coarse.query());
+        assert_eq!(coarse_sig.key, sig.key, "same family");
+        assert_eq!(
+            cat.entry(idx).classify(&coarse_sig, coarse.sigma()),
+            Some(Derivation::DrillOut(vec![0]))
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The cost model behind the catalog's strategy picker.
+//!
+//! The paper's experiments show that no fixed preference order among
+//! σ-over-`ans(Q)`, Algorithm 1, Algorithm 2 and from-scratch is right for
+//! every query: the winner depends on the sizes of `ans(Q)`, `pres(Q)` and
+//! the instance. This module replaces the session's old hardcoded ranking
+//! with estimates built from exactly those sizes:
+//!
+//! * per-entry statistics cached at registration
+//!   ([`CubeStats`](crate::catalog::CubeStats): `ans` cells, `pres` rows,
+//!   per-dimension distinct counts) feed [`derivation_cost`];
+//! * instance statistics (`count_matching` per pattern, the same numbers
+//!   the engine's join planner orders patterns by) feed
+//!   [`crate::rewrite::scratch_cost`];
+//! * the per-strategy formulas themselves live next to the algorithms
+//!   they estimate, in [`crate::rewrite`] (cost hooks).
+//!
+//! Costs are abstract "row touches" — only their relative order matters.
+//! Soundness never depends on them: the planner only costs derivations
+//! that [`classify`](crate::catalog::CatalogEntry::classify) already
+//! proved applicable, so a mis-estimate can waste time, never change an
+//! answer (property-tested in `rewriting_soundness_prop.rs`).
+//!
+//! The planner's decision is exposed to callers as an
+//! [`ExplainedStrategy`]: the chosen [`Strategy`] plus its estimate, the
+//! from-scratch estimate it beat (or lost to), how many applicable
+//! candidates competed, and whether the source had to be rehydrated after
+//! an eviction.
+
+use crate::catalog::{CatalogEntry, Derivation};
+use crate::extended::{ExtendedQuery, Sigma, ValueSelector};
+use crate::rewrite;
+use crate::session::{CubeHandle, Strategy};
+use rdfcube_rdf::Graph;
+use std::fmt;
+
+/// A strategy choice with the planner's reasoning attached.
+///
+/// Compares equal to a bare [`Strategy`] (`explained == Strategy::…`), so
+/// existing assertions keep working, and [`fmt::Display`]s as the strategy
+/// followed by its cost evidence.
+#[derive(Debug, Clone)]
+pub struct ExplainedStrategy {
+    /// The strategy the planner selected.
+    pub strategy: Strategy,
+    /// The catalog entry used as derivation source (`None` for
+    /// from-scratch).
+    pub source: Option<CubeHandle>,
+    /// Estimated cost of the selected strategy, in abstract row touches.
+    pub estimated_cost: f64,
+    /// Estimated cost of from-scratch evaluation, for comparison.
+    pub scratch_cost: f64,
+    /// Number of applicable derivations that competed. Can be nonzero
+    /// even on a miss: the cost model may reject every sound candidate as
+    /// more expensive than from-scratch evaluation (0 means no sound
+    /// source existed at all).
+    pub candidates: usize,
+    /// True if a materialized cube was reused (catalog hit).
+    pub catalog_hit: bool,
+    /// True if the source cube had been evicted and was recomputed on
+    /// demand to serve this query.
+    pub rehydrated: bool,
+}
+
+impl ExplainedStrategy {
+    /// An explanation for a from-scratch evaluation that considered (and
+    /// rejected) `candidates` applicable derivations.
+    pub fn scratch(scratch_cost: f64, candidates: usize) -> Self {
+        ExplainedStrategy {
+            strategy: Strategy::FromScratch,
+            source: None,
+            estimated_cost: scratch_cost,
+            scratch_cost,
+            candidates,
+            catalog_hit: false,
+            rehydrated: false,
+        }
+    }
+}
+
+impl PartialEq<Strategy> for ExplainedStrategy {
+    fn eq(&self, other: &Strategy) -> bool {
+        self.strategy == *other
+    }
+}
+
+impl PartialEq<ExplainedStrategy> for Strategy {
+    fn eq(&self, other: &ExplainedStrategy) -> bool {
+        *self == other.strategy
+    }
+}
+
+impl fmt::Display for ExplainedStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.strategy)?;
+        if self.estimated_cost.is_finite() {
+            write!(f, " [est {:.0}", self.estimated_cost)?;
+            if self.strategy != Strategy::FromScratch && self.scratch_cost.is_finite() {
+                write!(f, ", scratch est {:.0}", self.scratch_cost)?;
+            }
+            write!(f, ", {} candidate(s)", self.candidates)?;
+            if self.rehydrated {
+                write!(f, ", rehydrated")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fraction of an evicted source's recompute cost charged to the query
+/// that triggers its rehydration. Candidates in a probed family share the
+/// target's canonical body and measure, so their from-scratch estimates
+/// coincide with the target's — charging the full recompute would make
+/// `derivation + recompute > scratch` always hold and evicted sources
+/// could never be chosen. Rehydration is an amortized investment (the
+/// source stays resident for future queries), so only half is billed here;
+/// a derivation through an evicted source wins exactly when its own cost
+/// is under half the from-scratch cost.
+pub const REHYDRATION_CHARGE: f64 = 0.5;
+
+/// The [`Strategy`] a derivation executes as.
+pub fn strategy_of(d: &Derivation) -> Strategy {
+    match d {
+        Derivation::Dice => Strategy::SelectionOnAns,
+        Derivation::DrillOut(_) => Strategy::Algorithm1,
+        Derivation::DrillIn(_) => Strategy::Algorithm2,
+    }
+}
+
+/// Estimated cost of executing derivation `d` from `source` to answer
+/// `target`, combining the entry's cached statistics with the per-strategy
+/// cost hooks in [`crate::rewrite`]. Does **not** include the rehydration
+/// surcharge for evicted sources — the planner adds that separately.
+pub fn derivation_cost(
+    d: &Derivation,
+    source: &CatalogEntry,
+    target: &ExtendedQuery,
+    instance: &Graph,
+) -> f64 {
+    let stats = source.stats();
+    match d {
+        Derivation::Dice => {
+            let output =
+                stats.ans_cells as f64 * dice_selectivity(target.sigma(), &stats.dim_distinct);
+            rewrite::dice_cost(stats.ans_cells) + output
+        }
+        Derivation::DrillOut(removed) => {
+            let kept_cells: f64 = stats
+                .dim_distinct
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !removed.contains(i))
+                .map(|(_, &n)| n.max(1) as f64)
+                .product();
+            let output = kept_cells.min(stats.pres_rows as f64);
+            rewrite::drill_out_cost(stats.pres_rows) + output
+        }
+        Derivation::DrillIn(_) => {
+            let aux = rewrite::aux_rows_bound(source.query().query().classifier(), instance);
+            rewrite::drill_in_cost(stats.pres_rows, aux)
+        }
+    }
+}
+
+/// Estimated fraction of cells a Σ restriction admits, from the source's
+/// per-dimension distinct counts: a `OneOf(k)` selector on a dimension
+/// with `n` distinct values keeps about `k/n` of them; `All` and ranges
+/// (whose width against the value domain is unknown) are estimated at 1.
+fn dice_selectivity(sigma: &Sigma, dim_distinct: &[usize]) -> f64 {
+    sigma
+        .selectors()
+        .iter()
+        .zip(dim_distinct)
+        .map(|(sel, &distinct)| match sel {
+            ValueSelector::OneOf(terms) => (terms.len() as f64 / distinct.max(1) as f64).min(1.0),
+            ValueSelector::All | ValueSelector::IntRange { .. } => 1.0,
+        })
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfcube_rdf::Term;
+
+    #[test]
+    fn explained_compares_with_bare_strategy() {
+        let e = ExplainedStrategy::scratch(42.0, 3);
+        assert_eq!(e, Strategy::FromScratch);
+        assert_eq!(Strategy::FromScratch, e);
+        assert!(e != Strategy::Algorithm1);
+        let shown = format!("{e}");
+        assert!(shown.contains("from-scratch"), "display: {shown}");
+        assert!(shown.contains("3 candidate(s)"), "display: {shown}");
+    }
+
+    #[test]
+    fn selectivity_shrinks_with_narrow_selectors() {
+        let mut narrow = Sigma::all(2);
+        narrow.set(0, ValueSelector::one(Term::integer(28)));
+        let wide = Sigma::all(2);
+        let distinct = vec![10usize, 4];
+        assert!(dice_selectivity(&narrow, &distinct) < dice_selectivity(&wide, &distinct));
+        assert_eq!(dice_selectivity(&wide, &distinct), 1.0);
+        // Degenerate distinct counts never divide by zero.
+        let mut s = Sigma::all(1);
+        s.set(0, ValueSelector::one(Term::integer(1)));
+        assert!(dice_selectivity(&s, &[0]).is_finite());
+    }
+
+    #[test]
+    fn strategy_of_maps_each_derivation() {
+        assert_eq!(strategy_of(&Derivation::Dice), Strategy::SelectionOnAns);
+        assert_eq!(
+            strategy_of(&Derivation::DrillOut(vec![0])),
+            Strategy::Algorithm1
+        );
+        assert_eq!(
+            strategy_of(&Derivation::DrillIn(rdfcube_engine::VarId(0))),
+            Strategy::Algorithm2
+        );
+    }
+}

@@ -6,8 +6,8 @@
 //!
 //! * [`schema`] — analytical schemas (AnS): lenses over semantic graphs,
 //!   with instance materialization;
-//! * [`anq`] / [`answer`] — analytical queries (AnQ) `⟨c, m, ⊕⟩` and their
-//!   cube answers (Definition 1);
+//! * [`anq`] / [`answer`](mod@answer) — analytical queries (AnQ)
+//!   `⟨c, m, ⊕⟩` and their cube answers (Definition 1);
 //! * [`extended`] — extended AnQs with Σ dimension restrictions
 //!   (Definition 2);
 //! * [`olap`] — SLICE, DICE, DRILL-OUT, DRILL-IN as query rewritings (§2);
@@ -16,9 +16,16 @@
 //! * [`aux_query`] — auxiliary drill-in queries (Definition 6);
 //! * [`rewrite`] — the optimized operation evaluations: σ_dice
 //!   (Proposition 1), Algorithm 1 (Proposition 2), Algorithm 2
-//!   (Proposition 3), plus baselines;
-//! * [`session`] — materialized-cube sessions that pick the cheapest sound
-//!   strategy per operation automatically.
+//!   (Proposition 3), plus baselines and per-strategy cost hooks;
+//! * [`catalog`] — the signature-indexed cube catalog: O(1) derivation-
+//!   family lookup, per-entry statistics, and memory-budgeted eviction
+//!   with on-demand recomputation;
+//! * [`cost`] — the cost model that picks the cheapest *applicable*
+//!   strategy from materialized sizes and instance statistics, explained
+//!   through [`ExplainedStrategy`];
+//! * [`session`] — materialized-cube sessions tying it all together:
+//!   every query and OLAP operation is answered by the cheapest sound
+//!   strategy automatically.
 //!
 //! ## Quick example — the paper's Example 1 cube, sliced
 //!
@@ -50,6 +57,8 @@
 pub mod anq;
 pub mod answer;
 pub mod aux_query;
+pub mod catalog;
+pub mod cost;
 pub mod error;
 pub mod extended;
 pub mod olap;
@@ -62,10 +71,12 @@ pub mod signature;
 pub use anq::AnalyticalQuery;
 pub use answer::{answer, Cube};
 pub use aux_query::build_aux_query;
+pub use catalog::{CatalogCounters, CatalogEntry, CubeCatalog, CubeStats, Derivation};
+pub use cost::ExplainedStrategy;
 pub use error::CoreError;
 pub use extended::{CompiledSelector, CompiledSigma, ExtendedQuery, Sigma, ValueSelector};
 pub use olap::{apply, OlapOp};
 pub use pres::{PartialResult, PresRow};
 pub use schema::{AnalyticalSchema, EdgeSpec, NodeSpec};
 pub use session::{CubeHandle, MaterializedCube, OlapSession, Strategy};
-pub use signature::{query_signature, BodySignature};
+pub use signature::{query_signature, BodySignature, ViewKey, ViewSignature};

@@ -179,6 +179,23 @@ impl PartialResult {
             + self.values.len() * std::mem::size_of::<TermId>()
     }
 
+    /// Number of distinct values per dimension column. The cube catalog
+    /// caches these at registration time as the cardinality statistics its
+    /// cost model uses to estimate output sizes (e.g. the cell count of a
+    /// drill-out, or the selectivity of a dice).
+    pub fn dim_distinct_counts(&self) -> Vec<usize> {
+        let mut counts = Vec::with_capacity(self.n_dims);
+        let mut column: Vec<TermId> = Vec::with_capacity(self.len());
+        for d in 0..self.n_dims {
+            column.clear();
+            column.extend((0..self.len()).map(|i| self.dims[i * self.n_dims + d]));
+            column.sort_unstable();
+            column.dedup();
+            counts.push(column.len());
+        }
+        counts
+    }
+
     /// Equation 3: recovers `ans(Q)` from the partial result by grouping on
     /// the dimension columns (the projection keeps duplicates — bag
     /// semantics — so repeated measure values aggregate correctly).
@@ -355,6 +372,16 @@ mod tests {
         let (g, eq) = example_2_setup();
         let pres = PartialResult::compute(&eq, &g).unwrap();
         assert!(pres.approx_bytes() >= pres.len() * 16);
+    }
+
+    #[test]
+    fn dim_distinct_counts_match_data() {
+        let (g, eq) = example_2_setup();
+        let pres = PartialResult::compute(&eq, &g).unwrap();
+        // Ages {28, 35}; cities {Madrid, NY}.
+        assert_eq!(pres.dim_distinct_counts(), vec![2, 2]);
+        let empty = PartialResult::from_rows(vec!["d".into()], AggFunc::Count, vec![]);
+        assert_eq!(empty.dim_distinct_counts(), vec![0]);
     }
 
     #[test]

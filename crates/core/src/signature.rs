@@ -15,7 +15,7 @@
 //! a bijection), while rare symmetric queries may canonicalize differently
 //! and merely miss a reuse opportunity — never produce a wrong answer.
 
-use rdfcube_engine::{Bgp, PatternTerm, VarId};
+use rdfcube_engine::{AggFunc, Bgp, PatternTerm, VarId};
 use rdfcube_rdf::fx::FxHashMap;
 
 /// The canonical form of a query body, plus the variable ↔ canonical-name
@@ -82,6 +82,72 @@ fn render_pattern(p: &rdfcube_engine::QueryPattern, names: &FxHashMap<VarId, Str
         PatternTerm::Var(v) => names.get(&v).cloned().unwrap_or_else(|| "?".into()),
     };
     format!("{} {} {}", pos(p.s), pos(p.p), pos(p.o))
+}
+
+/// The hashable identity of a *derivation family*: every materialized cube
+/// that could possibly answer a given target query shares this key — same
+/// canonical classifier body, same canonical root name, same measure
+/// signature, same ⊕. The cube catalog indexes its entries by `ViewKey`, so
+/// `find_derivation` probes exactly one candidate family in O(1) instead of
+/// rescanning (and re-canonicalizing) every materialized cube per query.
+///
+/// Dimension heads and Σ restrictions are deliberately *not* part of the
+/// key: drill-out/drill-in change the head and dice changes Σ, and all of
+/// them must land in the same family for reuse to trigger.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewKey {
+    /// Canonical classifier body text ([`BodySignature::text`]).
+    pub body: String,
+    /// Canonical name of the fact (root) variable within that body.
+    pub root: String,
+    /// Full canonical measure signature ([`query_signature`]).
+    pub measure: String,
+    /// The aggregation function ⊕.
+    pub agg: AggFunc,
+}
+
+/// Everything the catalog needs to know about a query's shape, computed
+/// **once** (at registration for sources, once per probe for targets):
+/// the family key, the body signature's variable↔name correspondence, and
+/// the canonical names of the dimension variables in head order.
+#[derive(Debug, Clone)]
+pub struct ViewSignature {
+    /// The derivation-family key.
+    pub key: ViewKey,
+    /// The classifier body signature (kept for drill-in variable lookup).
+    pub body: BodySignature,
+    /// Canonical names of the dimensions, in classifier-head order.
+    pub dims: Vec<String>,
+}
+
+impl ViewSignature {
+    /// Computes the signature of an analytical query. The classifier is
+    /// canonicalized once; root and dimension variables are resolved to
+    /// their canonical names through it.
+    pub fn of(query: &crate::anq::AnalyticalQuery) -> ViewSignature {
+        let body = BodySignature::of(query.classifier());
+        let root = body
+            .name_of(query.root())
+            // Rooted-query validation guarantees the root occurs in the
+            // body; the fallback merely keeps this total.
+            .unwrap_or("?")
+            .to_string();
+        let dims = query
+            .dim_vars()
+            .iter()
+            .map(|&v| body.name_of(v).unwrap_or("?").to_string())
+            .collect();
+        ViewSignature {
+            key: ViewKey {
+                body: body.text.clone(),
+                root,
+                measure: query_signature(query.measure()),
+                agg: query.agg(),
+            },
+            body,
+            dims,
+        }
+    }
 }
 
 /// Full signature of a query including its head (for measures, whose head
@@ -173,6 +239,82 @@ mod tests {
         let a = parse_query("c(?x) :- ?x hasAge 28", &mut dict).unwrap();
         let b = parse_query("c(?x) :- ?x hasAge 35", &mut dict).unwrap();
         assert_ne!(BodySignature::of(&a).text, BodySignature::of(&b).text);
+    }
+
+    #[test]
+    fn view_keys_are_rename_invariant_and_agg_sensitive() {
+        use crate::anq::AnalyticalQuery;
+        use rdfcube_engine::AggFunc;
+        let mut dict = Dictionary::new();
+        let a = AnalyticalQuery::parse(
+            "c(?x, ?dage) :- ?x rdf:type Blogger, ?x hasAge ?dage",
+            "m(?x, ?v) :- ?x wrotePost ?v",
+            AggFunc::Count,
+            &mut dict,
+        )
+        .unwrap();
+        let b = AnalyticalQuery::parse(
+            "k(?u, ?years) :- ?u hasAge ?years, ?u rdf:type Blogger",
+            "w(?u, ?p) :- ?u wrotePost ?p",
+            AggFunc::Count,
+            &mut dict,
+        )
+        .unwrap();
+        let sa = ViewSignature::of(&a);
+        let sb = ViewSignature::of(&b);
+        assert_eq!(
+            sa.key, sb.key,
+            "renaming/reordering must not split families"
+        );
+        assert_eq!(sa.dims, sb.dims);
+
+        let c = AnalyticalQuery::parse(
+            "c(?x, ?dage) :- ?x rdf:type Blogger, ?x hasAge ?dage",
+            "m(?x, ?v) :- ?x wrotePost ?v",
+            AggFunc::CountDistinct,
+            &mut dict,
+        )
+        .unwrap();
+        assert_ne!(sa.key, ViewSignature::of(&c).key, "⊕ is part of the key");
+    }
+
+    #[test]
+    fn view_key_ignores_head_but_not_measure() {
+        use crate::anq::AnalyticalQuery;
+        use rdfcube_engine::AggFunc;
+        let mut dict = Dictionary::new();
+        let full = AnalyticalQuery::parse(
+            "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+            "m(?x, ?v) :- ?x wrotePost ?v",
+            AggFunc::Count,
+            &mut dict,
+        )
+        .unwrap();
+        let coarse = AnalyticalQuery::parse(
+            "c(?x, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?a, ?x livesIn ?dcity",
+            "m(?x, ?v) :- ?x wrotePost ?v",
+            AggFunc::Count,
+            &mut dict,
+        )
+        .unwrap();
+        // Drill-out shape: same family (same body), different dims.
+        assert_eq!(ViewSignature::of(&full).key, ViewSignature::of(&coarse).key);
+        assert_ne!(
+            ViewSignature::of(&full).dims,
+            ViewSignature::of(&coarse).dims
+        );
+
+        let other_measure = AnalyticalQuery::parse(
+            "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+            "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?v",
+            AggFunc::Count,
+            &mut dict,
+        )
+        .unwrap();
+        assert_ne!(
+            ViewSignature::of(&full).key,
+            ViewSignature::of(&other_measure).key
+        );
     }
 
     #[test]

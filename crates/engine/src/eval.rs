@@ -7,11 +7,11 @@
 //! triple stores and matches what the paper assumes of the underlying RDF
 //! platform.
 //!
-//! Intermediate solutions live in a [`BindingTable`]: one flat `Vec<TermId>`
+//! Intermediate solutions live in a `BindingTable`: one flat `Vec<TermId>`
 //! arena with a fixed stride (the query's variable count), double-buffered
 //! between pattern steps. Because the join order is fixed before execution,
 //! the set of bound variables at each step is known *statically* — each step
-//! compiles to a tiny [`StepPlan`] saying which positions probe the index,
+//! compiles to a tiny `StepPlan` saying which positions probe the index,
 //! which write newly bound variables into the arena, and which must merely
 //! be equal (repeated fresh variables like `?x p ?x`). The inner loop
 //! therefore performs **zero per-row heap allocations**: extending a row is

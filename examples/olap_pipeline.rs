@@ -24,10 +24,11 @@ fn main() {
     let mut session = OlapSession::new(instance);
 
     let mut step = 0usize;
-    let mut log = |label: &str, strategy: Strategy, cells: usize, took: std::time::Duration| {
-        step += 1;
-        println!("{step:>2}. {label:<52} {strategy:<30?} {cells:>6} cells  {took:?}");
-    };
+    let mut log =
+        |label: &str, strategy: &dyn std::fmt::Display, cells: usize, took: std::time::Duration| {
+            step += 1;
+            println!("{step:>2}. {label:<44} {cells:>6} cells  {took:>10?}  {strategy}");
+        };
 
     let t0 = Instant::now();
     let q0 = session
@@ -40,7 +41,7 @@ fn main() {
         .expect("register base cube");
     log(
         "register: total words by (age, city)",
-        Strategy::FromScratch,
+        &Strategy::FromScratch,
         session.answer(q0).len(),
         t0.elapsed(),
     );
@@ -56,7 +57,7 @@ fn main() {
         .expect("dice to 25–45");
     log(
         "dice: 25 ≤ age ≤ 45",
-        s1,
+        &s1,
         session.answer(q1).len(),
         t0.elapsed(),
     );
@@ -72,7 +73,7 @@ fn main() {
         .expect("narrow the dice");
     log(
         "dice (narrower): 30 ≤ age ≤ 40",
-        s2,
+        &s2,
         session.answer(q2).len(),
         t0.elapsed(),
     );
@@ -88,7 +89,7 @@ fn main() {
         .expect("drill-out city");
     log(
         "drill-out: drop city (age only)",
-        s3,
+        &s3,
         session.answer(q3).len(),
         t0.elapsed(),
     );
@@ -104,7 +105,7 @@ fn main() {
         .expect("drill city back in");
     log(
         "drill-in: bring city back",
-        s4,
+        &s4,
         session.answer(q4).len(),
         t0.elapsed(),
     );
@@ -115,7 +116,7 @@ fn main() {
         .expect("drill-in post");
     log(
         "drill-in: add the post dimension",
-        s5,
+        &s5,
         session.answer(q5).len(),
         t0.elapsed(),
     );
@@ -131,13 +132,17 @@ fn main() {
         .expect("drill-out two dims");
     log(
         "drill-out: drop age and post at once",
-        s6,
+        &s6,
         session.answer(q6).len(),
         t0.elapsed(),
     );
 
-    // A widening dice must fall back to scratch — the session refuses to
-    // answer it from a narrower materialization.
+    // A widening dice cannot be answered from the narrower q2 — but the
+    // catalog is not limited to the cube the operation was applied to: it
+    // finds the unrestricted base cube q0 in the same derivation family
+    // and answers by σ over *its* answer (Proposition 1 w.r.t. q0). The
+    // pre-catalog session, which only ever looked at the direct source,
+    // had to fall back to from-scratch here.
     let t0 = Instant::now();
     let (q7, s7) = session
         .transform(
@@ -148,12 +153,13 @@ fn main() {
         )
         .expect("widening dice");
     log(
-        "dice (wider — must fall back)",
-        s7,
+        "dice (wider — rerouted to the base cube)",
+        &s7,
         session.answer(q7).len(),
         t0.elapsed(),
     );
-    assert_eq!(s7, Strategy::FromScratch);
+    assert_eq!(s7, Strategy::SelectionOnAns);
+    assert_eq!(s7.source, Some(q0), "served from the unrestricted base");
 
     // ---- Consistency audit -------------------------------------------------
     println!(

@@ -2,10 +2,13 @@
 //! form: "answering AnQs using the materialized results of other AnQs".
 //!
 //! Instead of naming a source cube and an operation, analysts just pose
-//! queries; the session recognizes — via canonical query signatures — when
-//! a new query's classifier body, measure and aggregate match a
-//! materialized cube (up to variable renaming and pattern order) and routes
-//! it through the paper's rewritings automatically.
+//! queries; the session's cube catalog recognizes — via one O(1) probe of
+//! its canonical-signature index — when a new query's classifier body,
+//! measure and aggregate match a materialized cube (up to variable
+//! renaming and pattern order), costs every applicable rewriting against
+//! from-scratch evaluation, and runs the cheapest. Each answer comes back
+//! with an `ExplainedStrategy`: the chosen route, its cost estimate, the
+//! from-scratch estimate it beat, and whether the catalog hit at all.
 //!
 //! Run with: `cargo run --release --example view_reuse`
 
@@ -76,6 +79,9 @@ fn main() {
     ];
 
     for (label, eq) in queries {
+        // Plan first (no materialization) to show the catalog's decision…
+        let planned = session.explain_query(&eq);
+        // …then actually answer, and time both routes.
         let t0 = Instant::now();
         let (h, strategy) = session.answer_query(eq).expect("query answered");
         let took = t0.elapsed();
@@ -92,9 +98,27 @@ fn main() {
         );
         println!("query: {label}");
         println!(
-            "  answered by {strategy} in {took:?} (from scratch: {scratch_took:?}); \
+            "  catalog {}: {} applicable candidate(s)",
+            if planned.catalog_hit { "HIT" } else { "MISS" },
+            planned.candidates,
+        );
+        println!(
+            "  chosen: {} — estimated {:.0} row touches vs {:.0} from scratch",
+            strategy.strategy, strategy.estimated_cost, strategy.scratch_cost,
+        );
+        println!(
+            "  answered in {took:?} (from scratch: {scratch_took:?}); \
              {} cells — verified equal\n",
             session.answer(h).len()
         );
     }
+    let counters = session.catalog().counters();
+    println!(
+        "catalog totals: {} hits / {} misses over {} materialized cubes \
+         ({} KiB resident)",
+        counters.hits,
+        counters.misses,
+        session.len(),
+        session.catalog().resident_bytes() / 1024,
+    );
 }

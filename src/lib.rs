@@ -10,8 +10,9 @@
 //!   greedy join ordering, relational algebra and grouped aggregation;
 //! * [`core`] — analytical schemas, analytical queries (RDF cubes), the four
 //!   OLAP operations, partial results, and the paper's three rewriting
-//!   algorithms behind an [`OlapSession`] that picks the cheapest sound
-//!   strategy automatically;
+//!   algorithms behind an [`OlapSession`] whose signature-indexed,
+//!   cost-based cube catalog picks the cheapest sound strategy
+//!   automatically (optionally under a memory budget);
 //! * [`datagen`] — seeded workload generators for the paper's blogger and
 //!   video worlds.
 //!
@@ -65,9 +66,9 @@ pub use rdfcube_engine as engine;
 pub use rdfcube_rdf as rdf;
 
 pub use rdfcube_core::{
-    answer, apply, build_aux_query, AnalyticalQuery, AnalyticalSchema, CoreError, Cube, CubeHandle,
-    ExtendedQuery, MaterializedCube, OlapOp, OlapSession, PartialResult, Sigma, Strategy,
-    ValueSelector,
+    answer, apply, build_aux_query, AnalyticalQuery, AnalyticalSchema, CoreError, Cube,
+    CubeCatalog, CubeHandle, ExplainedStrategy, ExtendedQuery, MaterializedCube, OlapOp,
+    OlapSession, PartialResult, Sigma, Strategy, ValueSelector,
 };
 pub use rdfcube_engine::{
     evaluate, evaluate_sparql, explain, parse_query, parse_sparql, AggFunc, AggValue, Bgp,
@@ -81,8 +82,8 @@ pub use rdfcube_rdf::{
 /// One-stop imports for applications.
 pub mod prelude {
     pub use rdfcube_core::{
-        AnalyticalQuery, AnalyticalSchema, Cube, ExtendedQuery, OlapOp, OlapSession, PartialResult,
-        Sigma, Strategy, ValueSelector,
+        AnalyticalQuery, AnalyticalSchema, Cube, ExplainedStrategy, ExtendedQuery, OlapOp,
+        OlapSession, PartialResult, Sigma, Strategy, ValueSelector,
     };
     pub use rdfcube_datagen::{BloggerConfig, VideoConfig};
     pub use rdfcube_engine::{evaluate, parse_query, AggFunc, AggValue, Semantics};

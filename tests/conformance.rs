@@ -268,7 +268,11 @@ fn drill_in_then_out_returns_to_base_cube() {
             },
         )
         .expect("drill-out applies");
-    assert_eq!(strategy, Strategy::Algorithm1);
+    // The round trip lands on the base cube's own query, and the catalog's
+    // cost model notices: an identity σ over the base cube's materialized
+    // answer beats re-running Algorithm 1 over the drilled cube's pres.
+    assert_eq!(strategy, Strategy::SelectionOnAns);
+    assert_eq!(strategy.source, Some(f.cube), "served by the base cube");
     assert!(
         f.session.answer(back).same_cells(f.session.answer(f.cube)),
         "drill-in then drill-out of the same variable is the identity"
@@ -302,14 +306,9 @@ fn operation_chain_keeps_strategies_and_answers_sound() {
             },
         )
         .expect("slice applies");
-    assert_eq!(
-        (s1, s2, s3),
-        (
-            Strategy::Algorithm2,
-            Strategy::Algorithm1,
-            Strategy::SelectionOnAns
-        )
-    );
+    assert_eq!(s1, Strategy::Algorithm2);
+    assert_eq!(s2, Strategy::Algorithm1);
+    assert_eq!(s3, Strategy::SelectionOnAns);
     for h in [step1, step2, step3] {
         assert_matches_from_scratch(&f.session, h);
     }

@@ -247,7 +247,10 @@ fn video_drill_in_pipeline() {
     assert_eq!(strategy, Strategy::Algorithm2);
     let scratch = session.cube(h2).query().answer(session.instance()).unwrap();
     assert!(session.answer(h2).same_cells(&scratch));
-    // Drill back out of the browser dimension: Algorithm 1.
+    // Drill back out of the browser dimension. The round trip lands on the
+    // base cube's own query, and the cost-based catalog serves it with an
+    // identity σ over the base cube's answer instead of re-running
+    // Algorithm 1 over the drilled cube's (larger) pres.
     let (h3, strategy) = session
         .transform(
             h2,
@@ -256,7 +259,8 @@ fn video_drill_in_pipeline() {
             },
         )
         .unwrap();
-    assert_eq!(strategy, Strategy::Algorithm1);
+    assert_eq!(strategy, Strategy::SelectionOnAns);
+    assert_eq!(strategy.source, Some(h));
     // … which must agree with the original cube (browser was added then
     // removed; the remaining dimension is the same d2).
     assert!(session.answer(h3).same_cells(session.answer(h)));

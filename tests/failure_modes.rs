@@ -132,6 +132,79 @@ fn invalid_operations_on_sessions() {
 }
 
 #[test]
+fn eviction_is_invisible_to_answers() {
+    // A budgeted session that can hold roughly one cube at a time must
+    // keep every handle usable (evicted payloads recompute on touch) and
+    // answer every transformation exactly like an unbudgeted session.
+    let turtle = "<user1> rdf:type <Blogger> ; <hasAge> 28 ; <livesIn> \"Madrid\" .
+         <user3> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+         <user4> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+         <user1> <wrotePost> <p1>, <p2>, <p3> .
+         <p1> <postedOn> <s1> . <p2> <postedOn> <s1> . <p3> <postedOn> <s2> .
+         <user3> <wrotePost> <p4> . <p4> <postedOn> <s2> .
+         <user4> <wrotePost> <p5> . <p5> <postedOn> <s3> .";
+    let classifier =
+        "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity";
+    let measure = "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?v";
+
+    let mut free = OlapSession::new(parse_turtle(turtle).unwrap());
+    let free_base = free.register(classifier, measure, AggFunc::Count).unwrap();
+    let one_cube =
+        free.cube(free_base).answer().approx_bytes() + free.cube(free_base).pres().approx_bytes();
+
+    let mut tight =
+        OlapSession::with_budget(parse_turtle(turtle).unwrap(), one_cube + one_cube / 2);
+    let base = tight.register(classifier, measure, AggFunc::Count).unwrap();
+
+    let ops = [
+        OlapOp::Slice {
+            dim: "dage".into(),
+            value: Term::integer(35),
+        },
+        OlapOp::DrillOut {
+            dims: vec!["dage".into()],
+        },
+        OlapOp::DrillOut {
+            dims: vec!["dcity".into()],
+        },
+    ];
+    for op in &ops {
+        // Each derived cube competes with the base for the tight budget,
+        // so by the later iterations the base has been evicted at least
+        // once — transform on its handle must still work and agree.
+        let (free_h, _) = free.transform(free_base, op).unwrap();
+        let (tight_h, _) = tight.transform(base, op).unwrap();
+        assert!(
+            tight.answer(tight_h).same_cells(free.answer(free_h)),
+            "budgeted answer diverged for {op:?}"
+        );
+        assert!(
+            tight.catalog().resident_bytes() <= tight.catalog().budget().unwrap(),
+            "resident bytes exceeded the budget"
+        );
+    }
+    assert!(
+        tight.catalog().counters().evictions > 0,
+        "the tight budget must actually have evicted something"
+    );
+    // The base cube's handle survives even while evicted: touch recomputes
+    // and its answer equals the never-evicted session's.
+    if !tight.is_resident(base) {
+        assert!(tight.touch(base).unwrap());
+    }
+    assert!(tight.answer(base).same_cells(free.answer(free_base)));
+    // Peak memory stayed under the budget throughout (the budget exceeds
+    // the largest single cube, so the always-keep-newest rule never had
+    // to overshoot).
+    assert!(
+        tight.catalog().peak_resident_bytes() <= tight.catalog().budget().unwrap(),
+        "peak {} exceeded budget {}",
+        tight.catalog().peak_resident_bytes(),
+        tight.catalog().budget().unwrap()
+    );
+}
+
+#[test]
 fn non_numeric_aggregation_errors_cleanly() {
     let instance = parse_turtle("<a> rdf:type <C> ; <dim> <d1> ; <val> \"NaNope\" .").unwrap();
     let mut s = OlapSession::new(instance);

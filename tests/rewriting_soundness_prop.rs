@@ -143,6 +143,69 @@ proptest! {
         prop_assert!(alg2.same_cells(&scratch), "Algorithm 2 diverged");
     }
 
+    /// The cost-based picker is sound regardless of which strategy it
+    /// selects: posing independently-written dice / drill-out / drill-in
+    /// shaped queries against a catalog holding the base cube (and
+    /// whatever intermediate cubes earlier probes materialized), every
+    /// answer equals from-scratch evaluation — in an unbudgeted session
+    /// AND in one with a randomly tightened byte budget, which forces
+    /// eviction/rehydration into the same runs.
+    #[test]
+    fn cost_based_picker_answers_equal_scratch(
+        cfg in arb_config(0.0f64..0.6),
+        agg in arb_agg(),
+        lo in 18i64..40,
+        width in 0i64..15,
+        budget_frac in 1usize..8,
+    ) {
+        let mut instance = generate_instance(&cfg);
+        let q = AnalyticalQuery::parse(CLASSIFIER, MEASURE, agg, instance.dict_mut()).unwrap();
+
+        let mut free = OlapSession::new(instance.clone());
+        free.register_query(ExtendedQuery::from_query(q.clone())).unwrap();
+        let base_bytes = free.catalog().resident_bytes();
+        // Anywhere from "everything fits" down to "barely one cube".
+        let mut tight = OlapSession::with_budget(instance, base_bytes * budget_frac / 2 + base_bytes / 2);
+        tight.register_query(ExtendedQuery::from_query(q)).unwrap();
+
+        // Independently-written probes: renamed identity, diced, coarser
+        // (drill-out shape), and +1 trailing dimension (drill-in shape).
+        let probe_classifiers = [
+            "k(?u, ?years, ?town) :- ?u livesIn ?town, ?u hasAge ?years, ?u rdf:type Blogger, \
+             ?u wrotePost ?w",
+            "k(?u, ?town) :- ?u livesIn ?town, ?u hasAge ?a, ?u rdf:type Blogger, ?u wrotePost ?w",
+            "k(?u, ?years) :- ?u livesIn ?c, ?u hasAge ?years, ?u rdf:type Blogger, ?u wrotePost ?w",
+            "k(?u, ?years, ?town, ?post) :- ?u livesIn ?town, ?u hasAge ?years, \
+             ?u rdf:type Blogger, ?u wrotePost ?post",
+        ];
+        let probe_measure = "w(?u, ?v) :- ?u rdf:type Blogger, ?u wrotePost ?q, ?q hasWordCount ?v";
+        for (i, classifier) in probe_classifiers.iter().enumerate() {
+            for sessions in [&mut free, &mut tight] {
+                let mut eq = sessions.parse_query(classifier, probe_measure, agg).unwrap();
+                if i == 0 {
+                    // Dice the renamed identity probe on the age dimension.
+                    let mut sigma = Sigma::all(eq.query().n_dims());
+                    let years = eq.query().dim_index("years").unwrap();
+                    sigma.set(years, ValueSelector::IntRange { lo, hi: lo + width });
+                    eq = ExtendedQuery::with_sigma(eq.query().clone(), sigma).unwrap();
+                }
+                let (h, strategy) = sessions.answer_query(eq).unwrap();
+                let scratch = sessions.cube(h).query().answer(sessions.instance()).unwrap();
+                prop_assert!(
+                    sessions.answer(h).same_cells(&scratch),
+                    "picker chose {strategy} for probe {i} and diverged"
+                );
+            }
+        }
+        if let Some(budget) = tight.catalog().budget() {
+            prop_assert!(
+                tight.catalog().resident_bytes() <= budget
+                    || tight.catalog().resident_len() == 1,
+                "budget violated outside the single-oversized-cube case"
+            );
+        }
+    }
+
     /// The session's automatically chosen strategy is sound for every
     /// operation, and it picks the rewriting (never from-scratch) for the
     /// four paper operations.
