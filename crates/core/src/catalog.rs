@@ -39,6 +39,8 @@ use crate::signature::{BodySignature, ViewKey, ViewSignature};
 use rdfcube_engine::VarId;
 use rdfcube_rdf::fx::FxHashMap;
 use rdfcube_rdf::Graph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How a target query can be soundly derived from a materialized source
 /// cube (the applicability side of Propositions 1–3; costing is separate).
@@ -74,31 +76,75 @@ pub struct CubeStats {
     pub dim_distinct: Vec<usize>,
 }
 
-/// The materialized payload of an entry; dropped on eviction.
-#[derive(Debug, Clone)]
+/// The materialized payload of an entry; the catalog's reference is
+/// dropped on eviction (outstanding [`CubeSnapshot`]s keep theirs).
+#[derive(Debug)]
 struct CubePayload {
     ans: Cube,
     pres: PartialResult,
 }
 
-/// One materialized (or evicted-but-recomputable) cube in the catalog.
+/// An owned, shareable view of one materialized cube: the extended query
+/// plus the `ans(Q)`/`pres(Q)` payload, both behind `Arc`s.
+///
+/// Cloning a snapshot clones two pointers, not the data. A snapshot stays
+/// readable after the catalog evicts or refreshes the entry it came from —
+/// it is a *snapshot*: concurrent readers each see the consistent payload
+/// they grabbed, never a torn or mutated one.
 #[derive(Debug, Clone)]
+pub struct CubeSnapshot {
+    eq: Arc<ExtendedQuery>,
+    payload: Arc<CubePayload>,
+}
+
+impl CubeSnapshot {
+    /// The extended query that defines the cube.
+    pub fn query(&self) -> &ExtendedQuery {
+        &self.eq
+    }
+
+    /// The materialized answer `ans(Q)`.
+    pub fn answer(&self) -> &Cube {
+        &self.payload.ans
+    }
+
+    /// The materialized partial result `pres(Q)`.
+    pub fn pres(&self) -> &PartialResult {
+        &self.payload.pres
+    }
+}
+
+/// One materialized (or evicted-but-recomputable) cube in the catalog.
+///
+/// Recency/benefit bookkeeping (`last_touch`, `hits`) is atomic so that
+/// concurrent readers of a shared catalog can credit reuse without a
+/// write lock; everything the answer depends on stays behind `&mut`.
+#[derive(Debug)]
 pub struct CatalogEntry {
-    eq: ExtendedQuery,
+    eq: Arc<ExtendedQuery>,
     sig: ViewSignature,
     stats: CubeStats,
-    payload: Option<CubePayload>,
+    payload: Option<Arc<CubePayload>>,
+    /// The instance's triple count when this payload was materialized —
+    /// a moved watermark means the cells may no longer reflect the data.
+    watermark: usize,
     /// Catalog clock value of the last touch (registration, reuse as a
     /// derivation source, or explicit [`CubeCatalog::touch`]).
-    last_touch: u64,
+    last_touch: AtomicU64,
     /// Times this entry served as the source of a derivation.
-    hits: u64,
+    hits: AtomicU64,
 }
 
 impl CatalogEntry {
     /// The extended query defining the cube.
     pub fn query(&self) -> &ExtendedQuery {
         &self.eq
+    }
+
+    /// The extended query behind its shared pointer (cheap to clone out
+    /// of a locked catalog).
+    pub fn query_arc(&self) -> Arc<ExtendedQuery> {
+        Arc::clone(&self.eq)
     }
 
     /// The signature computed at registration.
@@ -116,14 +162,28 @@ impl CatalogEntry {
         self.payload.is_some()
     }
 
+    /// The instance triple count at which this payload was materialized.
+    pub fn watermark(&self) -> usize {
+        self.watermark
+    }
+
+    /// True if the payload was materialized against the instance's
+    /// current triple count — i.e. no triples were inserted since. A
+    /// stale entry still plans (its statistics remain useful estimates)
+    /// but must be recomputed before its cells are served
+    /// ([`CubeCatalog::ensure_resident`] does both).
+    pub fn is_fresh(&self, instance: &Graph) -> bool {
+        self.watermark == instance.len()
+    }
+
     /// Times this entry served as a derivation source.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// The materialized answer and partial result, if resident.
     pub fn payload(&self) -> Option<(&Cube, &PartialResult)> {
-        self.payload.as_ref().map(|p| (&p.ans, &p.pres))
+        self.payload.as_deref().map(|p| (&p.ans, &p.pres))
     }
 
     /// Decides whether (and how) this entry can soundly answer a target
@@ -153,6 +213,20 @@ pub struct CatalogCounters {
     pub evictions: u64,
     /// Evicted payloads recomputed on demand.
     pub rehydrations: u64,
+    /// Resident-but-stale payloads recomputed after the instance grew
+    /// past their watermark.
+    pub refreshes: u64,
+}
+
+/// Interior-mutable counter cells: hit/miss accounting happens on the
+/// concurrent read path of a shared catalog, where only `&self` is held.
+#[derive(Debug, Default)]
+struct AtomicCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    rehydrations: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 /// The signature-indexed, budget-aware store of materialized cubes.
@@ -163,8 +237,8 @@ pub struct CubeCatalog {
     budget: Option<usize>,
     resident_bytes: usize,
     peak_resident_bytes: usize,
-    clock: u64,
-    counters: CatalogCounters,
+    clock: AtomicU64,
+    counters: AtomicCounters,
 }
 
 impl Default for CubeCatalog {
@@ -182,8 +256,8 @@ impl CubeCatalog {
             budget: None,
             resident_bytes: 0,
             peak_resident_bytes: 0,
-            clock: 0,
-            counters: CatalogCounters::default(),
+            clock: AtomicU64::new(0),
+            counters: AtomicCounters::default(),
         }
     }
 
@@ -242,22 +316,49 @@ impl CubeCatalog {
 
     /// Cumulative hit/miss/eviction/rehydration counters.
     pub fn counters(&self) -> CatalogCounters {
-        self.counters
+        CatalogCounters {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            rehydrations: self.counters.rehydrations.load(Ordering::Relaxed),
+            refreshes: self.counters.refreshes.load(Ordering::Relaxed),
+        }
     }
 
     /// Records a reuse hit (the session calls this when a derivation ran).
-    pub fn record_hit(&mut self) {
-        self.counters.hits += 1;
+    pub fn record_hit(&self) {
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a fallback to from-scratch evaluation.
-    pub fn record_miss(&mut self) {
-        self.counters.misses += 1;
+    pub fn record_miss(&self) {
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The entry at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range — use [`Self::get_entry`] for
+    /// handles that may belong to a different session.
     pub fn entry(&self, idx: usize) -> &CatalogEntry {
         &self.entries[idx]
+    }
+
+    /// The entry at `idx`, or `None` if no such entry exists (a handle
+    /// from another session, for instance).
+    pub fn get_entry(&self, idx: usize) -> Option<&CatalogEntry> {
+        self.entries.get(idx)
+    }
+
+    /// An owned snapshot of the entry's query + payload, if resident.
+    /// The snapshot shares the materialized data (two `Arc` clones) and
+    /// stays valid after later evictions or refreshes.
+    pub fn snapshot(&self, idx: usize) -> Option<CubeSnapshot> {
+        let e = self.entries.get(idx)?;
+        Some(CubeSnapshot {
+            eq: Arc::clone(&e.eq),
+            payload: Arc::clone(e.payload.as_ref()?),
+        })
     }
 
     /// The indices of the derivation family for `key` (empty if none).
@@ -267,10 +368,17 @@ impl CubeCatalog {
 
     /// Registers a materialized cube, computing its signature and
     /// statistics once, and enforces the budget (the new entry is pinned).
-    /// Returns the entry index.
-    pub fn insert(&mut self, eq: ExtendedQuery, ans: Cube, pres: PartialResult) -> usize {
+    /// `watermark` is the instance triple count the payload was computed
+    /// against. Returns the entry index.
+    pub fn insert(
+        &mut self,
+        eq: ExtendedQuery,
+        ans: Cube,
+        pres: PartialResult,
+        watermark: usize,
+    ) -> usize {
         let sig = ViewSignature::of(eq.query());
-        self.insert_signed(eq, sig, ans, pres)
+        self.insert_signed(eq, sig, ans, pres, watermark)
     }
 
     /// [`Self::insert`] with a pre-computed signature (the session already
@@ -281,6 +389,7 @@ impl CubeCatalog {
         sig: ViewSignature,
         ans: Cube,
         pres: PartialResult,
+        watermark: usize,
     ) -> usize {
         let stats = CubeStats {
             ans_cells: ans.len(),
@@ -292,45 +401,61 @@ impl CubeCatalog {
         // resident set never overshoots the budget mid-insert.
         self.make_room(stats.bytes, None);
         let idx = self.entries.len();
-        self.clock += 1;
+        let clock = self.clock.get_mut();
+        *clock += 1;
+        let now = *clock;
         self.resident_bytes += stats.bytes;
         self.index.entry(sig.key.clone()).or_default().push(idx);
         self.entries.push(CatalogEntry {
-            eq,
+            eq: Arc::new(eq),
             sig,
             stats,
-            payload: Some(CubePayload { ans, pres }),
-            last_touch: self.clock,
-            hits: 0,
+            payload: Some(Arc::new(CubePayload { ans, pres })),
+            watermark,
+            last_touch: AtomicU64::new(now),
+            hits: AtomicU64::new(0),
         });
         self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
         idx
     }
 
     /// Marks `idx` as used right now (LRU recency) and counts a benefit
-    /// hit for the eviction policy.
-    pub fn touch(&mut self, idx: usize) {
-        self.clock += 1;
-        let e = &mut self.entries[idx];
-        e.last_touch = self.clock;
-        e.hits += 1;
+    /// hit for the eviction policy. Takes `&self`: recency credit is the
+    /// one piece of bookkeeping the concurrent read path performs, so it
+    /// lives in atomics rather than behind the write lock.
+    pub fn touch(&self, idx: usize) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let e = &self.entries[idx];
+        e.last_touch.store(now, Ordering::Relaxed);
+        e.hits.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Recomputes the payload of an evicted entry from the instance (the
-    /// definition of `pres(Q, I)` is deterministic, so the recomputed cube
-    /// answers identically). Returns `true` if a recompute happened.
+    /// Recomputes the payload of an entry that is evicted **or stale**
+    /// (the instance grew past the entry's watermark) from the current
+    /// instance; `pres(Q, I)` is deterministic, so an evicted-and-fresh
+    /// recompute answers identically, and a stale recompute answers with
+    /// the new triples reflected. Returns `true` if a recompute happened.
     ///
-    /// The rehydrated entry is pinned while the budget is re-enforced, so
-    /// it is resident when this returns.
+    /// The recomputed entry is pinned while the budget is re-enforced, so
+    /// it is resident (and fresh) when this returns.
     pub fn ensure_resident(&mut self, idx: usize, instance: &Graph) -> Result<bool, CoreError> {
-        if self.entries[idx].is_resident() {
+        let e = self.entries.get(idx).ok_or(CoreError::UnknownHandle(idx))?;
+        let was_resident = e.is_resident();
+        if was_resident && e.is_fresh(instance) {
             return Ok(false);
         }
         let pres = PartialResult::compute(&self.entries[idx].eq, instance)?;
         let ans = pres.to_cube(instance.dict())?;
-        // Make room before attaching, as in `insert_signed`.
         let bytes = ans.approx_bytes() + pres.approx_bytes();
+        // A stale payload is dropped (with its accounting) before making
+        // room, so the budget never charges old and new copies at once.
+        if was_resident {
+            self.resident_bytes -= self.entries[idx].stats.bytes;
+            self.entries[idx].payload = None;
+        }
+        // Make room before attaching, as in `insert_signed`.
         self.make_room(bytes, Some(idx));
+        let watermark = instance.len();
         let e = &mut self.entries[idx];
         // Recomputed sizes can differ marginally from the derived
         // original's (row order aside, they are the same table, but stay
@@ -339,9 +464,14 @@ impl CubeCatalog {
         e.stats.pres_rows = pres.len();
         e.stats.bytes = bytes;
         e.stats.dim_distinct = pres.dim_distinct_counts();
-        e.payload = Some(CubePayload { ans, pres });
+        e.payload = Some(Arc::new(CubePayload { ans, pres }));
+        e.watermark = watermark;
+        if was_resident {
+            self.counters.refreshes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.rehydrations.fetch_add(1, Ordering::Relaxed);
+        }
         self.resident_bytes += bytes;
-        self.counters.rehydrations += 1;
         self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
         Ok(true)
     }
@@ -352,7 +482,7 @@ impl CubeCatalog {
             .iter()
             .enumerate()
             .filter(|(_, e)| e.is_resident())
-            .max_by_key(|(_, e)| e.last_touch)
+            .max_by_key(|(_, e)| e.last_touch.load(Ordering::Relaxed))
             .map(|(i, _)| i)
     }
 
@@ -381,6 +511,7 @@ impl CubeCatalog {
     /// clock ticks after its last use.)
     fn make_room(&mut self, incoming: usize, pinned: Option<usize>) {
         let Some(budget) = self.budget else { return };
+        let clock = self.clock.load(Ordering::Relaxed);
         let mut evicted_any = false;
         while self.resident_bytes + incoming > budget {
             let victim = self
@@ -390,7 +521,9 @@ impl CubeCatalog {
                 .filter(|&(i, e)| e.is_resident() && Some(i) != pinned)
                 .min_by(|(_, a), (_, b)| {
                     let score = |e: &CatalogEntry| {
-                        (e.hits + 1) as f64 / (self.clock - e.last_touch + 1) as f64
+                        let hits = e.hits.load(Ordering::Relaxed);
+                        let touched = e.last_touch.load(Ordering::Relaxed);
+                        (hits + 1) as f64 / (clock - touched + 1) as f64
                     };
                     score(a)
                         .partial_cmp(&score(b))
@@ -400,12 +533,13 @@ impl CubeCatalog {
             let Some(victim) = victim else { break };
             self.entries[victim].payload = None;
             self.resident_bytes -= self.entries[victim].stats.bytes;
-            self.counters.evictions += 1;
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
             evicted_any = true;
         }
         if evicted_any {
             for e in &mut self.entries {
-                e.hits /= 2;
+                let hits = e.hits.get_mut();
+                *hits /= 2;
             }
         }
     }
@@ -524,7 +658,7 @@ mod tests {
         let eq = example_1(&mut g);
         let (ans, pres) = materialize(&eq, &g);
         let mut cat = CubeCatalog::new();
-        let idx = cat.insert(eq.clone(), ans, pres);
+        let idx = cat.insert(eq.clone(), ans, pres, g.len());
 
         let sig = ViewSignature::of(eq.query());
         assert_eq!(cat.family(&sig.key), &[idx]);
@@ -550,8 +684,8 @@ mod tests {
 
         // Room for roughly one cube: the second insert evicts the first.
         let mut cat = CubeCatalog::with_budget(one_cube + one_cube / 2);
-        let first = cat.insert(eq.clone(), ans.clone(), pres.clone());
-        let second = cat.insert(eq.clone(), ans, pres);
+        let first = cat.insert(eq.clone(), ans.clone(), pres.clone(), g.len());
+        let second = cat.insert(eq.clone(), ans, pres, g.len());
         assert!(!cat.entry(first).is_resident(), "cold entry evicted");
         assert!(cat.entry(second).is_resident(), "pinned entry kept");
         assert!(cat.resident_bytes() <= cat.budget().unwrap());
@@ -579,9 +713,9 @@ mod tests {
         let one_cube = ans.approx_bytes() + pres.approx_bytes();
 
         let mut cat = CubeCatalog::new();
-        let a = cat.insert(eq.clone(), ans.clone(), pres.clone());
-        let b = cat.insert(eq.clone(), ans.clone(), pres.clone());
-        let c = cat.insert(eq.clone(), ans, pres);
+        let a = cat.insert(eq.clone(), ans.clone(), pres.clone(), g.len());
+        let b = cat.insert(eq.clone(), ans.clone(), pres.clone(), g.len());
+        let c = cat.insert(eq.clone(), ans, pres, g.len());
         // `a` is oldest but heavily reused; `b` is cold.
         cat.touch(a);
         cat.touch(a);
@@ -599,12 +733,12 @@ mod tests {
         let eq = example_1(&mut g);
         let (ans, pres) = materialize(&eq, &g);
         let mut cat = CubeCatalog::with_budget(0);
-        let a = cat.insert(eq.clone(), ans.clone(), pres.clone());
+        let a = cat.insert(eq.clone(), ans.clone(), pres.clone(), g.len());
         assert!(
             cat.entry(a).is_resident(),
             "a result must be readable right after production, budget or not"
         );
-        let b = cat.insert(eq, ans, pres);
+        let b = cat.insert(eq, ans, pres, g.len());
         assert!(!cat.entry(a).is_resident());
         assert!(cat.entry(b).is_resident());
         assert!(cat.peak_resident_bytes() > 0);
@@ -616,7 +750,7 @@ mod tests {
         let eq = example_1(&mut g);
         let (ans, pres) = materialize(&eq, &g);
         let mut cat = CubeCatalog::new();
-        let idx = cat.insert(eq.clone(), ans, pres);
+        let idx = cat.insert(eq.clone(), ans, pres, g.len());
 
         // Identical query → Dice (refinement is reflexive).
         let sig = ViewSignature::of(eq.query());

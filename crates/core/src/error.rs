@@ -21,6 +21,13 @@ pub enum CoreError {
     /// An analytical query is not homomorphic to the analytical schema, or
     /// the schema itself is ill-formed.
     SchemaViolation(String),
+    /// A cube handle does not name an entry of this session's catalog
+    /// (e.g. a handle from a different session).
+    UnknownHandle(usize),
+    /// A cube's payload is not materialized right now (evicted under the
+    /// session budget, or stale after inserts) and the caller asked for
+    /// it without allowing a recompute.
+    CubeNotResident(usize),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +39,13 @@ impl fmt::Display for CoreError {
             CoreError::DuplicateDimension(d) => write!(f, "duplicate dimension '{d}'"),
             CoreError::InvalidOperation(m) => write!(f, "invalid OLAP operation: {m}"),
             CoreError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            CoreError::UnknownHandle(h) => {
+                write!(f, "cube handle #{h} does not belong to this session")
+            }
+            CoreError::CubeNotResident(h) => write!(
+                f,
+                "cube #{h} has no resident payload (evicted or stale); touch it to recompute"
+            ),
         }
     }
 }

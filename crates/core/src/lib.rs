@@ -25,7 +25,10 @@
 //!   through [`ExplainedStrategy`];
 //! * [`session`] — materialized-cube sessions tying it all together:
 //!   every query and OLAP operation is answered by the cheapest sound
-//!   strategy automatically.
+//!   strategy automatically;
+//! * [`shared`] — the concurrent query plane: a `Send + Sync`
+//!   [`SharedSession`] serving `answer_query`/`transform` to any number
+//!   of threads over the same `Arc`-shared instance and catalog.
 //!
 //! ## Quick example — the paper's Example 1 cube, sliced
 //!
@@ -66,12 +69,15 @@ pub mod pres;
 pub mod rewrite;
 pub mod schema;
 pub mod session;
+pub mod shared;
 pub mod signature;
 
 pub use anq::AnalyticalQuery;
 pub use answer::{answer, Cube};
 pub use aux_query::build_aux_query;
-pub use catalog::{CatalogCounters, CatalogEntry, CubeCatalog, CubeStats, Derivation};
+pub use catalog::{
+    CatalogCounters, CatalogEntry, CubeCatalog, CubeSnapshot, CubeStats, Derivation,
+};
 pub use cost::ExplainedStrategy;
 pub use error::CoreError;
 pub use extended::{CompiledSelector, CompiledSigma, ExtendedQuery, Sigma, ValueSelector};
@@ -79,4 +85,5 @@ pub use olap::{apply, OlapOp};
 pub use pres::{PartialResult, PresRow};
 pub use schema::{AnalyticalSchema, EdgeSpec, NodeSpec};
 pub use session::{CubeHandle, MaterializedCube, OlapSession, Strategy};
+pub use shared::SharedSession;
 pub use signature::{query_signature, BodySignature, ViewKey, ViewSignature};

@@ -1,0 +1,483 @@
+//! The concurrent query plane: [`SharedSession`].
+//!
+//! An [`OlapSession`] is the *mutation plane* — it owns `&mut` access to
+//! the instance and catalog, so exactly one client at a time can use it.
+//! But the paper's cubes are read-mostly by construction: once an
+//! analytical schema is instantiated and its first cubes materialized,
+//! the dominant workload is many clients posing analytical queries
+//! against the same catalog. [`SharedSession`] serves that workload:
+//!
+//! * the instance and every cube payload live behind `Arc`s — converting
+//!   a session ([`OlapSession::into_shared`]) copies **no** data, and
+//!   neither does handing the shared session to N threads;
+//! * every serving method takes `&self`, so `&SharedSession` (or an
+//!   `Arc<SharedSession>`) can be queried from any number of threads
+//!   concurrently;
+//! * the catalog sits behind a single [`RwLock`]: planning, duplicate
+//!   detection and snapshotting happen under a read lock (shared), while
+//!   materializing a new cube, rehydrating an evicted one or refreshing a
+//!   stale one takes the write lock briefly. The expensive work — BGP
+//!   evaluation, derivation, aggregation — always runs **outside** any
+//!   lock, against [`CubeSnapshot`]s;
+//! * recency/benefit bookkeeping (`touch`, hit/miss counters) is atomic
+//!   (see [`crate::catalog`]), so the hot read path never blocks on it.
+//!
+//! The dictionary is frozen during a shared epoch: queries must be parsed
+//! against the instance *before* [`OlapSession::into_shared`] (or their
+//! constants must already be interned). Inserting triples, parsing
+//! queries with fresh constants, and ROLL-UP over a not-yet-interned
+//! mapping property all belong to the mutation plane — round-trip with
+//! [`SharedSession::into_session`], mutate, and convert back. Cubes
+//! materialized before the mutation keep their watermarks, so the next
+//! shared epoch transparently refreshes whatever went stale.
+
+use crate::catalog::{CatalogCounters, CubeCatalog, CubeSnapshot};
+use crate::cost::ExplainedStrategy;
+use crate::error::CoreError;
+use crate::extended::ExtendedQuery;
+use crate::olap::{apply, apply_roll_up_encoded, OlapOp};
+use crate::rewrite;
+use crate::session::{self, CubeHandle, OlapSession, Strategy};
+use crate::signature::ViewSignature;
+use rdfcube_rdf::Graph;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A `Send + Sync` OLAP serving plane over one instance and one cube
+/// catalog. Obtained from [`OlapSession::into_shared`]; all serving
+/// methods take `&self`. See the [module docs](self) for the
+/// architecture and the thread-safety contract.
+#[derive(Debug)]
+pub struct SharedSession {
+    instance: Arc<Graph>,
+    catalog: RwLock<CubeCatalog>,
+}
+
+impl SharedSession {
+    pub(crate) fn from_parts(instance: Arc<Graph>, catalog: CubeCatalog) -> Self {
+        SharedSession {
+            instance,
+            catalog: RwLock::new(catalog),
+        }
+    }
+
+    /// Converts back into the single-owner mutation plane. No data is
+    /// copied; outstanding [`CubeSnapshot`]s stay readable (the first
+    /// mutation clones the instance copy-on-write instead of racing
+    /// them).
+    pub fn into_session(self) -> OlapSession {
+        let catalog = self
+            .catalog
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        OlapSession::from_parts(self.instance, catalog)
+    }
+
+    /// Catalog read access. A poisoned lock is recovered rather than
+    /// propagated: the catalog's accounting is kept structurally valid at
+    /// every early-return point, so a panicking reader/writer leaves at
+    /// worst a recomputable payload gap, never a torn answer.
+    fn read(&self) -> RwLockReadGuard<'_, CubeCatalog> {
+        self.catalog.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, CubeCatalog> {
+        self.catalog.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The shared AnS instance.
+    pub fn instance(&self) -> &Graph {
+        &self.instance
+    }
+
+    /// Number of materialized cubes (including evicted entries).
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// True if no cube is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    /// Cumulative catalog counters (hits, misses, evictions,
+    /// rehydrations, refreshes).
+    pub fn counters(&self) -> CatalogCounters {
+        self.read().counters()
+    }
+
+    /// Bytes of materialized payload currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.read().resident_bytes()
+    }
+
+    /// The configured payload budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.read().budget()
+    }
+
+    /// The extended query of `handle`, or `None` for a foreign handle.
+    /// Available whether or not the payload is resident.
+    pub fn try_query(&self, handle: CubeHandle) -> Option<Arc<ExtendedQuery>> {
+        self.read().get_entry(handle.0).map(|e| e.query_arc())
+    }
+
+    /// An owned snapshot of the cube behind `handle` — refreshing or
+    /// rehydrating it first if it is stale or evicted. The snapshot keeps
+    /// the payload alive independently of later evictions, so it can be
+    /// read for as long as needed without holding any lock.
+    pub fn snapshot(&self, handle: CubeHandle) -> Result<CubeSnapshot, CoreError> {
+        self.snapshot_inner(handle).map(|(snap, _)| snap)
+    }
+
+    /// [`Self::snapshot`] plus whether a recompute (rehydration or
+    /// refresh) happened on the way.
+    fn snapshot_inner(&self, handle: CubeHandle) -> Result<(CubeSnapshot, bool), CoreError> {
+        {
+            let cat = self.read();
+            let e = cat
+                .get_entry(handle.0)
+                .ok_or(CoreError::UnknownHandle(handle.0))?;
+            if e.is_resident() && e.is_fresh(&self.instance) {
+                cat.touch(handle.0);
+                let snap = cat
+                    .snapshot(handle.0)
+                    .ok_or(CoreError::CubeNotResident(handle.0))?;
+                return Ok((snap, false));
+            }
+        }
+        // Evicted or stale: recompute under the write lock. Racing
+        // threads may all observe the miss and queue here; the first one
+        // recomputes and the rest see a fresh entry (no-op).
+        let mut cat = self.write();
+        let recomputed = cat.ensure_resident(handle.0, &self.instance)?;
+        cat.touch(handle.0);
+        let snap = cat
+            .snapshot(handle.0)
+            .ok_or(CoreError::CubeNotResident(handle.0))?;
+        Ok((snap, recomputed))
+    }
+
+    /// Plans `eq` without executing or materializing anything (the
+    /// concurrent counterpart of [`OlapSession::explain_query`]).
+    pub fn explain_query(&self, eq: &ExtendedQuery) -> ExplainedStrategy {
+        let sig = ViewSignature::of(eq.query());
+        session::plan_in(&self.read(), &self.instance, eq, &sig).1
+    }
+
+    /// The linear-rescan planner baseline (see
+    /// [`OlapSession::explain_query_linear`]); chooses identically to
+    /// [`Self::explain_query`] by construction.
+    pub fn explain_query_linear(&self, target: &ExtendedQuery) -> ExplainedStrategy {
+        session::plan_linear(&self.read(), &self.instance, target).1
+    }
+
+    /// Answers an arbitrary extended query — the concurrent counterpart
+    /// of [`OlapSession::answer_query`], with the identical
+    /// dedup/plan/derive semantics. Returns the handle of the (existing
+    /// or newly materialized) cube; read its cells with
+    /// [`Self::snapshot`].
+    ///
+    /// Locking: duplicate detection, planning and source snapshotting run
+    /// under the read lock; derivation and from-scratch evaluation run
+    /// under **no** lock; the write lock is taken only to materialize the
+    /// result (and to refresh a stale/evicted source first, when the
+    /// planner picked one).
+    pub fn answer_query(
+        &self,
+        eq: ExtendedQuery,
+    ) -> Result<(CubeHandle, ExplainedStrategy), CoreError> {
+        let sig = ViewSignature::of(eq.query());
+        // Duplicate fast path: served entirely under the read lock when
+        // the entry is fresh and resident (the common case under steady
+        // traffic).
+        let stale_duplicate = {
+            let cat = self.read();
+            match session::find_duplicate(&cat, &sig, &eq) {
+                Some(idx) => {
+                    let e = cat.entry(idx);
+                    if e.is_resident() && e.is_fresh(&self.instance) {
+                        cat.touch(idx);
+                        cat.record_hit();
+                        let explained =
+                            session::duplicate_explained(&cat, idx, &eq, &self.instance, false);
+                        return Ok((CubeHandle(idx), explained));
+                    }
+                    Some(idx)
+                }
+                None => None,
+            }
+        };
+        if let Some(idx) = stale_duplicate {
+            let mut cat = self.write();
+            let rehydrated = cat.ensure_resident(idx, &self.instance)?;
+            cat.touch(idx);
+            cat.record_hit();
+            let explained =
+                session::duplicate_explained(&cat, idx, &eq, &self.instance, rehydrated);
+            return Ok((CubeHandle(idx), explained));
+        }
+
+        // Plan under the read lock and snapshot the chosen source if it
+        // is servable as-is; stale/evicted sources are refreshed under
+        // the write lock below.
+        let (planned, mut explained) = {
+            let cat = self.read();
+            let (pick, explained) = session::plan_in(&cat, &self.instance, &eq, &sig);
+            let planned = pick.map(|(idx, d)| {
+                let e = cat.entry(idx);
+                let snap = if e.is_resident() && e.is_fresh(&self.instance) {
+                    cat.snapshot(idx)
+                } else {
+                    None
+                };
+                (idx, d, snap)
+            });
+            (planned, explained)
+        };
+
+        let (ans, pres) = match planned {
+            Some((source_idx, d, snap)) => {
+                let (snap, rehydrated) = match snap {
+                    Some(snap) => (snap, false),
+                    None => {
+                        let mut cat = self.write();
+                        let recomputed = cat.ensure_resident(source_idx, &self.instance)?;
+                        let snap = cat
+                            .snapshot(source_idx)
+                            .ok_or(CoreError::CubeNotResident(source_idx))?;
+                        (snap, recomputed)
+                    }
+                };
+                explained.rehydrated = rehydrated;
+                let derived = session::derive_with(
+                    &self.instance,
+                    snap.query(),
+                    snap.answer(),
+                    snap.pres(),
+                    &eq,
+                    &d,
+                )?;
+                // Credit the source only once the derivation succeeded,
+                // exactly as the mutation plane does.
+                let cat = self.read();
+                cat.touch(source_idx);
+                cat.record_hit();
+                derived
+            }
+            None => {
+                let computed = rewrite::from_scratch_with_pres(&eq, &self.instance)?;
+                self.read().record_miss();
+                computed
+            }
+        };
+
+        // Materialize under the write lock — re-probing for a duplicate a
+        // racing thread may have registered while we were computing, so
+        // concurrent identical queries converge on one entry instead of
+        // inserting N copies.
+        let mut cat = self.write();
+        if let Some(idx) = session::find_duplicate(&cat, &sig, &eq) {
+            cat.ensure_resident(idx, &self.instance)?;
+            cat.touch(idx);
+            return Ok((CubeHandle(idx), explained));
+        }
+        let watermark = self.instance.len();
+        let idx = cat.insert_signed(eq, sig, ans, pres, watermark);
+        Ok((CubeHandle(idx), explained))
+    }
+
+    /// Applies an OLAP operation to a materialized cube — the concurrent
+    /// counterpart of [`OlapSession::transform`].
+    ///
+    /// ROLL-UP is served only when its mapping property is already
+    /// interned in the (frozen) dictionary; otherwise it belongs to the
+    /// mutation plane.
+    pub fn transform(
+        &self,
+        handle: CubeHandle,
+        op: &OlapOp,
+    ) -> Result<(CubeHandle, ExplainedStrategy), CoreError> {
+        if let OlapOp::RollUp { dim, via } = op {
+            return self.roll_up(handle, dim, via);
+        }
+        let source_eq = self
+            .try_query(handle)
+            .ok_or(CoreError::UnknownHandle(handle.0))?;
+        let new_eq = apply(&source_eq, op)?;
+        self.answer_query(new_eq)
+    }
+
+    fn roll_up(
+        &self,
+        handle: CubeHandle,
+        dim: &str,
+        via: &str,
+    ) -> Result<(CubeHandle, ExplainedStrategy), CoreError> {
+        // The dictionary is frozen during a shared epoch, so the mapping
+        // property must already be interned (any property that actually
+        // occurs in the instance is).
+        let via_id = self.instance.dict().iri_id(via).ok_or_else(|| {
+            CoreError::InvalidOperation(format!(
+                "roll-up mapping property <{via}> is not in the shared instance's \
+                 dictionary; apply this roll-up through the mutation plane \
+                 (OlapSession::transform)"
+            ))
+        })?;
+        let source_eq = self
+            .try_query(handle)
+            .ok_or(CoreError::UnknownHandle(handle.0))?;
+        let new_eq = apply_roll_up_encoded(&source_eq, dim, via_id)?;
+        let dim_idx = source_eq.query().dim_index(dim)?;
+        let coarse_name = new_eq.query().dim_names()[dim_idx].to_string();
+        let (snap, rehydrated) = self.snapshot_inner(handle)?;
+        let explained = ExplainedStrategy {
+            strategy: Strategy::RollUpComposition,
+            source: Some(handle),
+            estimated_cost: rewrite::roll_up_cost(snap.pres().len()),
+            scratch_cost: rewrite::scratch_cost(&new_eq, &self.instance),
+            candidates: 1,
+            catalog_hit: true,
+            rehydrated,
+        };
+        let (ans, pres) =
+            rewrite::roll_up_from_pres(snap.pres(), dim_idx, via_id, &coarse_name, &self.instance)?;
+        let mut cat = self.write();
+        cat.record_hit();
+        let watermark = self.instance.len();
+        let idx = cat.insert(new_eq, ans, pres, watermark);
+        Ok((CubeHandle(idx), explained))
+    }
+}
+
+// The whole point of the type: compile-time proof it can be shared.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedSession>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfcube_engine::AggFunc;
+    use rdfcube_rdf::parse_turtle;
+
+    fn session() -> OlapSession {
+        let instance = parse_turtle(
+            "<user1> rdf:type <Blogger> ; <hasAge> 28 ; <livesIn> \"Madrid\" .
+             <user3> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user4> rdf:type <Blogger> ; <hasAge> 35 ; <livesIn> \"NY\" .
+             <user1> <wrotePost> <p1>, <p2>, <p3> .
+             <p1> <postedOn> <s1> . <p2> <postedOn> <s1> . <p3> <postedOn> <s2> .
+             <user3> <wrotePost> <p4> . <p4> <postedOn> <s2> .
+             <user4> <wrotePost> <p5> . <p5> <postedOn> <s3> .",
+        )
+        .unwrap();
+        OlapSession::new(instance)
+    }
+
+    fn example_1(s: &mut OlapSession) -> ExtendedQuery {
+        s.parse_query(
+            "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+            "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?v",
+            AggFunc::Count,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_answers_match_the_mutation_plane() {
+        let mut serial = session();
+        let eq = example_1(&mut serial);
+        let (hs, _) = serial.answer_query(eq.clone()).unwrap();
+
+        let mut s = session();
+        let eq2 = example_1(&mut s);
+        let shared = s.into_shared();
+        let (h, explained) = shared.answer_query(eq2).unwrap();
+        assert_eq!(explained.strategy, Strategy::FromScratch);
+        let snap = shared.snapshot(h).unwrap();
+        assert!(snap.answer().same_cells(serial.answer(hs)));
+        // The duplicate fast path reuses the entry from plain `&self`.
+        let eq3 = shared.try_query(h).unwrap();
+        let (h2, ex2) = shared.answer_query((*eq3).clone()).unwrap();
+        assert_eq!(h2, h);
+        assert!(ex2.catalog_hit);
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn many_threads_share_one_session() {
+        let mut s = session();
+        let eq = example_1(&mut s);
+        let shared = s.into_shared();
+        let (h0, _) = shared.answer_query(eq.clone()).unwrap();
+        let expect = shared.snapshot(h0).unwrap();
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = &shared;
+                let eq = eq.clone();
+                let expect = expect.clone();
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let (h, _) = shared.answer_query(eq.clone()).unwrap();
+                        let snap = shared.snapshot(h).unwrap();
+                        assert!(snap.answer().same_cells(expect.answer()));
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.len(), 1, "duplicates converged on one entry");
+        assert!(shared.counters().hits >= 32);
+    }
+
+    #[test]
+    fn round_trip_through_the_mutation_plane_refreshes() {
+        let mut s = session();
+        let eq = example_1(&mut s);
+        let shared = s.into_shared();
+        let (h, _) = shared.answer_query(eq.clone()).unwrap();
+        let before = shared.snapshot(h).unwrap();
+
+        // Mutate: user3 writes two more posts.
+        let mut s = shared.into_session();
+        use rdfcube_rdf::Term;
+        let added = s.insert_triples([
+            (Term::iri("user3"), Term::iri("wrotePost"), Term::iri("p9")),
+            (Term::iri("p9"), Term::iri("postedOn"), Term::iri("s1")),
+            (Term::iri("user3"), Term::iri("wrotePost"), Term::iri("p10")),
+            (Term::iri("p10"), Term::iri("postedOn"), Term::iri("s1")),
+        ]);
+        assert_eq!(added, 4);
+        let shared = s.into_shared();
+
+        // The old snapshot is untouched; the refreshed cube reflects the
+        // new data.
+        let (h2, _) = shared.answer_query(eq).unwrap();
+        assert_eq!(h2, h);
+        let after = shared.snapshot(h2).unwrap();
+        assert!(!after.answer().same_cells(before.answer()));
+        assert!(shared.counters().refreshes >= 1);
+        let scratch = after.query().answer(shared.instance()).unwrap();
+        assert!(after.answer().same_cells(&scratch));
+    }
+
+    #[test]
+    fn foreign_handles_are_typed_errors() {
+        let mut s = session();
+        let _ = example_1(&mut s);
+        let shared = s.into_shared();
+        let bogus = CubeHandle(7);
+        assert_eq!(
+            shared.snapshot(bogus).unwrap_err(),
+            CoreError::UnknownHandle(7)
+        );
+        assert!(shared.try_query(bogus).is_none());
+        assert_eq!(
+            shared
+                .transform(bogus, &OlapOp::DrillOut { dims: vec![] })
+                .unwrap_err(),
+            CoreError::UnknownHandle(7)
+        );
+    }
+}

@@ -23,6 +23,14 @@
 //! and [`Semantics::Bag`] (measures — one row per homomorphism, so repeated
 //! measure values of one fact stay distinct).
 //!
+//! The pipeline parallelizes by data: when [`set_eval_threads`] raises the
+//! worker count and an intermediate table is large enough, each step
+//! partitions the arena's rows into contiguous chunks, extends every chunk
+//! on its own scoped worker thread against the read-only graph and step
+//! plan, and concatenates the partitions **in input order** — so the merged
+//! table (and therefore every downstream aggregation) is bit-identical to
+//! the serial evaluation.
+//!
 //! A deliberately naive full-scan nested-loop evaluator
 //! ([`evaluate_nested_loop`]) is kept as an oracle for the property tests;
 //! it still materializes one `Vec<Option<TermId>>` per row, on purpose — its
@@ -35,6 +43,28 @@ use crate::relation::Relation;
 use crate::var::VarId;
 use rdfcube_rdf::fx::FxHashSet;
 use rdfcube_rdf::{Graph, TermId, Triple, TriplePattern};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker threads BGP evaluation may fan out to (process-wide; default 1 =
+/// fully serial).
+static EVAL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Intermediate tables smaller than this stay serial: below it, the cost
+/// of spawning scoped workers outweighs the per-row probe work.
+const PAR_MIN_ROWS: usize = 1024;
+
+/// Sets the number of worker threads BGP evaluation may use (clamped to at
+/// least 1; 1 disables fan-out). Process-wide: the evaluator is a shared
+/// resource, like the thread pool this stands in for. Results are
+/// identical at any setting — partitions merge in input order.
+pub fn set_eval_threads(n: usize) {
+    EVAL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current worker-thread setting (see [`set_eval_threads`]).
+pub fn eval_threads() -> usize {
+    EVAL_THREADS.load(Ordering::Relaxed)
+}
 
 /// Result semantics of a BGP query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,15 +212,34 @@ fn build_plans(bgp: &Bgp, order: &[usize]) -> Vec<StepPlan> {
 }
 
 /// Runs one compiled step: probes the index under every current row and
-/// appends the extended rows to `next`. The closure writes straight into the
-/// arena — no per-row allocation.
+/// appends the extended rows to `next` — fanning out across worker threads
+/// when the table is large enough and [`set_eval_threads`] allows.
 fn run_step(graph: &Graph, plan: &StepPlan, current: &BindingTable, next: &mut BindingTable) {
     next.clear();
+    let threads = eval_threads();
+    if threads > 1 && current.rows >= PAR_MIN_ROWS {
+        run_step_parallel(graph, plan, current, threads, next);
+        return;
+    }
     // Most steps keep or grow the row count; pre-sizing to the current
     // arena avoids repeated doubling in the match closure.
     next.data.reserve(current.data.len());
+    run_step_range(graph, plan, current, 0, current.rows, next);
+}
+
+/// Extends the rows `lo..hi` of `current` through `plan`, appending to
+/// `next` in input-row order. The serial kernel both the single-threaded
+/// path and each parallel partition run.
+fn run_step_range(
+    graph: &Graph,
+    plan: &StepPlan,
+    current: &BindingTable,
+    lo: usize,
+    hi: usize,
+    next: &mut BindingTable,
+) {
     let stride = current.stride;
-    for i in 0..current.rows {
+    for i in lo..hi {
         let row = current.row(i);
         let resolve = |p: Probe| -> Option<TermId> {
             match p {
@@ -218,6 +267,47 @@ fn run_step(graph: &Graph, plan: &StepPlan, current: &BindingTable, next: &mut B
             }
             next.rows += 1;
         });
+    }
+}
+
+/// Partitions `current`'s rows into `threads` contiguous chunks, runs
+/// [`run_step_range`] per chunk on a scoped worker, and concatenates the
+/// partial tables in chunk order — the merged table is identical to what
+/// the serial path would have produced, because [`run_step_range`] appends
+/// in input-row order within each chunk too.
+fn run_step_parallel(
+    graph: &Graph,
+    plan: &StepPlan,
+    current: &BindingTable,
+    threads: usize,
+    next: &mut BindingTable,
+) {
+    let chunk = current.rows.div_ceil(threads);
+    let mut parts: Vec<BindingTable> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(current.rows);
+            if lo >= hi {
+                break;
+            }
+            workers.push(scope.spawn(move || {
+                let mut part = BindingTable::new(current.stride);
+                part.data.reserve((hi - lo) * current.stride);
+                run_step_range(graph, plan, current, lo, hi, &mut part);
+                part
+            }));
+        }
+        for worker in workers {
+            parts.push(worker.join().expect("BGP evaluation worker panicked"));
+        }
+    });
+    next.data
+        .reserve(parts.iter().map(|p| p.data.len()).sum::<usize>());
+    for part in parts {
+        next.rows += part.rows;
+        next.data.extend_from_slice(&part.data);
     }
 }
 
@@ -784,6 +874,51 @@ mod tests {
         let mut bound3 = FxHashSet::default();
         bound3.insert(q3.vars().id("x").unwrap());
         assert_eq!(estimate(&g2, q3.body()[0], &bound3), 0.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_identical_to_serial() {
+        // A join whose intermediate table crosses PAR_MIN_ROWS: 1500 users
+        // with 2 posts each → 3000 rows entering the postedOn step.
+        let mut g = Graph::new();
+        for u in 0..1500 {
+            for p in 0..2 {
+                let post = format!("post_{u}_{p}");
+                g.insert_iri(
+                    &format!("user{u}"),
+                    "wrotePost",
+                    &rdfcube_rdf::Term::iri(post.clone()),
+                );
+                g.insert_iri(
+                    &post,
+                    "postedOn",
+                    &rdfcube_rdf::Term::iri(format!("site{}", u % 7)),
+                );
+            }
+        }
+        g.compact();
+        let q = parse_query("q(?x, ?s) :- ?x wrotePost ?p, ?p postedOn ?s", g.dict_mut()).unwrap();
+
+        let before = eval_threads();
+        set_eval_threads(1);
+        let serial = evaluate(&g, &q, Semantics::Bag).unwrap();
+        set_eval_threads(4);
+        let parallel = evaluate(&g, &q, Semantics::Bag).unwrap();
+        set_eval_threads(before);
+
+        assert_eq!(serial.len(), 3000);
+        assert_eq!(parallel.len(), serial.len());
+        // Not merely the same bag: the in-order merge reproduces the exact
+        // row order of serial evaluation.
+        assert!(serial.rows().zip(parallel.rows()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn eval_threads_is_clamped_to_one() {
+        let before = eval_threads();
+        set_eval_threads(0);
+        assert_eq!(eval_threads(), 1);
+        set_eval_threads(before.max(1));
     }
 
     #[test]

@@ -67,12 +67,12 @@ pub use rdfcube_rdf as rdf;
 
 pub use rdfcube_core::{
     answer, apply, build_aux_query, AnalyticalQuery, AnalyticalSchema, CoreError, Cube,
-    CubeCatalog, CubeHandle, ExplainedStrategy, ExtendedQuery, MaterializedCube, OlapOp,
-    OlapSession, PartialResult, Sigma, Strategy, ValueSelector,
+    CubeCatalog, CubeHandle, CubeSnapshot, ExplainedStrategy, ExtendedQuery, MaterializedCube,
+    OlapOp, OlapSession, PartialResult, SharedSession, Sigma, Strategy, ValueSelector,
 };
 pub use rdfcube_engine::{
-    evaluate, evaluate_sparql, explain, parse_query, parse_sparql, AggFunc, AggValue, Bgp,
-    EngineError, PlanStep, Relation, Semantics, SparqlQuery, SparqlResult,
+    evaluate, evaluate_sparql, explain, parse_query, parse_sparql, set_eval_threads, AggFunc,
+    AggValue, Bgp, EngineError, PlanStep, Relation, Semantics, SparqlQuery, SparqlResult,
 };
 pub use rdfcube_rdf::{
     parse_ntriples, parse_turtle, saturate, to_ntriples, Dictionary, Graph, Term, TermId, Triple,
@@ -82,8 +82,8 @@ pub use rdfcube_rdf::{
 /// One-stop imports for applications.
 pub mod prelude {
     pub use rdfcube_core::{
-        AnalyticalQuery, AnalyticalSchema, Cube, ExplainedStrategy, ExtendedQuery, OlapOp,
-        OlapSession, PartialResult, Sigma, Strategy, ValueSelector,
+        AnalyticalQuery, AnalyticalSchema, Cube, CubeSnapshot, ExplainedStrategy, ExtendedQuery,
+        OlapOp, OlapSession, PartialResult, SharedSession, Sigma, Strategy, ValueSelector,
     };
     pub use rdfcube_datagen::{BloggerConfig, VideoConfig};
     pub use rdfcube_engine::{evaluate, parse_query, AggFunc, AggValue, Semantics};

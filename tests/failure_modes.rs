@@ -205,6 +205,115 @@ fn eviction_is_invisible_to_answers() {
 }
 
 #[test]
+fn foreign_and_evicted_handles_are_typed_errors() {
+    let turtle = "<a> rdf:type <C> ; <dim> <d1> ; <val> 3 .";
+    let mut a = OlapSession::new(parse_turtle(turtle).unwrap());
+    let _ = a
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Sum,
+        )
+        .unwrap();
+    let foreign = a
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Count,
+        )
+        .unwrap();
+
+    // Session `b` holds a single cube, so `foreign` (index 1 in `a`) is
+    // out of range there: every accessor must answer with a typed error,
+    // never a panic.
+    let mut b = OlapSession::new(parse_turtle(turtle).unwrap());
+    let _ = b
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Sum,
+        )
+        .unwrap();
+    assert!(b.try_cube(foreign).is_none());
+    assert!(b.try_query(foreign).is_none());
+    assert!(!b.is_resident(foreign));
+    assert!(!b.is_fresh(foreign));
+    assert!(matches!(
+        b.cube_checked(foreign),
+        Err(CoreError::UnknownHandle(1))
+    ));
+    assert!(matches!(b.touch(foreign), Err(CoreError::UnknownHandle(1))));
+    assert!(matches!(
+        b.transform(
+            foreign,
+            &OlapOp::DrillOut {
+                dims: vec!["d".into()]
+            }
+        ),
+        Err(CoreError::UnknownHandle(1))
+    ));
+
+    // The shared plane keeps the same contract.
+    let shared = b.into_shared();
+    assert!(matches!(
+        shared.snapshot(foreign),
+        Err(CoreError::UnknownHandle(1))
+    ));
+    assert!(shared.try_query(foreign).is_none());
+
+    // An evicted payload is the *other* typed failure: the handle is
+    // known, the cells are not resident.
+    let one_cube = a.cube(foreign).answer().approx_bytes() + a.cube(foreign).pres().approx_bytes();
+    let mut tight = OlapSession::with_budget(parse_turtle(turtle).unwrap(), one_cube);
+    let first = tight
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Sum,
+        )
+        .unwrap();
+    let _second = tight
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Count,
+        )
+        .unwrap();
+    assert!(!tight.is_resident(first), "budget should have evicted #0");
+    assert!(matches!(
+        tight.cube_checked(first),
+        Err(CoreError::CubeNotResident(0))
+    ));
+    assert!(tight.try_cube(first).is_none());
+    // ... and touch heals it.
+    assert!(tight.touch(first).unwrap());
+    assert!(tight.cube_checked(first).is_ok());
+}
+
+#[test]
+#[should_panic(expected = "does not belong to this session")]
+fn cube_accessor_panic_is_documented_and_typed() {
+    let turtle = "<a> rdf:type <C> ; <dim> <d1> ; <val> 3 .";
+    let mut a = OlapSession::new(parse_turtle(turtle).unwrap());
+    let _ = a
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Sum,
+        )
+        .unwrap();
+    let foreign = a
+        .register(
+            "c(?x, ?d) :- ?x rdf:type C, ?x dim ?d",
+            "m(?x, ?v) :- ?x val ?v",
+            AggFunc::Count,
+        )
+        .unwrap();
+    let b = OlapSession::new(parse_turtle(turtle).unwrap());
+    let _ = b.cube(foreign); // panics: index 1 does not exist in `b`
+}
+
+#[test]
 fn non_numeric_aggregation_errors_cleanly() {
     let instance = parse_turtle("<a> rdf:type <C> ; <dim> <d1> ; <val> \"NaNope\" .").unwrap();
     let mut s = OlapSession::new(instance);
