@@ -3,7 +3,10 @@
 //! repeated runs).
 //!
 //! Run with: `cargo run --release -p rdfcube-bench --bin report`
-//! Pass `--quick` for a fast, smaller-scale pass.
+//! Pass `--quick` for a fast, smaller-scale pass. Pass `--scale <n>` (a
+//! triple count, or the word `large` for the deterministic ≥1M-triple
+//! world) to add a scale point to every E-section sweep — e.g.
+//! `--scale large` re-runs E1/E3/E5b/E6/E9 at a million triples.
 
 use rdfcube_bench::{
     blogger_fixture, blogger_fixture_with, catalog_fixture, catalog_fixture_with_budget,
@@ -50,13 +53,28 @@ fn speedup(slow: Duration, fast: Duration) -> String {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let runs = if quick { 3 } else { 7 };
-    let scales: Vec<usize> = if quick {
+    let mut scales: Vec<usize> = if quick {
         vec![10_000, 50_000]
     } else {
         vec![10_000, 50_000, 100_000, 250_000]
     };
+    // `--scale <n|large>` adds extra scale points to every sweep.
+    for w in args.windows(2) {
+        if w[0] == "--scale" {
+            let extra = match w[1].as_str() {
+                "large" => rdfcube_datagen::LARGE_WORLD_TRIPLES,
+                n => n.replace('_', "").parse().unwrap_or_else(|_| {
+                    panic!("--scale takes a triple count or 'large', got {n:?}")
+                }),
+            };
+            scales.push(extra);
+        }
+    }
+    scales.sort_unstable();
+    scales.dedup();
 
     println!("# rdfcube experiment report\n");
     println!("(medians of {runs} runs per point; release build)\n");

@@ -11,7 +11,9 @@
 //!   per-dimension distinct counts) feed [`derivation_cost`];
 //! * instance statistics (`count_matching` per pattern, the same numbers
 //!   the engine's join planner orders patterns by) feed
-//!   [`crate::rewrite::scratch_cost`];
+//!   [`crate::rewrite::scratch_cost`] — on a sharded instance these are
+//!   integer sums of shard-local CSR statistics, so they stay exact and
+//!   allocation-free at any shard count;
 //! * the per-strategy formulas themselves live next to the algorithms
 //!   they estimate, in [`crate::rewrite`] (cost hooks).
 //!

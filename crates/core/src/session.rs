@@ -141,6 +141,19 @@ impl OlapSession {
         }
     }
 
+    /// Opens a session over the instance repartitioned into `shards`
+    /// subject-hash shards (see [`Graph::with_shards`]): bulk loads and BGP
+    /// steps then run one worker per shard (raise
+    /// [`rdfcube_engine::set_eval_threads`] to enable fan-out), with shards
+    /// skipped outright when a step's pushed-down constants cannot match
+    /// them. Answers are bit-identical at any shard count. Like
+    /// [`Self::new`], the instance is compacted up front — resharding folds
+    /// the delta in as a side effect.
+    pub fn with_shards(mut instance: Graph, shards: usize) -> Self {
+        instance.set_shard_count(shards);
+        Self::new(instance)
+    }
+
     /// Reassembles a session from its shared parts (the
     /// [`SharedSession`] round trip).
     pub(crate) fn from_parts(instance: Arc<Graph>, catalog: CubeCatalog) -> Self {

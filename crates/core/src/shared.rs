@@ -89,6 +89,15 @@ impl SharedSession {
         &self.instance
     }
 
+    /// Number of subject-hash shards in the shared instance (chosen at
+    /// session construction, [`OlapSession::with_shards`]). The shards
+    /// travel behind the instance's `Arc` like everything else — each
+    /// serving thread's BGP steps can fan out one worker per shard without
+    /// any copying or coordination beyond the scoped spawn.
+    pub fn shard_count(&self) -> usize {
+        self.instance.shard_count()
+    }
+
     /// Number of materialized cubes (including evicted entries).
     pub fn len(&self) -> usize {
         self.read().len()

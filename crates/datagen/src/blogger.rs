@@ -73,6 +73,12 @@ impl Default for BloggerConfig {
     }
 }
 
+/// The "large world" target size: ≥1M base triples, roughly 10× the usual
+/// benchmark ceiling — the scale the sharded store is built for. Used by
+/// [`BloggerConfig::large_world`], the report binary's `--scale large`
+/// flag, and the `e12_sharded` bench.
+pub const LARGE_WORLD_TRIPLES: usize = 1_000_000;
+
 impl BloggerConfig {
     /// A config scaled to approximately `triples` base triples (the
     /// benchmark sweeps specify dataset sizes this way).
@@ -85,6 +91,13 @@ impl BloggerConfig {
             n_bloggers: (triples / per_blogger).max(1),
             ..Default::default()
         }
+    }
+
+    /// The ~[`LARGE_WORLD_TRIPLES`]-triple blogger world. Same default
+    /// seed as every other config, so the world is fully deterministic:
+    /// two `large_world()` graphs are triple-for-triple identical.
+    pub fn large_world() -> Self {
+        Self::with_approx_triples(LARGE_WORLD_TRIPLES)
     }
 }
 
@@ -313,6 +326,16 @@ mod tests {
             "asked ≈20k, got {n} (cfg: {} bloggers)",
             cfg.n_bloggers
         );
+    }
+
+    #[test]
+    fn large_world_config_targets_a_million_triples() {
+        // Config math only — the 1M world itself is generated in the
+        // release-mode `e12_sharded` bench, not in debug tests.
+        let cfg = BloggerConfig::large_world();
+        assert_eq!(cfg.n_bloggers, LARGE_WORLD_TRIPLES / 14);
+        assert!(cfg.n_bloggers >= 70_000);
+        assert_eq!(cfg.seed, BloggerConfig::default().seed, "deterministic");
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod zipf;
 
 pub use blogger::{
     blogger_schema, generate_base, generate_instance, BloggerConfig, EXAMPLE1_CLASSIFIER,
-    EXAMPLE1_MEASURE, EXAMPLE4_MEASURE,
+    EXAMPLE1_MEASURE, EXAMPLE4_MEASURE, LARGE_WORLD_TRIPLES,
 };
 pub use video::{generate_videos, VideoConfig, BROWSERS, EXAMPLE6_CLASSIFIER, EXAMPLE6_MEASURE};
 pub use zipf::Zipf;

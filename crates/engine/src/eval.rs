@@ -24,12 +24,30 @@
 //! measure values of one fact stay distinct).
 //!
 //! The pipeline parallelizes by data: when [`set_eval_threads`] raises the
-//! worker count and an intermediate table is large enough, each step
-//! partitions the arena's rows into contiguous chunks, extends every chunk
-//! on its own scoped worker thread against the read-only graph and step
-//! plan, and concatenates the partitions **in input order** — so the merged
-//! table (and therefore every downstream aggregation) is bit-identical to
-//! the serial evaluation.
+//! worker count and an intermediate table is large enough, each step fans
+//! out across scoped worker threads against the read-only graph and step
+//! plan. Over a sharded store ([`Graph::with_shards`]) the partitioning
+//! follows the **storage shards** rather than the arena rows:
+//!
+//! * a step whose subject is an already-bound variable routes each row to
+//!   its subject's shard — one worker per shard extends only its rows, and
+//!   the merge stitches each input row's matches back in input-row order
+//!   (pure cursor arithmetic, no comparisons);
+//! * a step whose subject is free runs every row against each shard's local
+//!   indexes in parallel, and the merge k-way-interleaves each row's
+//!   per-shard matches by the index sort key — which cannot tie across
+//!   shards, because every such key determines the subject and a subject
+//!   lives in exactly one shard;
+//! * shards whose [`Graph::count_matching_in_shard`] is zero for the step's
+//!   constant shape are skipped entirely — constants pushed down by
+//!   [`evaluate_filtered`]'s equality pre-binding (slice/dice Σ constraints)
+//!   prune whole shards here before any probe runs.
+//!
+//! On a single-shard (flat) graph — or while unmerged delta triples are
+//! pending — each step instead partitions the arena's rows into contiguous
+//! chunks and concatenates the partial tables in chunk order. Either way
+//! the merged table (and therefore every downstream aggregation) is
+//! **bit-identical** to the serial evaluation.
 //!
 //! A deliberately naive full-scan nested-loop evaluator
 //! ([`evaluate_nested_loop`]) is kept as an oracle for the property tests;
@@ -41,7 +59,7 @@ use crate::error::EngineError;
 use crate::pattern::{PatternTerm, QueryPattern};
 use crate::relation::Relation;
 use crate::var::VarId;
-use rdfcube_rdf::fx::FxHashSet;
+use rdfcube_rdf::fx::{FxHashMap, FxHashSet};
 use rdfcube_rdf::{Graph, TermId, Triple, TriplePattern};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -173,9 +191,13 @@ struct StepPlan {
 }
 
 /// Compiles `order` into per-step plans, tracking the statically-known
-/// bound-variable set across steps.
-fn build_plans(bgp: &Bgp, order: &[usize]) -> Vec<StepPlan> {
-    let mut bound: FxHashSet<VarId> = FxHashSet::default();
+/// bound-variable set across steps. Variables in `pre_bound` (Σ equality
+/// constants) compile to [`Probe::Const`] rather than [`Probe::Bound`]:
+/// semantically identical (the arena slot is seeded with the same value),
+/// but a constant participates in the steps' constant shapes — so shard
+/// skipping and base-count estimation see the pushed-down selection.
+fn build_plans(bgp: &Bgp, order: &[usize], pre_bound: &FxHashMap<VarId, TermId>) -> Vec<StepPlan> {
+    let mut bound: FxHashSet<VarId> = pre_bound.keys().copied().collect();
     let mut plans = Vec::with_capacity(order.len());
     for &pi in order {
         let pattern = bgp.body()[pi];
@@ -188,6 +210,7 @@ fn build_plans(bgp: &Bgp, order: &[usize]) -> Vec<StepPlan> {
         for (pos, term) in pattern.positions().into_iter().enumerate() {
             plan.probe[pos] = match term {
                 PatternTerm::Const(c) => Probe::Const(c),
+                PatternTerm::Var(v) if pre_bound.contains_key(&v) => Probe::Const(pre_bound[&v]),
                 PatternTerm::Var(v) if bound.contains(&v) => Probe::Bound(v.index()),
                 PatternTerm::Var(v) => {
                     match plan.writes.iter().find(|&&(_, slot)| slot == v.index()) {
@@ -214,17 +237,299 @@ fn build_plans(bgp: &Bgp, order: &[usize]) -> Vec<StepPlan> {
 /// Runs one compiled step: probes the index under every current row and
 /// appends the extended rows to `next` — fanning out across worker threads
 /// when the table is large enough and [`set_eval_threads`] allows.
+///
+/// Parallel dispatch prefers shard-partitioned execution (one worker per
+/// storage shard, shard-skipping via per-shard statistics) and falls back
+/// to contiguous row chunks when the graph is flat, holds unmerged delta
+/// triples, or the step's subject is a constant (which routes every probe
+/// to one shard anyway). All paths produce bit-identical tables.
 fn run_step(graph: &Graph, plan: &StepPlan, current: &BindingTable, next: &mut BindingTable) {
     next.clear();
     let threads = eval_threads();
     if threads > 1 && current.rows >= PAR_MIN_ROWS {
-        run_step_parallel(graph, plan, current, threads, next);
+        if graph.shard_count() > 1 && !graph.has_pending_delta() {
+            match plan.probe[0] {
+                Probe::Bound(slot) => {
+                    run_step_sharded_bound(graph, plan, current, slot, next);
+                    return;
+                }
+                Probe::Free => {
+                    run_step_sharded_scan(graph, plan, current, next);
+                    return;
+                }
+                Probe::Const(_) => {}
+            }
+        }
+        run_step_chunked(graph, plan, current, threads, next);
         return;
     }
     // Most steps keep or grow the row count; pre-sizing to the current
     // arena avoids repeated doubling in the match closure.
     next.data.reserve(current.data.len());
     run_step_range(graph, plan, current, 0, current.rows, next);
+}
+
+/// The step's constant-only shape: probe positions holding query constants
+/// (including Σ constants pre-bound by [`evaluate_filtered`]), with bound
+/// variables wildcarded. Every per-row probe pattern specializes this
+/// shape, so a shard where it matches nothing can be skipped outright.
+fn const_shape(plan: &StepPlan) -> TriplePattern {
+    let c = |p: Probe| match p {
+        Probe::Const(c) => Some(c),
+        Probe::Bound(_) | Probe::Free => None,
+    };
+    TriplePattern::new(c(plan.probe[0]), c(plan.probe[1]), c(plan.probe[2]))
+}
+
+/// Extends `row` with every match of `tp` inside one shard, appending to
+/// `next`; returns how many rows were produced. The per-shard kernel of
+/// both sharded parallel paths.
+#[inline]
+fn extend_matches_in_shard(
+    graph: &Graph,
+    shard: usize,
+    plan: &StepPlan,
+    row: &[TermId],
+    tp: TriplePattern,
+    next: &mut BindingTable,
+) -> u32 {
+    let stride = next.stride;
+    let mut produced = 0u32;
+    graph.for_each_match_in_shard(shard, tp, |t| {
+        let vals = t.as_array();
+        for &(a, b) in &plan.eq_checks {
+            if vals[a] != vals[b] {
+                return;
+            }
+        }
+        next.data.extend_from_slice(row);
+        let base = next.data.len() - stride;
+        for &(pos, slot) in &plan.writes {
+            next.data[base + slot] = vals[pos];
+        }
+        next.rows += 1;
+        produced += 1;
+    });
+    produced
+}
+
+/// Sharded parallel path for steps whose subject is an already-bound
+/// variable: every row's probe is served entirely by its subject's shard,
+/// so rows are routed there, one worker per shard extends its rows in row
+/// order (recording each row's match count), and the merge walks the input
+/// rows pulling each row's run from its owner's partial table — cursor
+/// arithmetic only, no value comparisons. Shards where the step's constant
+/// shape matches nothing are skipped (their rows produce no matches).
+fn run_step_sharded_bound(
+    graph: &Graph,
+    plan: &StepPlan,
+    current: &BindingTable,
+    slot: usize,
+    next: &mut BindingTable,
+) {
+    let n = graph.shard_count();
+    let shape = const_shape(plan);
+    let active: Vec<bool> = (0..n)
+        .map(|w| graph.count_matching_in_shard(w, shape) > 0)
+        .collect();
+    let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for i in 0..current.rows {
+        let w = graph.shard_of(current.row(i)[slot]);
+        if active[w] {
+            rows_of[w].push(i as u32);
+        }
+    }
+    let mut results: Vec<Option<(Vec<u32>, BindingTable)>> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(n);
+        for (w, rows) in rows_of.iter().enumerate() {
+            if rows.is_empty() {
+                workers.push(None);
+                continue;
+            }
+            workers.push(Some(scope.spawn(move || {
+                let mut part = BindingTable::new(current.stride);
+                let mut counts = Vec::with_capacity(rows.len());
+                for &i in rows {
+                    let row = current.row(i as usize);
+                    let resolve = |p: Probe| -> Option<TermId> {
+                        match p {
+                            Probe::Const(c) => Some(c),
+                            Probe::Bound(s) => Some(row[s]),
+                            Probe::Free => None,
+                        }
+                    };
+                    let tp = TriplePattern::new(
+                        Some(row[slot]),
+                        resolve(plan.probe[1]),
+                        resolve(plan.probe[2]),
+                    );
+                    counts.push(extend_matches_in_shard(graph, w, plan, row, tp, &mut part));
+                }
+                (counts, part)
+            })));
+        }
+        results = workers
+            .into_iter()
+            .map(|h| h.map(|h| h.join().expect("BGP evaluation worker panicked")))
+            .collect();
+    });
+    let stride = current.stride;
+    next.data.reserve(
+        results
+            .iter()
+            .flatten()
+            .map(|(_, p)| p.data.len())
+            .sum::<usize>(),
+    );
+    let mut count_cursor = vec![0usize; n];
+    let mut data_cursor = vec![0usize; n];
+    for i in 0..current.rows {
+        let w = graph.shard_of(current.row(i)[slot]);
+        let Some((counts, part)) = &results[w] else {
+            continue; // inactive shard, or no rows routed: zero matches
+        };
+        let produced = counts[count_cursor[w]] as usize;
+        count_cursor[w] += 1;
+        if produced > 0 {
+            let start = data_cursor[w];
+            next.data
+                .extend_from_slice(&part.data[start..start + produced * stride]);
+            data_cursor[w] += produced * stride;
+            next.rows += produced;
+        }
+    }
+}
+
+/// Sharded parallel path for steps whose subject is a fresh variable: the
+/// probe cannot be routed, so every active shard's worker runs **all** rows
+/// against its local indexes (recording per-row match counts), and the
+/// merge interleaves each input row's per-shard runs by the index sort key
+/// — reproducing the flat store's enumeration order exactly. The key always
+/// determines the subject and a subject lives in one shard, so cross-shard
+/// ties are impossible. Shards where the step's constant shape matches
+/// nothing are never spawned.
+fn run_step_sharded_scan(
+    graph: &Graph,
+    plan: &StepPlan,
+    current: &BindingTable,
+    next: &mut BindingTable,
+) {
+    let shape = const_shape(plan);
+    let active: Vec<usize> = (0..graph.shard_count())
+        .filter(|&w| graph.count_matching_in_shard(w, shape) > 0)
+        .collect();
+    if active.is_empty() {
+        return;
+    }
+    let stride = current.stride;
+    let mut results: Vec<(Vec<u32>, BindingTable)> = Vec::with_capacity(active.len());
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = active
+            .iter()
+            .map(|&w| {
+                scope.spawn(move || {
+                    let mut part = BindingTable::new(stride);
+                    let mut counts = Vec::with_capacity(current.rows);
+                    for i in 0..current.rows {
+                        let row = current.row(i);
+                        let resolve = |p: Probe| -> Option<TermId> {
+                            match p {
+                                Probe::Const(c) => Some(c),
+                                Probe::Bound(s) => Some(row[s]),
+                                Probe::Free => None,
+                            }
+                        };
+                        let tp = TriplePattern::new(
+                            None,
+                            resolve(plan.probe[1]),
+                            resolve(plan.probe[2]),
+                        );
+                        counts.push(extend_matches_in_shard(graph, w, plan, row, tp, &mut part));
+                    }
+                    (counts, part)
+                })
+            })
+            .collect();
+        for worker in workers {
+            results.push(worker.join().expect("BGP evaluation worker panicked"));
+        }
+    });
+    next.data
+        .reserve(results.iter().map(|(_, p)| p.data.len()).sum::<usize>());
+    if results.len() == 1 {
+        let (_, part) = results.pop().expect("one result");
+        next.rows = part.rows;
+        next.data = part.data;
+        return;
+    }
+    // Arena slots holding each triple position's value in an extended row
+    // (writes cover first occurrences; eq-check positions mirror them).
+    let mut slot_of_pos: [usize; 3] = [usize::MAX; 3];
+    for &(pos, s) in &plan.writes {
+        slot_of_pos[pos] = s;
+    }
+    for &(a, b) in &plan.eq_checks {
+        slot_of_pos[b] = slot_of_pos[a];
+    }
+    // The flat store enumerates a subject-free shape in the order of the
+    // index serving it; the per-shard runs are sorted by the same key.
+    let free = |p: Probe| matches!(p, Probe::Free);
+    let key: Vec<usize> = match (free(plan.probe[1]), free(plan.probe[2])) {
+        (false, false) => vec![slot_of_pos[0]], // POS pair: by s
+        (false, true) => vec![slot_of_pos[2], slot_of_pos[0]], // POS group: by (o, s)
+        (true, false) => vec![slot_of_pos[0], slot_of_pos[1]], // OSP group: by (s, p)
+        (true, true) => vec![slot_of_pos[0], slot_of_pos[1], slot_of_pos[2]], // SPO scan
+    };
+    let less = |a: &[TermId], b: &[TermId]| -> bool {
+        for &k in &key {
+            match a[k].cmp(&b[k]) {
+                std::cmp::Ordering::Less => return true,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        false
+    };
+    // `(result index, next row, end row)` runs for the input row in flight.
+    let mut runs: Vec<(usize, usize, usize)> = Vec::with_capacity(results.len());
+    let mut row_cursor = vec![0usize; results.len()];
+    for i in 0..current.rows {
+        runs.clear();
+        for (k, (counts, _)) in results.iter().enumerate() {
+            let produced = counts[i] as usize;
+            if produced > 0 {
+                runs.push((k, row_cursor[k], row_cursor[k] + produced));
+                row_cursor[k] += produced;
+            }
+        }
+        if let [(k, lo, hi)] = runs[..] {
+            let part = &results[k].1;
+            next.data
+                .extend_from_slice(&part.data[lo * stride..hi * stride]);
+            next.rows += hi - lo;
+            continue;
+        }
+        while !runs.is_empty() {
+            let mut best = 0;
+            for r in 1..runs.len() {
+                let (rk, rrow, _) = runs[r];
+                let (bk, brow, _) = runs[best];
+                if less(results[rk].1.row(rrow), results[bk].1.row(brow)) {
+                    best = r;
+                }
+            }
+            let (k, row, end) = &mut runs[best];
+            let part = &results[*k].1;
+            next.data
+                .extend_from_slice(&part.data[*row * stride..(*row + 1) * stride]);
+            next.rows += 1;
+            *row += 1;
+            if *row == *end {
+                runs.swap_remove(best);
+            }
+        }
+    }
 }
 
 /// Extends the rows `lo..hi` of `current` through `plan`, appending to
@@ -270,12 +575,13 @@ fn run_step_range(
     }
 }
 
-/// Partitions `current`'s rows into `threads` contiguous chunks, runs
-/// [`run_step_range`] per chunk on a scoped worker, and concatenates the
-/// partial tables in chunk order — the merged table is identical to what
-/// the serial path would have produced, because [`run_step_range`] appends
-/// in input-row order within each chunk too.
-fn run_step_parallel(
+/// Row-chunked parallel fallback (flat graphs, pending deltas, or
+/// constant-subject steps): partitions `current`'s rows into `threads`
+/// contiguous chunks, runs [`run_step_range`] per chunk on a scoped worker,
+/// and concatenates the partial tables in chunk order — the merged table is
+/// identical to what the serial path would have produced, because
+/// [`run_step_range`] appends in input-row order within each chunk too.
+fn run_step_chunked(
     graph: &Graph,
     plan: &StepPlan,
     current: &BindingTable,
@@ -321,6 +627,14 @@ pub fn evaluate(graph: &Graph, bgp: &Bgp, semantics: Semantics) -> Result<Relati
 /// they fan out through later patterns. Equivalent to evaluating and then
 /// selecting, but cheaper for selective filters (ablation E7c).
 ///
+/// Filters that pin a variable to one constant (`Eq`, singleton `OneOf` —
+/// the shape slice/dice Σ constraints take) go further: the variable is
+/// **pre-bound** before any pattern runs, so the constant participates in
+/// index probes, join ordering, and — on a sharded store — shard skipping,
+/// instead of post-filtering rows the indexes already produced. Filters on
+/// a pre-bound variable are decided at compile time: a contradiction
+/// returns the empty relation without touching the store.
+///
 /// [`FilterExpr`]: crate::filter::FilterExpr
 pub fn evaluate_filtered(
     graph: &Graph,
@@ -341,8 +655,24 @@ pub fn evaluate_filtered(
             )));
         }
     }
-    let order = order_patterns(graph, bgp);
-    evaluate_steps(graph, bgp, &order, filters, semantics)
+    let mut pre_bound: FxHashMap<VarId, TermId> = FxHashMap::default();
+    for f in filters {
+        if let Some(c) = f.as_eq_constant() {
+            pre_bound.entry(f.var()).or_insert(c);
+        }
+    }
+    let mut residual: Vec<crate::filter::FilterExpr> = Vec::new();
+    for f in filters {
+        match pre_bound.get(&f.var()) {
+            // Every filter on a pre-bound variable is decidable now: the
+            // variable can only ever hold the pre-bound constant.
+            Some(&c) if f.admits(c, graph.dict()) => {}
+            Some(_) => return Ok(Relation::with_capacity(bgp.head().to_vec(), 0)),
+            None => residual.push(f.clone()),
+        }
+    }
+    let order = order_patterns(graph, bgp, &pre_bound);
+    evaluate_steps(graph, bgp, &order, &pre_bound, &residual, semantics)
 }
 
 /// Ablation evaluator: index-backed binding propagation like [`evaluate`],
@@ -356,22 +686,27 @@ pub fn evaluate_in_order(
 ) -> Result<Relation, EngineError> {
     bgp.validate()?;
     let order: Vec<usize> = (0..bgp.body().len()).collect();
-    evaluate_steps(graph, bgp, &order, &[], semantics)
+    evaluate_steps(graph, bgp, &order, &FxHashMap::default(), &[], semantics)
 }
 
 /// Shared driver: compiles `order` to step plans and runs them over the
-/// double-buffered arena.
+/// double-buffered arena. `pre_bound` variables hold their constant from
+/// the seed row onward (their slots are written before the first step).
 fn evaluate_steps(
     graph: &Graph,
     bgp: &Bgp,
     order: &[usize],
+    pre_bound: &FxHashMap<VarId, TermId>,
     filters: &[crate::filter::FilterExpr],
     semantics: Semantics,
 ) -> Result<Relation, EngineError> {
     let stride = bgp.vars().len();
-    let plans = build_plans(bgp, order);
+    let plans = build_plans(bgp, order, pre_bound);
     let dict = graph.dict();
     let mut current = BindingTable::seed(stride);
+    for (&v, &c) in pre_bound {
+        current.data[v.index()] = c;
+    }
     let mut next = BindingTable::new(stride);
     for plan in &plans {
         run_step(graph, plan, &current, &mut next);
@@ -490,11 +825,21 @@ fn try_bind(pattern: &QueryPattern, row: &PartialRow, t: Triple, out: &mut Vec<P
 /// The constant-shape count of each pattern does not depend on the bound
 /// set, so it is probed **once** per pattern and memoized — the greedy loop
 /// is then O(n²) hash-set work, not O(n²) index probes.
-fn order_patterns(graph: &Graph, bgp: &Bgp) -> Vec<usize> {
+///
+/// `pre_bound` variables (Σ equality constants) are resolved **into** the
+/// constant shape, so their base counts are exact rather than discounted
+/// guesses — and they count as bound for connectivity, steering the plan to
+/// start from the sliced dimension. On a sharded store the counts are sums
+/// of shard-local statistics ([`Graph::count_matching`]).
+fn order_patterns(graph: &Graph, bgp: &Bgp, pre_bound: &FxHashMap<VarId, TermId>) -> Vec<usize> {
     let n = bgp.body().len();
-    let base: Vec<usize> = bgp.body().iter().map(|&p| base_count(graph, p)).collect();
+    let base: Vec<usize> = bgp
+        .body()
+        .iter()
+        .map(|&p| base_count_resolved(graph, p, pre_bound))
+        .collect();
     let mut remaining: Vec<usize> = (0..n).collect();
-    let mut bound: FxHashSet<VarId> = FxHashSet::default();
+    let mut bound: FxHashSet<VarId> = pre_bound.keys().copied().collect();
     let mut order = Vec::with_capacity(n);
 
     while !remaining.is_empty() {
@@ -504,7 +849,10 @@ fn order_patterns(graph: &Graph, bgp: &Bgp) -> Vec<usize> {
         for (slot, &pi) in remaining.iter().enumerate() {
             let pattern = bgp.body()[pi];
             let connected = bound.is_empty() || pattern.vars().any(|v| bound.contains(&v));
-            let score = (!connected, estimate_with_count(base[pi], pattern, &bound));
+            let score = (
+                !connected,
+                estimate_with_count(base[pi], pattern, &bound, pre_bound),
+            );
             let better = match &best {
                 None => true,
                 Some((_, (b_disc, b_cost))) => {
@@ -543,7 +891,7 @@ pub struct PlanStep {
 /// running it — for debugging analytical queries over large instances.
 pub fn explain(graph: &Graph, bgp: &Bgp) -> Result<Vec<PlanStep>, EngineError> {
     bgp.validate()?;
-    let order = order_patterns(graph, bgp);
+    let order = order_patterns(graph, bgp, &FxHashMap::default());
     let mut bound: FxHashSet<VarId> = FxHashSet::default();
     let mut steps = Vec::with_capacity(order.len());
     for pi in order {
@@ -577,7 +925,21 @@ fn render_pattern(bgp: &Bgp, pattern: QueryPattern, graph: &Graph) -> String {
 /// The store's exact count for the pattern's constant shape (variables
 /// wildcarded) — the memoizable part of [`estimate`].
 fn base_count(graph: &Graph, pattern: QueryPattern) -> usize {
-    let as_const = |pos: PatternTerm| pos.as_const();
+    base_count_resolved(graph, pattern, &FxHashMap::default())
+}
+
+/// [`base_count`] with `pre_bound` variables resolved to their constants:
+/// the shape the evaluator will actually probe, so the count is exact for
+/// pushed-down Σ selections.
+fn base_count_resolved(
+    graph: &Graph,
+    pattern: QueryPattern,
+    pre_bound: &FxHashMap<VarId, TermId>,
+) -> usize {
+    let as_const = |pos: PatternTerm| match pos {
+        PatternTerm::Const(c) => Some(c),
+        PatternTerm::Var(v) => pre_bound.get(&v).copied(),
+    };
     let shape = TriplePattern::new(
         as_const(pattern.s),
         as_const(pattern.p),
@@ -587,19 +949,34 @@ fn base_count(graph: &Graph, pattern: QueryPattern) -> usize {
 }
 
 fn estimate(graph: &Graph, pattern: QueryPattern, bound: &FxHashSet<VarId>) -> f64 {
-    estimate_with_count(base_count(graph, pattern), pattern, bound)
+    estimate_with_count(
+        base_count(graph, pattern),
+        pattern,
+        bound,
+        &FxHashMap::default(),
+    )
 }
 
-fn estimate_with_count(count: usize, pattern: QueryPattern, bound: &FxHashSet<VarId>) -> f64 {
+fn estimate_with_count(
+    count: usize,
+    pattern: QueryPattern,
+    bound: &FxHashSet<VarId>,
+    resolved: &FxHashMap<VarId, TermId>,
+) -> f64 {
     let mut est = count as f64;
     // Discount once per *distinct* already-bound variable: a repeated
     // variable (`?x p ?x`) behaves like one constant at execution time, not
-    // two, so discounting each occurrence would square the factor.
+    // two, so discounting each occurrence would square the factor. Variables
+    // already resolved into the base count (Σ constants) are exact there —
+    // discounting them again would double-count the selection.
     let mut discounted: [Option<VarId>; 3] = [None; 3];
     let mut n_discounted = 0;
     for pos in pattern.positions() {
         if let PatternTerm::Var(v) = pos {
-            if bound.contains(&v) && !discounted[..n_discounted].contains(&Some(v)) {
+            if bound.contains(&v)
+                && !resolved.contains_key(&v)
+                && !discounted[..n_discounted].contains(&Some(v))
+            {
                 discounted[n_discounted] = Some(v);
                 n_discounted += 1;
                 est /= 8.0;
@@ -911,6 +1288,258 @@ mod tests {
         // Not merely the same bag: the in-order merge reproduces the exact
         // row order of serial evaluation.
         assert!(serial.rows().zip(parallel.rows()).all(|(a, b)| a == b));
+    }
+
+    /// A fixture big enough that intermediate tables cross [`PAR_MIN_ROWS`]:
+    /// 1500 users with ages, a `knows` ring, two posts each, plus a tiny
+    /// disconnected badge relation for cartesian shapes.
+    fn big_graph() -> Graph {
+        let mut g = Graph::new();
+        for u in 0..1500i64 {
+            let user = format!("user{u}");
+            g.insert_iri(&user, "hasAge", &rdfcube_rdf::Term::integer(u % 50));
+            g.insert_iri(
+                &user,
+                "knows",
+                &rdfcube_rdf::Term::iri(format!("user{}", (u + 1) % 1500)),
+            );
+            for p in 0..2 {
+                let post = format!("post_{u}_{p}");
+                g.insert_iri(&user, "wrotePost", &rdfcube_rdf::Term::iri(post.clone()));
+                g.insert_iri(
+                    &post,
+                    "postedOn",
+                    &rdfcube_rdf::Term::iri(format!("site{}", u % 7)),
+                );
+            }
+        }
+        for b in 0..3 {
+            g.insert_iri(
+                &format!("badge{b}"),
+                "awardedFor",
+                &rdfcube_rdf::Term::iri(format!("cat{b}")),
+            );
+        }
+        g.compact();
+        g
+    }
+
+    /// The same triples over the same dictionary, repartitioned into `n`
+    /// subject-hash shards.
+    fn sharded_copy(flat: &Graph, n: usize) -> Graph {
+        Graph::from_triples_sharded(flat.dict().clone(), flat.triples().collect::<Vec<_>>(), n)
+    }
+
+    fn assert_identical(a: &crate::relation::Relation, b: &crate::relation::Relation, ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: row count");
+        assert!(
+            a.rows().zip(b.rows()).all(|(x, y)| x == y),
+            "{ctx}: row order diverged"
+        );
+    }
+
+    #[test]
+    fn sharded_bound_step_is_identical_to_flat_serial() {
+        // Step 2 probes (Bound, Const, Free): rows route to their subject's
+        // shard and the merge is pure cursor arithmetic.
+        let mut flat = big_graph();
+        let q = parse_query(
+            "q(?x, ?s) :- ?x wrotePost ?p, ?p postedOn ?s",
+            flat.dict_mut(),
+        )
+        .unwrap();
+        let before = eval_threads();
+        set_eval_threads(1);
+        let serial = evaluate(&flat, &q, Semantics::Bag).unwrap();
+        assert_eq!(serial.len(), 3000);
+        for n in [2, 7] {
+            let sharded = sharded_copy(&flat, n);
+            set_eval_threads(4);
+            let par = evaluate(&sharded, &q, Semantics::Bag).unwrap();
+            assert_identical(&serial, &par, &format!("bound path, {n} shards"));
+        }
+        set_eval_threads(before);
+    }
+
+    #[test]
+    fn sharded_scan_step_is_identical_to_flat_serial() {
+        let mut flat = big_graph();
+        // Step 2 probes (Free, Const, Bound): the merge key is the subject
+        // slot alone.
+        let q1 = parse_query(
+            "q(?x, ?y, ?a) :- ?x hasAge ?a, ?y hasAge ?a",
+            flat.dict_mut(),
+        )
+        .unwrap();
+        // Step 2 probes (Free, Free, Bound): the merge key is (subject,
+        // predicate).
+        let q2 = parse_query(
+            "q(?x, ?a, ?y, ?r) :- ?x hasAge ?a, ?y ?r ?x",
+            flat.dict_mut(),
+        )
+        .unwrap();
+        let before = eval_threads();
+        for (q, label) in [(&q1, "key [s]"), (&q2, "key [s,p]")] {
+            set_eval_threads(1);
+            let serial = evaluate(&flat, q, Semantics::Bag).unwrap();
+            for n in [2, 7] {
+                let sharded = sharded_copy(&flat, n);
+                set_eval_threads(4);
+                let par = evaluate(&sharded, q, Semantics::Bag).unwrap();
+                assert_identical(&serial, &par, &format!("{label}, {n} shards"));
+            }
+        }
+        set_eval_threads(before);
+    }
+
+    #[test]
+    fn sharded_cartesian_scan_is_identical_and_skips_shards() {
+        // Step 2 probes (Free, Const, Free) against the 3-triple badge
+        // relation — most shards hold no `awardedFor` triples and are
+        // skipped by the constant-shape statistics. Declaration order is
+        // forced so the big relation feeds the scan step.
+        let mut flat = big_graph();
+        let q = parse_query(
+            "q(?x, ?a, ?y, ?b) :- ?x hasAge ?a, ?y awardedFor ?b",
+            flat.dict_mut(),
+        )
+        .unwrap();
+        let before = eval_threads();
+        set_eval_threads(1);
+        let serial = evaluate_in_order(&flat, &q, Semantics::Bag).unwrap();
+        assert_eq!(serial.len(), 1500 * 3);
+        for n in [7, 16] {
+            let sharded = sharded_copy(&flat, n);
+            set_eval_threads(4);
+            let par = evaluate_in_order(&sharded, &q, Semantics::Bag).unwrap();
+            assert_identical(&serial, &par, &format!("cartesian scan, {n} shards"));
+        }
+        set_eval_threads(before);
+    }
+
+    #[test]
+    fn sharded_full_scan_step_is_identical_to_flat_serial() {
+        // Step 3 probes (Free, Free, Free) — the SPO-order merge key
+        // (s, p, o) — fed by a 1200-row cartesian intermediate over a small
+        // store.
+        let mut flat = Graph::new();
+        for i in 0..40i64 {
+            flat.insert_iri(&format!("a{i}"), "p1", &rdfcube_rdf::Term::integer(i));
+        }
+        for i in 0..30i64 {
+            flat.insert_iri(&format!("b{i}"), "p2", &rdfcube_rdf::Term::integer(i));
+        }
+        flat.compact();
+        let q = parse_query(
+            "q(?y, ?r, ?z) :- ?u p1 ?v, ?w p2 ?x, ?y ?r ?z",
+            flat.dict_mut(),
+        )
+        .unwrap();
+        let before = eval_threads();
+        set_eval_threads(1);
+        let serial = evaluate_in_order(&flat, &q, Semantics::Bag).unwrap();
+        assert_eq!(serial.len(), 40 * 30 * 70);
+        let sharded = sharded_copy(&flat, 7);
+        set_eval_threads(4);
+        let par = evaluate_in_order(&sharded, &q, Semantics::Bag).unwrap();
+        set_eval_threads(before);
+        assert_identical(&serial, &par, "full scan, 7 shards");
+    }
+
+    #[test]
+    fn sharded_eval_with_pending_delta_matches_flat() {
+        // Unmerged delta triples force the row-chunked fallback; results
+        // must still be identical.
+        let mut flat = big_graph();
+        let q = parse_query(
+            "q(?x, ?s) :- ?x wrotePost ?p, ?p postedOn ?s",
+            flat.dict_mut(),
+        )
+        .unwrap();
+        let mut sharded = sharded_copy(&flat, 7);
+        for g in [&mut flat, &mut sharded] {
+            g.insert_iri(
+                "user_extra",
+                "wrotePost",
+                &rdfcube_rdf::Term::iri("post_extra"),
+            );
+            g.insert_iri(
+                "post_extra",
+                "postedOn",
+                &rdfcube_rdf::Term::iri("site_extra"),
+            );
+        }
+        assert!(sharded.has_pending_delta());
+        let before = eval_threads();
+        set_eval_threads(1);
+        let serial = evaluate(&flat, &q, Semantics::Bag).unwrap();
+        set_eval_threads(4);
+        let par = evaluate(&sharded, &q, Semantics::Bag).unwrap();
+        set_eval_threads(before);
+        assert_identical(&serial, &par, "delta fallback");
+    }
+
+    #[test]
+    fn eq_filter_pre_binding_equals_post_selection() {
+        use crate::filter::{CompareOp, FilterExpr};
+        let mut g = blog_graph();
+        let q = parse_query(
+            "q(?x, ?a, ?c) :- ?x rdf:type Blogger, ?x hasAge ?a, ?x livesIn ?c",
+            g.dict_mut(),
+        )
+        .unwrap();
+        let c_var = q.vars().id("c").unwrap();
+        let ny = g.dict_mut().encode(&rdfcube_rdf::Term::literal("NY"));
+        let all = evaluate(&g, &q, Semantics::Set).unwrap();
+        let col = all.col(c_var).unwrap();
+        let post = all.select(|row| row[col] == ny);
+        // Singleton OneOf — the shape Σ slice constants arrive in.
+        let one_of = vec![FilterExpr::OneOf {
+            var: c_var,
+            set: [ny].into_iter().collect(),
+        }];
+        let pushed = evaluate_filtered(&g, &q, &one_of, Semantics::Set).unwrap();
+        assert!(pushed.same_bag(&post));
+        assert_eq!(pushed.len(), 2); // user3 and user4
+                                     // An Eq comparison pre-binds identically.
+        let eq = vec![FilterExpr::Compare {
+            var: c_var,
+            op: CompareOp::Eq,
+            value: ny,
+        }];
+        let pushed_eq = evaluate_filtered(&g, &q, &eq, Semantics::Set).unwrap();
+        assert!(pushed_eq.same_bag(&post));
+    }
+
+    #[test]
+    fn filters_on_pre_bound_variables_are_decided_at_compile_time() {
+        use crate::filter::{CompareOp, FilterExpr};
+        let mut g = blog_graph();
+        let q = parse_query("q(?x, ?a) :- ?x hasAge ?a", g.dict_mut()).unwrap();
+        let a = q.vars().id("a").unwrap();
+        let age35 = g.dict_mut().encode(&rdfcube_rdf::Term::integer(35));
+        let age28 = g.dict_mut().encode(&rdfcube_rdf::Term::integer(28));
+        let eq = |value| FilterExpr::Compare {
+            var: a,
+            op: CompareOp::Eq,
+            value,
+        };
+        // Contradictory equalities: provably empty, no evaluation needed.
+        let empty = evaluate_filtered(&g, &q, &[eq(age35), eq(age28)], Semantics::Set).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.arity(), 2);
+        // A range filter excluded by the constant is a contradiction too…
+        let between = FilterExpr::NumericBetween {
+            var: a,
+            lo: 20,
+            hi: 30,
+        };
+        let empty2 =
+            evaluate_filtered(&g, &q, &[eq(age35), between.clone()], Semantics::Set).unwrap();
+        assert!(empty2.is_empty());
+        // …while an admitted one is simply dropped as implied.
+        let kept = evaluate_filtered(&g, &q, &[eq(age28), between], Semantics::Set).unwrap();
+        assert_eq!(kept.len(), 1); // only user1 (28)
     }
 
     #[test]

@@ -72,6 +72,24 @@ impl FilterExpr {
         }
     }
 
+    /// If this filter pins its variable to exactly one term — an `Eq`
+    /// comparison or a one-element [`FilterExpr::OneOf`] (how slice
+    /// constants arrive from Σ) — returns that term. The evaluator
+    /// pre-binds such variables as constants before any pattern runs,
+    /// pushing the selection into the index probes themselves (and, on a
+    /// sharded store, into shard skipping).
+    pub fn as_eq_constant(&self) -> Option<TermId> {
+        match self {
+            FilterExpr::Compare {
+                op: CompareOp::Eq,
+                value,
+                ..
+            } => Some(*value),
+            FilterExpr::OneOf { set, .. } if set.len() == 1 => set.iter().next().copied(),
+            _ => None,
+        }
+    }
+
     /// True if the binding `id` satisfies the filter.
     pub fn admits(&self, id: TermId, dict: &Dictionary) -> bool {
         match self {
@@ -117,6 +135,40 @@ mod tests {
         let mut d = Dictionary::new();
         let ids = values.iter().map(|t| d.encode(t)).collect();
         (d, ids)
+    }
+
+    #[test]
+    fn eq_constant_extraction() {
+        let (_, ids) = dict_with(&[Term::integer(1), Term::integer(2)]);
+        let v = VarId(0);
+        let eq = FilterExpr::Compare {
+            var: v,
+            op: CompareOp::Eq,
+            value: ids[0],
+        };
+        assert_eq!(eq.as_eq_constant(), Some(ids[0]));
+        let ne = FilterExpr::Compare {
+            var: v,
+            op: CompareOp::Ne,
+            value: ids[0],
+        };
+        assert_eq!(ne.as_eq_constant(), None);
+        let single = FilterExpr::OneOf {
+            var: v,
+            set: [ids[1]].into_iter().collect(),
+        };
+        assert_eq!(single.as_eq_constant(), Some(ids[1]));
+        let multi = FilterExpr::OneOf {
+            var: v,
+            set: ids.iter().copied().collect(),
+        };
+        assert_eq!(multi.as_eq_constant(), None);
+        let between = FilterExpr::NumericBetween {
+            var: v,
+            lo: 0,
+            hi: 9,
+        };
+        assert_eq!(between.as_eq_constant(), None);
     }
 
     #[test]

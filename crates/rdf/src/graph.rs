@@ -1,9 +1,13 @@
-//! An in-memory, dictionary-encoded RDF graph over flat CSR-style indexes.
+//! An in-memory, dictionary-encoded RDF graph over subject-hash-sharded,
+//! flat CSR-style indexes.
 //!
 //! ## Storage layout
 //!
-//! Each triple is stored three times, once per access-path permutation —
-//! SPO, POS and OSP — as a *sorted column set* rather than nested maps:
+//! A graph is a set of independent `Shard`s (one by default — the flat
+//! store; N under [`Graph::with_shards`]). Every triple is hash-partitioned
+//! by **subject** into exactly one shard, and each shard stores its triples
+//! three times, once per access-path permutation — SPO, POS and OSP — as a
+//! *sorted column set* rather than nested maps:
 //!
 //! * per permutation, the triples are sorted by `(first, second, third)` and
 //!   the second/third components live in two parallel flat columns;
@@ -17,19 +21,38 @@
 //! access path with zero pointer chasing: lookups are array arithmetic plus
 //! binary search, scans are linear over dense `u32` columns.
 //!
+//! ## Sharding and enumeration order
+//!
+//! Subject hashing makes the partitioning transparent to readers:
+//!
+//! * a **subject-bound** probe routes to exactly one shard — its local
+//!   enumeration order *is* the flat store's order;
+//! * a **subject-free** probe k-way merges the per-shard sorted runs by the
+//!   index's sort key, which reproduces the flat store's global sorted order
+//!   exactly (ties across shards are impossible — equal subjects share a
+//!   shard); per-shard delta entries carry a graph-global sequence number,
+//!   so the trailing delta sweep also replays flat insertion order.
+//!
+//! Every read of a sharded graph is therefore **bit-identical** to the same
+//! read of a flat graph over the same triples — sharding changes the cost
+//! model (per-shard parallel loading and evaluation, shard skipping), never
+//! the answer. The query engine additionally probes shards directly through
+//! [`Graph::for_each_match_in_shard`] / [`Graph::count_matching_in_shard`]
+//! to run BGP steps shard-parallel.
+//!
 //! ## Bulk loading vs incremental inserts
 //!
 //! The fast path is the **bulk loader** ([`Graph::from_triples`] /
-//! [`Graph::bulk_insert_ids`]): it sorts and dedups each permutation once
-//! per batch instead of maintaining sorted leaves per insert. The parsers,
-//! the data generators, the reasoner and schema materialization all load
-//! through it.
+//! [`Graph::bulk_insert_ids`]): it scatters the batch by subject shard, then
+//! sorts and dedups each shard's slice once per batch — in parallel across
+//! shards when the graph has more than one. The parsers, the data
+//! generators, the reasoner and schema materialization all load through it.
 //!
-//! The incremental [`Graph::insert`] path stays available through a small
-//! unsorted **delta buffer** (plus a hash set for duplicate checks) that
-//! every read path consults alongside the sorted runs. The delta is merged
-//! into the CSR runs automatically once it exceeds a fraction of the store,
-//! or eagerly via [`Graph::compact`].
+//! The incremental [`Graph::insert`] path stays available through each
+//! shard's small unsorted **delta buffer** (plus a hash set for duplicate
+//! checks) that every read path consults alongside the sorted runs. A delta
+//! is merged into its shard's CSR runs automatically once it exceeds a
+//! fraction of the shard, or eagerly via [`Graph::compact`].
 //!
 //! Graphs are append-only: the analytical framework of the paper only ever
 //! loads data, saturates it, and materializes analytical-schema instances —
@@ -37,228 +60,120 @@
 
 use crate::dictionary::{Dictionary, TermId};
 use crate::fx::{FxHashMap, FxHashSet};
+use crate::shard::{distinct_with_delta, shard_of_subject, CsrIndex, Shard};
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
 
-/// Minimum delta size before an automatic merge is considered; below this
-/// the linear delta scans are cheaper than re-merging the columns.
-const DELTA_MERGE_MIN: usize = 1024;
+/// Minimum number of staged rows before the bulk loader fans shard merges
+/// out to scoped worker threads; below this the scatter + per-shard sorts
+/// are cheaper serially than the thread spawns.
+const PARALLEL_LOAD_MIN: usize = 4096;
 
-/// Upper bound on the delta regardless of store size: read probes sweep the
-/// delta linearly, so letting it track `len / 4` unbounded would degrade
-/// index lookups on incrementally-built giant graphs.
-const DELTA_MERGE_MAX: usize = 65_536;
-
-/// One access-path index: triples sorted by a fixed component permutation,
-/// stored as split columns under a CSR offset table over the first
-/// component. The permutation itself is the caller's convention — this type
-/// only sees `(first, second, third)` tuples.
-#[derive(Debug, Default, Clone)]
-struct CsrIndex {
-    /// `offsets[a] .. offsets[a + 1]` is the row range whose first component
-    /// is the term id `a`. Ids beyond the table (interned after the last
-    /// rebuild) simply have no sorted rows.
-    offsets: Vec<u32>,
-    /// Second components, grouped by first component, sorted within a group.
-    seconds: Vec<TermId>,
-    /// Third components, sorted within each `(first, second)` run.
-    thirds: Vec<TermId>,
-}
-
-impl CsrIndex {
-    /// Number of rows (triples) in the sorted store.
-    fn len(&self) -> usize {
-        self.seconds.len()
-    }
-
-    /// The row range of first component `a`.
-    fn group(&self, a: TermId) -> (usize, usize) {
-        let i = a.index();
-        if i + 1 >= self.offsets.len() {
-            return (0, 0);
-        }
-        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
-    }
-
-    /// Number of rows with first component `a`.
-    fn first_len(&self, a: TermId) -> usize {
-        let (lo, hi) = self.group(a);
-        hi - lo
-    }
-
-    /// The row range of the `(a, b)` pair, found by binary search within
-    /// `a`'s group.
-    fn pair_range(&self, a: TermId, b: TermId) -> (usize, usize) {
-        let (lo, hi) = self.group(a);
-        let run = &self.seconds[lo..hi];
-        let from = lo + run.partition_point(|&x| x < b);
-        let to = lo + run.partition_point(|&x| x <= b);
-        (from, to)
-    }
-
-    /// The sorted third components of the `(a, b)` pair — a contiguous
-    /// column slice.
-    fn thirds_of_pair(&self, a: TermId, b: TermId) -> &[TermId] {
-        let (from, to) = self.pair_range(a, b);
-        &self.thirds[from..to]
-    }
-
-    /// True if the `(a, b, c)` tuple is present.
-    fn contains(&self, a: TermId, b: TermId, c: TermId) -> bool {
-        self.thirds_of_pair(a, b).binary_search(&c).is_ok()
-    }
-
-    /// `(second, third)` pairs of first component `a`, in sorted order.
-    fn pairs_of_first(&self, a: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
-        let (lo, hi) = self.group(a);
-        self.seconds[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.thirds[lo..hi].iter().copied())
-    }
-
-    /// All tuples in sorted order (first components reconstructed from the
-    /// offset table).
-    fn tuples(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
-        (0..self.offsets.len().saturating_sub(1)).flat_map(move |a| {
-            let (lo, hi) = (self.offsets[a] as usize, self.offsets[a + 1] as usize);
-            (lo..hi).map(move |i| (TermId(a as u32), self.seconds[i], self.thirds[i]))
-        })
-    }
-
-    /// Number of distinct first components with at least one row.
-    fn distinct_firsts(&self) -> usize {
-        self.offsets.windows(2).filter(|w| w[0] < w[1]).count()
-    }
-
-    /// `(first, group size)` for every non-empty first component.
-    fn first_group_sizes(&self) -> impl Iterator<Item = (TermId, usize)> + '_ {
-        self.offsets
-            .windows(2)
-            .enumerate()
-            .filter(|(_, w)| w[0] < w[1])
-            .map(|(a, w)| (TermId(a as u32), (w[1] - w[0]) as usize))
-    }
-
-    /// Builds the CSR offset table (histogram + prefix sum over the first
-    /// component) for `tuples`, covering ids `0..top`.
-    fn build_offsets(tuples: &[(TermId, TermId, TermId)], top: usize) -> Vec<u32> {
-        let mut offsets = vec![0u32; top + 1];
-        for t in tuples {
-            offsets[t.0.index() + 1] += 1;
-        }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
-        }
-        offsets
-    }
-
-    /// Replaces the store with `tuples`, which must be sorted and deduped.
-    fn rebuild(&mut self, tuples: Vec<(TermId, TermId, TermId)>) {
-        debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]), "unsorted rebuild");
-        let top = tuples.last().map_or(0, |t| t.0.index() + 1);
-        self.offsets = Self::build_offsets(&tuples, top);
-        self.seconds = tuples.iter().map(|t| t.1).collect();
-        self.thirds = tuples.iter().map(|t| t.2).collect();
-    }
-
-    /// Replaces the store with `tuples`, which must be deduped but may be in
-    /// any order. Classic CSR construction: a counting pass over the first
-    /// component buckets the rows in O(n), then each (small) bucket is
-    /// sorted by (second, third) — much cheaper than a global three-way
-    /// sort, and the bulk loader's fast path for the two permutations whose
-    /// order it does not already have.
-    fn rebuild_grouped(&mut self, tuples: Vec<(TermId, TermId, TermId)>) {
-        let top = tuples.iter().map(|t| t.0.index() + 1).max().unwrap_or(0);
-        let offsets = Self::build_offsets(&tuples, top);
-        let mut cursor = offsets.clone();
-        let mut pairs: Vec<(TermId, TermId)> = vec![(TermId(0), TermId(0)); tuples.len()];
-        for t in &tuples {
-            let c = &mut cursor[t.0.index()];
-            pairs[*c as usize] = (t.1, t.2);
-            *c += 1;
-        }
-        drop(tuples);
-        let mut start = 0usize;
-        for a in 0..top {
-            let end = offsets[a + 1] as usize;
-            pairs[start..end].sort_unstable();
-            start = end;
-        }
-        self.offsets = offsets;
-        self.seconds = pairs.iter().map(|p| p.0).collect();
-        self.thirds = pairs.iter().map(|p| p.1).collect();
-    }
-
-    /// Merges `add` (sorted, internally deduped) into the store, skipping
-    /// tuples already present. Returns the number of tuples actually added.
-    fn merge(&mut self, add: Vec<(TermId, TermId, TermId)>) -> usize {
-        if add.is_empty() {
-            return 0;
-        }
-        let old_len = self.len();
-        if old_len == 0 {
-            let added = add.len();
-            self.rebuild(add);
-            return added;
-        }
-        let mut merged = Vec::with_capacity(old_len + add.len());
-        {
-            let mut incoming = add.iter().copied().peekable();
-            for old in self.tuples() {
-                while let Some(&a) = incoming.peek() {
-                    if a < old {
-                        merged.push(a);
-                        incoming.next();
-                    } else if a == old {
-                        incoming.next();
-                    } else {
-                        break;
-                    }
-                }
-                merged.push(old);
-            }
-            merged.extend(incoming);
-        }
-        let added = merged.len() - old_len;
-        self.rebuild(merged);
-        added
-    }
-}
-
-/// An indexed RDF graph owning its [`Dictionary`].
-#[derive(Debug, Default, Clone)]
+/// An indexed RDF graph owning its [`Dictionary`], partitioned into
+/// subject-hash `Shard`s (one by default).
+#[derive(Debug, Clone)]
 pub struct Graph {
     dict: Dictionary,
-    /// Sorted as (s, p, o).
-    spo: CsrIndex,
-    /// Sorted as (p, o, s).
-    pos: CsrIndex,
-    /// Sorted as (o, s, p).
-    osp: CsrIndex,
-    /// Recent incremental inserts not yet merged, in insertion order.
-    delta: Vec<Triple>,
-    /// The delta's triples again, for O(1) duplicate checks.
-    delta_set: FxHashSet<Triple>,
+    shards: Vec<Shard>,
+    /// Stamps incremental inserts across shards so cross-shard sweeps can
+    /// replay global insertion order.
+    next_seq: u64,
     len: usize,
 }
 
+/// Alias emphasizing that [`Graph`] *is* the sharded store: every graph is a
+/// set of subject-hash shards — a single one by default (the flat layout),
+/// N under [`Graph::with_shards`] / [`Graph::from_triples_sharded`].
+pub type ShardedGraph = Graph;
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::with_shards(1)
+    }
+}
+
 impl Graph {
-    /// Creates an empty graph.
+    /// Creates an empty single-shard (flat) graph.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty graph partitioned into `n_shards` subject-hash
+    /// shards (clamped to at least 1). Reads are bit-identical at any shard
+    /// count; more shards buy parallel bulk loading and per-shard BGP
+    /// evaluation at the cost of a k-way merge on subject-free scans.
+    pub fn with_shards(n_shards: usize) -> Self {
+        Graph {
+            dict: Dictionary::new(),
+            shards: vec![Shard::default(); n_shards.max(1)],
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
     /// Builds a graph from an owned dictionary and a batch of triples
-    /// encoded against it, through the bulk loader (one sort + dedup per
-    /// permutation — the fast path for loading at scale).
+    /// encoded against it, through the bulk loader (one scatter + per-shard
+    /// sort + dedup — the fast path for loading at scale).
     pub fn from_triples(dict: Dictionary, triples: impl IntoIterator<Item = Triple>) -> Self {
-        let mut g = Graph {
-            dict,
-            ..Graph::default()
-        };
+        Self::from_triples_sharded(dict, triples, 1)
+    }
+
+    /// [`Self::from_triples`] into an `n_shards`-way partitioned graph; the
+    /// per-shard scatter/sort/build runs on scoped worker threads when both
+    /// the batch and the shard count warrant it.
+    pub fn from_triples_sharded(
+        dict: Dictionary,
+        triples: impl IntoIterator<Item = Triple>,
+        n_shards: usize,
+    ) -> Self {
+        let mut g = Self::with_shards(n_shards);
+        g.dict = dict;
         g.bulk_insert_ids(triples);
         g
+    }
+
+    /// Number of subject-hash shards in this graph.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning subject `s`.
+    #[inline]
+    pub fn shard_of(&self, s: TermId) -> usize {
+        shard_of_subject(s, self.shards.len())
+    }
+
+    /// Number of triples stored in shard `shard` (sorted runs + delta).
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    /// Number of distinct subjects in shard `shard`. Subjects never cross
+    /// shards, so these sum to [`Self::subject_count`] exactly — the
+    /// per-shard statistic planners use to skip or weight shards.
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn shard_subject_count(&self, shard: usize) -> usize {
+        self.shards[shard].distinct_subjects()
+    }
+
+    /// Repartitions the graph into `n_shards` subject-hash shards (clamped
+    /// to at least 1). A loading-time operation: any pending delta is folded
+    /// into the rebuilt sorted runs, exactly like [`Self::compact`].
+    pub fn set_shard_count(&mut self, n_shards: usize) {
+        let n_shards = n_shards.max(1);
+        if n_shards == self.shards.len() {
+            return;
+        }
+        let all: Vec<Triple> = self.triples().collect();
+        self.shards = vec![Shard::default(); n_shards];
+        self.next_seq = 0;
+        self.len = 0;
+        self.bulk_insert_ids(all);
     }
 
     /// Read access to the term dictionary.
@@ -287,25 +202,49 @@ impl Graph {
         self.len == 0
     }
 
-    /// Number of triples sitting in the unsorted delta buffer (not yet
-    /// merged into the CSR runs). Exposed for instrumentation and tests.
+    /// Number of triples sitting in the unsorted delta buffers (not yet
+    /// merged into the CSR runs), summed across shards. Exposed for
+    /// instrumentation and tests.
     pub fn pending_delta_len(&self) -> usize {
-        self.delta.len()
+        self.shards.iter().map(Shard::pending_delta_len).sum()
     }
 
-    /// Bulk-inserts a batch of already-encoded triples: sorts + dedups the
-    /// batch (folding in any pending delta) and merges each permutation into
-    /// the CSR runs in one pass. Returns the number of newly added triples.
+    /// True if any shard holds unmerged delta triples. The engine's
+    /// per-shard parallel paths require fully sorted shards and fall back to
+    /// row partitioning while this holds.
+    pub fn has_pending_delta(&self) -> bool {
+        self.shards.iter().any(|sh| sh.pending_delta_len() > 0)
+    }
+
+    /// Total rows in the sorted CSR runs (excluding deltas).
+    fn sorted_len(&self) -> usize {
+        self.shards.iter().map(|sh| sh.spo.len()).sum()
+    }
+
+    /// Graph-level delta capacity, mirroring the per-shard thresholds: the
+    /// routing bound below which a bulk batch rides the delta buffers
+    /// instead of forcing per-shard merges.
+    fn delta_threshold(&self) -> usize {
+        self.shards.iter().map(Shard::delta_threshold).sum()
+    }
+
+    /// Bulk-inserts a batch of already-encoded triples: scatters the batch
+    /// by subject shard, then sorts + dedups each shard's slice (folding in
+    /// any pending delta) and merges it into that shard's CSR runs in one
+    /// pass — shards merge in parallel on scoped worker threads when the
+    /// graph has more than one and the batch is large enough. Returns the
+    /// number of newly added triples.
     ///
     /// Small batches arriving at a large store (e.g. a reasoner round that
     /// entails a handful of triples over millions) are routed through the
-    /// delta buffer instead: a full three-index rebuild for a few rows would
-    /// cost O(n), while the delta's auto-merge amortizes it away.
+    /// delta buffers instead: a full three-index rebuild for a few rows
+    /// would cost O(n), while the deltas' auto-merge amortizes it away.
     ///
     /// The ids must come from this graph's dictionary (debug-asserted).
     pub fn bulk_insert_ids(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
         let batch: Vec<Triple> = triples.into_iter().collect();
-        if self.spo.len() > 0 && self.delta.len() + batch.len() < self.delta_threshold() {
+        if self.sorted_len() > 0 && self.pending_delta_len() + batch.len() < self.delta_threshold()
+        {
             let mut added = 0;
             for t in batch {
                 added += usize::from(self.insert_ids(t.s, t.p, t.o));
@@ -315,71 +254,49 @@ impl Graph {
         self.merge_into_runs(batch)
     }
 
-    /// The merge path of [`Self::bulk_insert_ids`]: folds the delta plus
-    /// `batch` into the sorted CSR runs unconditionally.
+    /// The merge path of [`Self::bulk_insert_ids`]: scatters `batch` by
+    /// subject shard and folds each shard's delta plus its slice into the
+    /// sorted CSR runs unconditionally.
     fn merge_into_runs(&mut self, batch: Vec<Triple>) -> usize {
+        #[cfg(debug_assertions)]
+        for t in &batch {
+            debug_assert!(t.s.index() < self.dict.len(), "foreign subject id");
+            debug_assert!(t.p.index() < self.dict.len(), "foreign predicate id");
+            debug_assert!(t.o.index() < self.dict.len(), "foreign object id");
+        }
         let before = self.len;
-        let mut spo_add: Vec<(TermId, TermId, TermId)> = self
-            .delta
-            .iter()
-            .chain(batch.iter())
-            .map(|t| {
-                debug_assert!(t.s.index() < self.dict.len(), "foreign subject id");
-                debug_assert!(t.p.index() < self.dict.len(), "foreign predicate id");
-                debug_assert!(t.o.index() < self.dict.len(), "foreign object id");
-                (t.s, t.p, t.o)
-            })
-            .collect();
-        drop(batch);
-        self.delta.clear();
-        self.delta_set.clear();
-        if spo_add.is_empty() {
-            return 0;
-        }
-        spo_add.sort_unstable();
-        spo_add.dedup();
-        // One global sort + dedup covers all three permutations (a duplicate
-        // triple is a duplicate in every component order). The permuted
-        // batches therefore only need ordering, not dedup: when the store is
-        // empty they go through the O(n) counting-scatter construction, and
-        // only merges into a non-empty store pay for full permuted sorts.
-        let pos_add: Vec<(TermId, TermId, TermId)> =
-            spo_add.iter().map(|&(s, p, o)| (p, o, s)).collect();
-        let osp_add: Vec<(TermId, TermId, TermId)> =
-            spo_add.iter().map(|&(s, p, o)| (o, s, p)).collect();
-        if self.spo.len() == 0 {
-            self.pos.rebuild_grouped(pos_add);
-            self.osp.rebuild_grouped(osp_add);
-            self.spo.rebuild(spo_add);
+        let n = self.shards.len();
+        let work = batch.len() + self.pending_delta_len();
+        if n == 1 {
+            self.shards[0].merge_batch(batch);
         } else {
-            self.spo.merge(spo_add);
-            let mut pos_add = pos_add;
-            pos_add.sort_unstable();
-            self.pos.merge(pos_add);
-            let mut osp_add = osp_add;
-            osp_add.sort_unstable();
-            self.osp.merge(osp_add);
+            let mut per_shard: Vec<Vec<Triple>> = vec![Vec::new(); n];
+            for t in batch {
+                per_shard[shard_of_subject(t.s, n)].push(t);
+            }
+            if work >= PARALLEL_LOAD_MIN {
+                std::thread::scope(|scope| {
+                    for (shard, add) in self.shards.iter_mut().zip(per_shard) {
+                        scope.spawn(move || shard.merge_batch(add));
+                    }
+                });
+            } else {
+                for (shard, add) in self.shards.iter_mut().zip(per_shard) {
+                    shard.merge_batch(add);
+                }
+            }
         }
-
-        self.len = self.spo.len();
+        self.len = self.shards.iter().map(Shard::len).sum();
         self.len - before
     }
 
-    /// Folds the pending delta buffer into the sorted CSR runs, so that
+    /// Folds the pending delta buffers into the sorted CSR runs, so that
     /// subsequent reads are pure index scans. Idempotent; cheap when the
-    /// delta is empty.
+    /// deltas are empty.
     pub fn compact(&mut self) {
-        if !self.delta.is_empty() {
+        if self.has_pending_delta() {
             self.merge_into_runs(Vec::new());
         }
-    }
-
-    /// Delta size at which an automatic merge fires. Proportional to the
-    /// store so incremental building stays amortized-cheap, but capped so
-    /// read probes (which sweep the delta linearly) never pay more than a
-    /// bounded scan on top of their index lookups.
-    fn delta_threshold(&self) -> usize {
-        DELTA_MERGE_MIN.max((self.spo.len() / 4).min(DELTA_MERGE_MAX))
     }
 
     /// Inserts a triple given as terms; returns `true` if it was new.
@@ -401,23 +318,21 @@ impl Graph {
     /// Inserts an already-encoded triple; returns `true` if it was new.
     ///
     /// The ids must come from this graph's dictionary (debug-asserted). The
-    /// triple lands in the delta buffer; the buffer auto-merges into the CSR
-    /// runs once it outgrows a fraction of the store.
+    /// triple lands in its subject shard's delta buffer; that buffer
+    /// auto-merges into the shard's CSR runs once it outgrows a fraction of
+    /// the shard.
     pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
         debug_assert!(s.index() < self.dict.len(), "foreign subject id");
         debug_assert!(p.index() < self.dict.len(), "foreign predicate id");
         debug_assert!(o.index() < self.dict.len(), "foreign object id");
-        let t = Triple::new(s, p, o);
-        if self.spo.contains(s, p, o) || self.delta_set.contains(&t) {
-            return false;
+        let w = shard_of_subject(s, self.shards.len());
+        if self.shards[w].insert(self.next_seq, Triple::new(s, p, o)) {
+            self.next_seq += 1;
+            self.len += 1;
+            true
+        } else {
+            false
         }
-        self.delta.push(t);
-        self.delta_set.insert(t);
-        self.len += 1;
-        if self.delta.len() >= self.delta_threshold() {
-            self.compact();
-        }
-        true
     }
 
     /// Inserts an encoded [`Triple`].
@@ -427,7 +342,7 @@ impl Graph {
 
     /// True if the encoded triple is present.
     pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
-        self.spo.contains(s, p, o) || self.delta_set.contains(&Triple::new(s, p, o))
+        self.shards[self.shard_of(s)].contains_ids(s, p, o)
     }
 
     /// True if the term-level triple is present.
@@ -439,88 +354,187 @@ impl Graph {
     }
 
     /// The objects of `(s, p, ·)`: the sorted CSR run first, then any
-    /// not-yet-merged delta inserts.
+    /// not-yet-merged delta inserts. Subject-bound, so a single shard
+    /// serves the whole iteration.
     pub fn objects(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
-        self.spo.thirds_of_pair(s, p).iter().copied().chain(
-            self.delta
+        let sh = &self.shards[self.shard_of(s)];
+        sh.spo.thirds_of_pair(s, p).iter().copied().chain(
+            sh.delta
                 .iter()
-                .filter(move |t| t.s == s && t.p == p)
-                .map(|t| t.o),
+                .filter(move |(_, t)| t.s == s && t.p == p)
+                .map(|(_, t)| t.o),
         )
     }
 
-    /// The subjects of `(·, p, o)`: the sorted CSR run first, then any
-    /// not-yet-merged delta inserts.
+    /// The subjects of `(·, p, o)`: the sorted CSR runs first (merged
+    /// across shards in ascending subject order — exactly the flat store's
+    /// order), then any not-yet-merged delta inserts in insertion order.
     pub fn subjects(&self, p: TermId, o: TermId) -> impl Iterator<Item = TermId> + '_ {
-        self.pos.thirds_of_pair(p, o).iter().copied().chain(
-            self.delta
-                .iter()
-                .filter(move |t| t.p == p && t.o == o)
-                .map(|t| t.s),
-        )
+        let mut slices: Vec<&[TermId]> = self
+            .shards
+            .iter()
+            .map(|sh| sh.pos.thirds_of_pair(p, o))
+            .collect();
+        let pattern = TriplePattern::new(None, Some(p), Some(o));
+        let mut delta: Vec<TermId> = Vec::new();
+        self.sweep_delta_matches(pattern, &mut |t| delta.push(t.s));
+        std::iter::from_fn(move || {
+            let mut best: Option<(usize, TermId)> = None;
+            for (i, sl) in slices.iter().enumerate() {
+                if let Some(&s) = sl.first() {
+                    if best.is_none_or(|(_, b)| s < b) {
+                        best = Some((i, s));
+                    }
+                }
+            }
+            let (i, s) = best?;
+            slices[i] = &slices[i][1..];
+            Some(s)
+        })
+        .chain(delta)
     }
 
-    /// Iterates every triple (sorted SPO runs first, then the delta).
+    /// Iterates every triple: the sorted SPO runs first (merged across
+    /// shards in global sorted order), then the deltas in insertion order.
     pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo
-            .tuples()
-            .map(|(s, p, o)| Triple::new(s, p, o))
-            .chain(self.delta.iter().copied())
+        let mut runs: Vec<_> = self
+            .shards
+            .iter()
+            .map(|sh| sh.spo.tuples().peekable())
+            .collect();
+        let mut delta: Vec<(u64, Triple)> = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.delta.iter().copied())
+            .collect();
+        if self.shards.len() > 1 {
+            delta.sort_unstable_by_key(|&(seq, _)| seq);
+        }
+        std::iter::from_fn(move || {
+            let mut best: Option<usize> = None;
+            let mut best_val = (TermId(0), TermId(0), TermId(0));
+            for (i, run) in runs.iter_mut().enumerate() {
+                if let Some(&t) = run.peek() {
+                    if best.is_none() || t < best_val {
+                        best = Some(i);
+                        best_val = t;
+                    }
+                }
+            }
+            let i = best?;
+            runs[i].next();
+            Some(Triple::new(best_val.0, best_val.1, best_val.2))
+        })
+        .chain(delta.into_iter().map(|(_, t)| t))
+    }
+
+    /// Fires `f` for every delta triple matching `pattern`, across shards,
+    /// in global insertion order.
+    fn sweep_delta_matches<F: FnMut(Triple)>(&self, pattern: TriplePattern, f: &mut F) {
+        if self.shards.len() == 1 {
+            for &(_, t) in &self.shards[0].delta {
+                if pattern.matches(&t) {
+                    f(t);
+                }
+            }
+            return;
+        }
+        if !self.has_pending_delta() {
+            return;
+        }
+        let mut hits: Vec<(u64, Triple)> = Vec::new();
+        for sh in &self.shards {
+            for &(seq, t) in &sh.delta {
+                if pattern.matches(&t) {
+                    hits.push((seq, t));
+                }
+            }
+        }
+        hits.sort_unstable_by_key(|&(seq, _)| seq);
+        for (_, t) in hits {
+            f(t);
+        }
     }
 
     /// Calls `f` for every triple matching `pattern`, using the cheapest
     /// index for the pattern's shape — every shape is index-backed.
+    ///
+    /// The enumeration order is independent of the shard count: a
+    /// subject-bound shape routes to one shard (whose local order is the
+    /// flat order), and subject-free shapes k-way merge the per-shard sorted
+    /// runs by the index's sort key, which cannot tie across shards.
     pub fn for_each_match<F: FnMut(Triple)>(&self, pattern: TriplePattern, mut f: F) {
-        match (pattern.s, pattern.p, pattern.o) {
-            (Some(s), Some(p), Some(o)) => {
-                // contains_ids covers the delta; return before the delta
-                // sweep below to avoid double-firing.
-                if self.contains_ids(s, p, o) {
-                    f(Triple::new(s, p, o));
-                }
-                return;
-            }
-            (Some(s), Some(p), None) => {
-                for &o in self.spo.thirds_of_pair(s, p) {
-                    f(Triple::new(s, p, o));
-                }
-            }
-            (None, Some(p), Some(o)) => {
-                for &s in self.pos.thirds_of_pair(p, o) {
-                    f(Triple::new(s, p, o));
-                }
-            }
-            (Some(s), None, Some(o)) => {
-                for &p in self.osp.thirds_of_pair(o, s) {
-                    f(Triple::new(s, p, o));
-                }
-            }
-            (Some(s), None, None) => {
-                for (p, o) in self.spo.pairs_of_first(s) {
-                    f(Triple::new(s, p, o));
-                }
-            }
-            (None, Some(p), None) => {
-                for (o, s) in self.pos.pairs_of_first(p) {
+        if self.shards.len() == 1 {
+            self.shards[0].for_each_match_local(pattern, &mut f);
+            return;
+        }
+        if let Some(s) = pattern.s {
+            self.shards[self.shard_of(s)].for_each_match_local(pattern, &mut f);
+            return;
+        }
+        match (pattern.p, pattern.o) {
+            (Some(p), Some(o)) => {
+                let mut slices: Vec<&[TermId]> = self
+                    .shards
+                    .iter()
+                    .map(|sh| sh.pos.thirds_of_pair(p, o))
+                    .collect();
+                loop {
+                    let mut best: Option<(usize, TermId)> = None;
+                    for (i, sl) in slices.iter().enumerate() {
+                        if let Some(&s) = sl.first() {
+                            if best.is_none_or(|(_, b)| s < b) {
+                                best = Some((i, s));
+                            }
+                        }
+                    }
+                    let Some((i, s)) = best else { break };
+                    slices[i] = &slices[i][1..];
                     f(Triple::new(s, p, o));
                 }
             }
-            (None, None, Some(o)) => {
-                for (s, p) in self.osp.pairs_of_first(o) {
-                    f(Triple::new(s, p, o));
-                }
+            (Some(p), None) => {
+                let mut runs: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|sh| sh.pos.pairs_of_first(p).peekable())
+                    .collect();
+                merge_sorted_runs(&mut runs, |(o, s)| f(Triple::new(s, p, o)));
             }
-            (None, None, None) => {
-                for (s, p, o) in self.spo.tuples() {
-                    f(Triple::new(s, p, o));
-                }
+            (None, Some(o)) => {
+                let mut runs: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|sh| sh.osp.pairs_of_first(o).peekable())
+                    .collect();
+                merge_sorted_runs(&mut runs, |(s, p)| f(Triple::new(s, p, o)));
+            }
+            (None, None) => {
+                let mut runs: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|sh| sh.spo.tuples().peekable())
+                    .collect();
+                merge_sorted_runs(&mut runs, |(s, p, o)| f(Triple::new(s, p, o)));
             }
         }
-        for t in &self.delta {
-            if pattern.matches(t) {
-                f(*t);
-            }
-        }
+        self.sweep_delta_matches(pattern, &mut f);
+    }
+
+    /// Calls `f` for every triple of shard `shard` matching `pattern`, in
+    /// the shard's local order (sorted run, then shard delta). The engine's
+    /// per-shard evaluation workers use this to probe shards directly;
+    /// patterns whose subject routes elsewhere simply match nothing here.
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn for_each_match_in_shard<F: FnMut(Triple)>(
+        &self,
+        shard: usize,
+        pattern: TriplePattern,
+        mut f: F,
+    ) {
+        self.shards[shard].for_each_match_local(pattern, &mut f);
     }
 
     /// Collects the triples matching `pattern`.
@@ -531,33 +545,34 @@ impl Graph {
     }
 
     /// Exact number of triples matching `pattern`, computed from the CSR
-    /// offset/run metadata (plus a sweep of the bounded delta buffer) — no
+    /// offset/run metadata (plus sweeps of the bounded delta buffers) — no
     /// shape falls back to a full scan. Used for join-order selectivity.
+    ///
+    /// Subject-bound shapes are answered by one shard; subject-free shapes
+    /// are an integer sum of shard-local counts — nothing is materialized
+    /// per shard, so the planning path stays allocation-free at any shard
+    /// count.
     pub fn count_matching(&self, pattern: TriplePattern) -> usize {
-        let sorted = match (pattern.s, pattern.p, pattern.o) {
-            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(s, p, o)),
-            (Some(s), Some(p), None) => {
-                let (from, to) = self.spo.pair_range(s, p);
-                to - from
-            }
-            (None, Some(p), Some(o)) => {
-                let (from, to) = self.pos.pair_range(p, o);
-                to - from
-            }
-            (Some(s), None, Some(o)) => {
-                let (from, to) = self.osp.pair_range(o, s);
-                to - from
-            }
-            (Some(s), None, None) => self.spo.first_len(s),
-            (None, Some(p), None) => self.pos.first_len(p),
-            (None, None, Some(o)) => self.osp.first_len(o),
-            (None, None, None) => return self.len,
-        };
-        if self.delta.is_empty() {
-            sorted
-        } else {
-            sorted + self.delta.iter().filter(|t| pattern.matches(t)).count()
+        if let Some(s) = pattern.s {
+            return self.shards[self.shard_of(s)].count_matching_local(pattern);
         }
+        if pattern.p.is_none() && pattern.o.is_none() {
+            return self.len;
+        }
+        self.shards
+            .iter()
+            .map(|sh| sh.count_matching_local(pattern))
+            .sum()
+    }
+
+    /// Exact number of triples of shard `shard` matching `pattern` — the
+    /// shard-level statistic the engine uses to skip shards that cannot
+    /// contribute to a probe (predicate/constant pushdown).
+    ///
+    /// # Panics
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn count_matching_in_shard(&self, shard: usize, pattern: TriplePattern) -> usize {
+        self.shards[shard].count_matching_local(pattern)
     }
 
     /// Decodes a triple back to its terms.
@@ -576,47 +591,57 @@ impl Graph {
     /// statistics (used by consoles and for eyeballing generated workloads).
     pub fn predicate_counts(&self) -> Vec<(TermId, usize)> {
         let mut counts: FxHashMap<TermId, usize> = FxHashMap::default();
-        for (p, n) in self.pos.first_group_sizes() {
-            counts.insert(p, n);
-        }
-        for t in &self.delta {
-            *counts.entry(t.p).or_insert(0) += 1;
+        for sh in &self.shards {
+            for (p, n) in sh.pos.first_group_sizes() {
+                *counts.entry(p).or_insert(0) += n;
+            }
+            for (_, t) in &sh.delta {
+                *counts.entry(t.p).or_insert(0) += 1;
+            }
         }
         let mut counts: Vec<(TermId, usize)> = counts.into_iter().collect();
         counts.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         counts
     }
 
-    /// Distinct first components of `idx`, counting delta extras not yet in
-    /// the sorted runs.
-    fn distinct_with_delta(&self, idx: &CsrIndex, key: impl Fn(&Triple) -> TermId) -> usize {
-        let base = idx.distinct_firsts();
-        if self.delta.is_empty() {
-            return base;
-        }
-        let mut extra: FxHashSet<TermId> = FxHashSet::default();
-        for t in &self.delta {
-            let k = key(t);
-            if idx.first_len(k) == 0 {
-                extra.insert(k);
-            }
-        }
-        base + extra.len()
+    /// Number of distinct subjects. Subjects never cross shards, so this is
+    /// the exact sum of per-shard distinct counts — no cross-shard set is
+    /// built.
+    pub fn subject_count(&self) -> usize {
+        self.shards.iter().map(Shard::distinct_subjects).sum()
     }
 
-    /// Number of distinct subjects.
-    pub fn subject_count(&self) -> usize {
-        self.distinct_with_delta(&self.spo, |t| t.s)
+    /// Distinct first components of the chosen per-shard index, unioned
+    /// across shards (predicates and objects may appear in many shards).
+    fn distinct_union(
+        &self,
+        idx_of: impl Fn(&Shard) -> &CsrIndex,
+        key: impl Fn(&Triple) -> TermId,
+    ) -> usize {
+        if self.shards.len() == 1 {
+            let sh = &self.shards[0];
+            return distinct_with_delta(idx_of(sh), &sh.delta, key);
+        }
+        let mut set: FxHashSet<TermId> = FxHashSet::default();
+        for sh in &self.shards {
+            for (k, _) in idx_of(sh).first_group_sizes() {
+                set.insert(k);
+            }
+            for (_, t) in &sh.delta {
+                set.insert(key(t));
+            }
+        }
+        set.len()
     }
 
     /// Number of distinct predicates.
     pub fn predicate_count(&self) -> usize {
-        self.distinct_with_delta(&self.pos, |t| t.p)
+        self.distinct_union(|sh| &sh.pos, |t| t.p)
     }
 
     /// Number of distinct objects.
     pub fn object_count(&self) -> usize {
-        self.distinct_with_delta(&self.osp, |t| t.o)
+        self.distinct_union(|sh| &sh.osp, |t| t.o)
     }
 
     /// Copies every triple of `other` into `self`, re-encoding terms into
@@ -636,9 +661,33 @@ impl Graph {
     }
 }
 
+/// K-way merges per-shard sorted runs in ascending tuple order. Ties across
+/// runs are impossible for the call sites in this module (the runs' sort
+/// keys start with — or determine — the subject, and a subject lives in
+/// exactly one shard), so a plain minimum scan is exact.
+fn merge_sorted_runs<T: Copy + Ord, I: Iterator<Item = T>>(
+    runs: &mut [std::iter::Peekable<I>],
+    mut f: impl FnMut(T),
+) {
+    loop {
+        let mut best: Option<(usize, T)> = None;
+        for (i, run) in runs.iter_mut().enumerate() {
+            if let Some(&x) = run.peek() {
+                if best.is_none_or(|(_, b)| x < b) {
+                    best = Some((i, x));
+                }
+            }
+        }
+        let Some((i, x)) = best else { break };
+        runs[i].next();
+        f(x);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::DELTA_MERGE_MIN;
 
     fn sample() -> Graph {
         let mut g = Graph::new();
@@ -657,6 +706,18 @@ mod tests {
         let mut g = sample();
         g.compact();
         assert_eq!(g.pending_delta_len(), 0);
+        g
+    }
+
+    /// The sample graph rebuilt at a given shard count, through the same
+    /// incremental insertion sequence.
+    fn sample_sharded(n: usize) -> Graph {
+        let flat = sample();
+        let mut g = Graph::with_shards(n);
+        g.dict = flat.dict.clone();
+        for t in flat.triples() {
+            g.insert_ids(t.s, t.p, t.o);
+        }
         g
     }
 
@@ -718,6 +779,108 @@ mod tests {
     }
 
     #[test]
+    fn sharded_reads_are_bit_identical_to_flat() {
+        let flat = sample();
+        let all: Vec<Triple> = flat.triples().collect();
+        for n in [2usize, 7, 16] {
+            for (mode, g) in [
+                ("incremental", sample_sharded(n)),
+                ("compacted", {
+                    let mut g = sample_sharded(n);
+                    g.compact();
+                    g
+                }),
+                (
+                    "bulk",
+                    Graph::from_triples_sharded(flat.dict.clone(), all.clone(), n),
+                ),
+            ] {
+                // Compare against the flat graph in the matching storage
+                // state (delta order only lines up delta-to-delta).
+                let reference = if mode == "incremental" {
+                    sample()
+                } else {
+                    sample_compacted()
+                };
+                assert_eq!(g.len(), reference.len(), "{mode}@{n}");
+                assert_eq!(
+                    g.triples().collect::<Vec<_>>(),
+                    reference.triples().collect::<Vec<_>>(),
+                    "{mode}@{n} triples order"
+                );
+                let probe = all[0];
+                for mask in 0u8..8 {
+                    let pat = TriplePattern::new(
+                        (mask & 1 != 0).then_some(probe.s),
+                        (mask & 2 != 0).then_some(probe.p),
+                        (mask & 4 != 0).then_some(probe.o),
+                    );
+                    assert_eq!(
+                        g.matching(pat),
+                        reference.matching(pat),
+                        "{mode}@{n} shape {mask:#05b} (order-sensitive)"
+                    );
+                    assert_eq!(g.count_matching(pat), reference.count_matching(pat));
+                }
+                assert_eq!(g.subject_count(), reference.subject_count());
+                assert_eq!(g.predicate_count(), reference.predicate_count());
+                assert_eq!(g.object_count(), reference.object_count());
+                assert_eq!(g.predicate_counts(), reference.predicate_counts());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_statistics_partition_the_store() {
+        let mut g = sample_sharded(7);
+        g.compact();
+        assert_eq!(g.shard_count(), 7);
+        let total: usize = (0..7)
+            .map(|w| g.shard_len(w))
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        assert_eq!(total, g.len());
+        let subjects: usize = (0..7).map(|w| g.shard_subject_count(w)).sum();
+        assert_eq!(subjects, g.subject_count());
+        // Per-shard counts of a subject-free shape sum to the global count.
+        let p = g.dict().iri_id("hasAge").unwrap();
+        let pat = TriplePattern::new(None, Some(p), None);
+        let per_shard: usize = (0..7).map(|w| g.count_matching_in_shard(w, pat)).sum();
+        assert_eq!(per_shard, g.count_matching(pat));
+        // A subject-bound probe is served entirely by its owner shard.
+        let s = g.dict().iri_id("user1").unwrap();
+        let own = g.shard_of(s);
+        let bound = TriplePattern::new(Some(s), None, None);
+        assert_eq!(
+            g.count_matching_in_shard(own, bound),
+            g.count_matching(bound)
+        );
+        let mut routed = Vec::new();
+        g.for_each_match_in_shard(own, bound, |t| routed.push(t));
+        assert_eq!(routed, g.matching(bound));
+    }
+
+    #[test]
+    fn set_shard_count_repartitions_in_place() {
+        let mut g = sample();
+        g.set_shard_count(7);
+        assert_eq!(g.shard_count(), 7);
+        assert_eq!(g.pending_delta_len(), 0, "resharding compacts");
+        let reference = sample_compacted();
+        assert_eq!(
+            g.triples().collect::<Vec<_>>(),
+            reference.triples().collect::<Vec<_>>()
+        );
+        g.set_shard_count(1);
+        assert_eq!(g.shard_count(), 1);
+        assert_eq!(
+            g.triples().collect::<Vec<_>>(),
+            reference.triples().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn bulk_loader_equals_incremental_inserts() {
         let incremental = sample_compacted();
         let bulk = Graph::from_triples(
@@ -774,7 +937,7 @@ mod tests {
     #[test]
     fn multi_valued_properties_are_kept() {
         // user1 is identified both as William and as Bill (paper §2).
-        for g in [sample(), sample_compacted()] {
+        for g in [sample(), sample_compacted(), sample_sharded(7)] {
             let p = g.dict().iri_id("identifiedBy").unwrap();
             let s = g.dict().iri_id("user1").unwrap();
             assert_eq!(g.objects(s, p).count(), 2);
@@ -814,7 +977,7 @@ mod tests {
 
     #[test]
     fn summary_statistics() {
-        for g in [sample(), sample_compacted()] {
+        for g in [sample(), sample_compacted(), sample_sharded(16)] {
             assert_eq!(g.subject_count(), 3);
             assert_eq!(g.predicate_count(), 3); // hasAge, livesIn, identifiedBy
             let counts = g.predicate_counts();

@@ -5,11 +5,13 @@
 //!
 //! * [`term`] / [`dictionary`] — RDF 1.1 terms, interned to dense `u32`
 //!   [`TermId`]s so every downstream operator works on integers;
-//! * [`graph`] — an append-only columnar triple store: sorted SPO/POS/OSP
-//!   column sets under CSR offset tables, a bulk loader for
-//!   sort-once-dedup-once construction, and a delta buffer keeping
-//!   incremental inserts cheap — all eight triple-pattern shapes are
-//!   index-backed;
+//! * [`graph`] / [`shard`] — an append-only columnar triple store,
+//!   hash-partitioned by subject into independent CSR shards (one by
+//!   default): per-shard sorted SPO/POS/OSP column sets under CSR offset
+//!   tables, a bulk loader for scatter-then-sort-once construction (parallel
+//!   across shards), and per-shard delta buffers keeping incremental inserts
+//!   cheap — all eight triple-pattern shapes are index-backed, and reads are
+//!   bit-identical at any shard count;
 //! * [`parser`] / [`writer`] — N-Triples and a practical Turtle subset, plus
 //!   deterministic N-Triples output;
 //! * [`reasoner`] — RDFS (ρdf) saturation, required by the analytical-schema
@@ -41,6 +43,7 @@ pub mod fx;
 pub mod graph;
 pub mod parser;
 pub mod reasoner;
+pub mod shard;
 pub mod term;
 pub mod triple;
 pub mod vocab;
@@ -48,7 +51,7 @@ pub mod writer;
 
 pub use dictionary::{Dictionary, TermId};
 pub use error::ParseError;
-pub use graph::Graph;
+pub use graph::{Graph, ShardedGraph};
 pub use parser::{parse_into, parse_ntriples, parse_turtle};
 pub use reasoner::saturate;
 pub use term::{Literal, LiteralKind, Term};

@@ -157,6 +157,27 @@ fn concurrent_answers_match_serial_under_eviction() {
     }
 }
 
+/// A subject-hash sharded instance must answer cell-identically to the
+/// flat serial session — under 8 racing readers with the per-shard
+/// parallel BGP pipeline switched on, exercising the shard-routed and
+/// shard-merged evaluation paths end to end.
+#[test]
+fn sharded_session_matches_flat_serial() {
+    let seed = 0x5AAD;
+    let expected = serial_answers(6_000, None, seed);
+
+    let cfg = BloggerConfig::with_approx_triples(6_000);
+    let instance = rdfcube::datagen::generate_instance(&cfg);
+    let mut s = OlapSession::with_shards(instance, 8);
+    let pool = query_pool(&mut s, seed);
+    let shared = s.into_shared();
+    assert_eq!(shared.shard_count(), 8);
+
+    set_eval_threads(4);
+    hammer(&shared, &pool, &expected, 25);
+    set_eval_threads(1);
+}
+
 /// Concurrent OLAP transforms (slice/dice/drill-out) on a shared base
 /// cube agree with the serial session, with the parallel BGP pipeline
 /// switched on for good measure.

@@ -5,9 +5,18 @@
 //! resident), bulk-then-incremental (CSR runs plus delta), and explicitly
 //! compacted. This pins down the tentpole invariant of the storage rework:
 //! the sorted-columns/delta-buffer split is invisible to readers.
+//!
+//! The sharded-vs-flat oracle extends the same bar across shard counts
+//! {1, 2, 7, 16}: a subject-hash-partitioned graph built through the same
+//! insertion sequence must be **bit-identical** to the flat store on every
+//! read — exact `triples()`/`matching()` sequences (not just sets), counts,
+//! and summary statistics — in all four storage states.
 
 use proptest::prelude::*;
 use rdfcube::{Graph, Term, Triple, TriplePattern};
+
+/// Shard counts under test: flat, even split, prime, power of two.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
 
 /// A random triple spec over a small closed universe, so that patterns
 /// probe both present and absent components and collisions are common.
@@ -26,12 +35,20 @@ fn term(kind: &str, n: u8) -> Term {
 ///    (CSR runs + live delta — the insert-then-bulk-merge path);
 /// 4. variant 3 followed by an explicit `compact()`.
 fn build_all_ways(spec: &[(u8, u8, u8)]) -> Vec<Graph> {
-    let mut incremental = Graph::new();
+    build_all_ways_sharded(spec, 1)
+}
+
+/// [`build_all_ways`] into an `n_shards`-way subject-hash-partitioned
+/// graph, through the **same insertion sequence** — so the dictionaries
+/// (and therefore the `TermId`s) are identical to the flat build and every
+/// read can be compared bit-for-bit.
+fn build_all_ways_sharded(spec: &[(u8, u8, u8)], n_shards: usize) -> Vec<Graph> {
+    let mut incremental = Graph::with_shards(n_shards);
     for &(s, p, o) in spec {
         incremental.insert(&term("s", s), &term("p", p), &term("o", o));
     }
 
-    let mut bulk = Graph::new();
+    let mut bulk = Graph::with_shards(n_shards);
     let batch: Vec<Triple> = spec
         .iter()
         .map(|&(s, p, o)| {
@@ -44,7 +61,7 @@ fn build_all_ways(spec: &[(u8, u8, u8)]) -> Vec<Graph> {
         .collect();
     bulk.bulk_insert_ids(batch);
 
-    let mut mixed = Graph::new();
+    let mut mixed = Graph::with_shards(n_shards);
     let half = spec.len() / 2;
     let first: Vec<Triple> = spec[..half]
         .iter()
@@ -170,6 +187,67 @@ proptest! {
             for (p, n) in g.predicate_counts() {
                 let oracle = all.iter().filter(|t| t.p == p).count();
                 prop_assert_eq!(n, oracle, "count of predicate {} on path {}", p, i);
+            }
+        }
+    }
+
+    /// The sharded-vs-flat oracle: for every tested shard count and every
+    /// storage state, the sharded graph is bit-identical to the flat one —
+    /// exact enumeration sequences for `triples()` and all eight
+    /// `matching()` shapes (order included), all counts, and all summary
+    /// statistics; and the per-shard statistics partition the store.
+    #[test]
+    fn sharded_reads_bit_identical_to_flat(spec in arb_spec(), probe in 0usize..80) {
+        let flat = build_all_ways(&spec);
+        for &n in &SHARD_COUNTS[1..] {
+            let sharded = build_all_ways_sharded(&spec, n);
+            for (state, (f, g)) in flat.iter().zip(&sharded).enumerate() {
+                prop_assert_eq!(g.shard_count(), n);
+                prop_assert_eq!(g.len(), f.len(), "len, state {} @ {}", state, n);
+                prop_assert_eq!(
+                    g.pending_delta_len(), f.pending_delta_len(),
+                    "delta, state {} @ {}", state, n
+                );
+                let seq: Vec<Triple> = f.triples().collect();
+                prop_assert_eq!(
+                    &g.triples().collect::<Vec<_>>(), &seq,
+                    "triples() order, state {} @ {}", state, n
+                );
+                prop_assert_eq!(g.subject_count(), f.subject_count());
+                prop_assert_eq!(g.predicate_count(), f.predicate_count());
+                prop_assert_eq!(g.object_count(), f.object_count());
+                prop_assert_eq!(g.predicate_counts(), f.predicate_counts());
+
+                // Per-shard statistics partition the store exactly.
+                let len_sum: usize = (0..n).map(|w| g.shard_len(w)).sum();
+                prop_assert_eq!(len_sum, g.len(), "shard_len sum, state {}", state);
+                let subj_sum: usize = (0..n).map(|w| g.shard_subject_count(w)).sum();
+                prop_assert_eq!(subj_sum, g.subject_count(), "subject sum, state {}", state);
+
+                if seq.is_empty() {
+                    continue;
+                }
+                let t = seq[probe % seq.len()];
+                for mask in 0u8..8 {
+                    let pat = TriplePattern::new(
+                        (mask & 1 != 0).then_some(t.s),
+                        (mask & 2 != 0).then_some(t.p),
+                        (mask & 4 != 0).then_some(t.o),
+                    );
+                    // Order-sensitive equality: the k-way shard merge must
+                    // reproduce the flat enumeration exactly.
+                    prop_assert_eq!(
+                        g.matching(pat), f.matching(pat),
+                        "matching() order, state {} shape {:#05b} @ {}", state, mask, n
+                    );
+                    prop_assert_eq!(g.count_matching(pat), f.count_matching(pat));
+                    let shard_sum: usize =
+                        (0..n).map(|w| g.count_matching_in_shard(w, pat)).sum();
+                    prop_assert_eq!(
+                        shard_sum, g.count_matching(pat),
+                        "shard count sum, state {} shape {:#05b}", state, mask
+                    );
+                }
             }
         }
     }
