@@ -1,5 +1,5 @@
-//! Experiment report generator: runs experiments E1–E7, E9 and E10 and
-//! prints the markdown tables recorded in EXPERIMENTS.md (medians of
+//! Experiment report generator: runs experiments E1–E7, E9, E10 and E13
+//! and prints the markdown tables recorded in EXPERIMENTS.md (medians of
 //! repeated runs).
 //!
 //! Run with: `cargo run --release -p rdfcube-bench --bin report`
@@ -490,6 +490,56 @@ fn main() {
     );
     println!("\nBudgeted answers verified identical to the unbudgeted session's;");
     println!("peak materialized bytes stayed under the configured budget.");
+
+    // ---------------- E13: view-selection advisor ----------------
+    println!("\n## E13 — view-selection advisor: advised vs reactive session\n");
+    println!("(identical Zipf warmup through two equally-budgeted sessions; one runs");
+    println!("advise(); both then answer fresh never-warmed dices, derivable only");
+    println!("from an unrestricted lattice ancestor)\n");
+    let e13_cfg = if quick {
+        rdfcube_bench::AdvisorProtocolConfig {
+            triples: 20_000,
+            budget_bytes: 256 * 1024,
+            ..rdfcube_bench::AdvisorProtocolConfig::default()
+        }
+    } else {
+        rdfcube_bench::AdvisorProtocolConfig::default()
+    };
+    let e13 = rdfcube_bench::advisor_protocol(&e13_cfg);
+    let rm = Duration::from_nanos(rdfcube_bench::AdvisorRun::median_nanos(&e13.reactive_nanos));
+    let am = Duration::from_nanos(rdfcube_bench::AdvisorRun::median_nanos(&e13.advised_nanos));
+    println!("| session | fresh-query median | hit rate | speedup |");
+    println!("|---|---|---|---|");
+    println!(
+        "| reactive | {} | {:.0}% ({}/{}) | — |",
+        fmt(rm),
+        100.0 * rdfcube_bench::AdvisorRun::hit_rate(&e13.reactive_counters),
+        e13.reactive_counters.hits,
+        e13.reactive_counters.hits + e13.reactive_counters.misses,
+    );
+    println!(
+        "| advised | {} | {:.0}% ({}/{}) | {} |",
+        fmt(am),
+        100.0 * rdfcube_bench::AdvisorRun::hit_rate(&e13.advised_counters),
+        e13.advised_counters.hits,
+        e13.advised_counters.hits + e13.advised_counters.misses,
+        speedup(rm, am),
+    );
+    println!(
+        "\nAdvisor: mined {} logged shapes ({} queries), considered {} lattice",
+        e13.report.shapes, e13.report.log_queries, e13.report.considered,
+    );
+    println!(
+        "ancestors, materialized {} ({} KiB) under a {} KiB budget.",
+        e13.report.selected,
+        e13.report.materialized_bytes / 1024,
+        e13_cfg.budget_bytes / 1024,
+    );
+    assert!(
+        e13.cells_identical,
+        "advised answers diverged from the reactive session"
+    );
+    println!("Advised answers verified cell-identical to the reactive session's.");
 
     println!("\nAll rewriting outputs in this report were verified cell-for-cell against");
     println!("from-scratch evaluation by the test suite (propositions 1–3 as property tests).");

@@ -280,6 +280,185 @@ pub fn catalog_fixture_with_budget(
     CatalogFixture { session, probes }
 }
 
+/// Configuration of the E13 advisor experiment: two sessions at the same
+/// byte budget replay the same Zipf-skewed warmup of distinct-but-derivable
+/// query variants; one then runs [`OlapSession::advise`]; both are measured
+/// on *fresh* (never-warmed) variants afterwards.
+#[derive(Debug, Clone)]
+pub struct AdvisorProtocolConfig {
+    /// Approximate instance size in triples.
+    pub triples: usize,
+    /// Byte budget shared by both sessions.
+    pub budget_bytes: usize,
+    /// Distinct query shapes in the warmup pool.
+    pub warmup_pool: usize,
+    /// Zipf-sampled warmup queries drawn from that pool.
+    pub warmup_len: usize,
+    /// Fresh (not in the warmup pool) shapes measured afterwards.
+    pub measured: usize,
+    /// Zipf exponent of the warmup skew.
+    pub zipf_s: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for AdvisorProtocolConfig {
+    fn default() -> Self {
+        AdvisorProtocolConfig {
+            triples: 100_000,
+            // Large enough for the family's unrestricted ancestors
+            // (~1.2 MiB at this scale), small enough that the warmup pool
+            // cannot stay fully resident — the advisor only pays off
+            // under budget pressure.
+            budget_bytes: 5 << 18,
+            warmup_pool: 144,
+            warmup_len: 640,
+            measured: 24,
+            zipf_s: 1.0,
+            seed: 0xE13,
+        }
+    }
+}
+
+/// The outcome of one E13 protocol run.
+pub struct AdvisorRun {
+    /// Per-query end-to-end latency of the reactive session on the
+    /// measured (fresh) phase, in nanoseconds.
+    pub reactive_nanos: Vec<u64>,
+    /// Same for the advised session.
+    pub advised_nanos: Vec<u64>,
+    /// What the advisor considered/selected/materialized.
+    pub report: rdfcube_core::AdvisorReport,
+    /// Reactive-session counter delta over the measured phase.
+    pub reactive_counters: rdfcube_core::CatalogCounters,
+    /// Advised-session counter delta over the measured phase.
+    pub advised_counters: rdfcube_core::CatalogCounters,
+    /// True iff every measured query produced cell-identical answers in
+    /// both sessions.
+    pub cells_identical: bool,
+}
+
+impl AdvisorRun {
+    /// Median of a latency vector, in nanoseconds.
+    pub fn median_nanos(v: &[u64]) -> u64 {
+        let mut v = v.to_vec();
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+
+    /// Catalog hit rate out of a counter delta (1.0 when nothing ran).
+    pub fn hit_rate(c: &rdfcube_core::CatalogCounters) -> f64 {
+        let total = c.hits + c.misses;
+        if total == 0 {
+            1.0
+        } else {
+            c.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the E13 advisor protocol (see [`AdvisorProtocolConfig`]). Shared
+/// by the `e13_advisor` bench, its smoke test, and the `report` binary so
+/// all three measure the identical experiment.
+pub fn advisor_protocol(cfg: &AdvisorProtocolConfig) -> AdvisorRun {
+    use rdfcube_datagen::{variant_pool, zipf_sequence, DimDomain};
+    use std::time::Instant;
+
+    let world = BloggerConfig {
+        multi_city_prob: 0.1,
+        ..BloggerConfig::with_approx_triples(cfg.triples)
+    };
+    let mut instance = rdfcube_datagen::generate_instance(&world);
+    let q = AnalyticalQuery::parse(
+        rdfcube_datagen::EXAMPLE1_CLASSIFIER,
+        rdfcube_datagen::EXAMPLE1_MEASURE,
+        AggFunc::Count,
+        instance.dict_mut(),
+    )
+    .expect("base query parses");
+    let base = ExtendedQuery::from_query(q);
+    let domains = vec![
+        DimDomain::new(
+            "dage",
+            (18..18 + world.n_ages as i64).map(Term::integer).collect(),
+        ),
+        DimDomain::new(
+            "dcity",
+            (0..world.n_cities)
+                .map(|i| Term::literal(format!("city{i}")))
+                .collect(),
+        ),
+    ];
+    let pool = variant_pool(&base, &domains, cfg.warmup_pool).expect("variant pool builds");
+    let warmup = zipf_sequence(cfg.warmup_pool, cfg.warmup_len, cfg.zipf_s, cfg.seed);
+
+    // Measured phase: single-value dices over a value region disjoint
+    // from the warmup's, alternating dimensions, every value distinct —
+    // the dominant dashboard pattern (drill to one member, look, drill to
+    // the next). None is derivable from the warmup pool or from another
+    // measured variant — only from an unrestricted ancestor, so the phase
+    // isolates exactly what the advisor materialized.
+    let warmup_value_ceiling = (cfg.warmup_pool - 1) / (3 * domains.len()) + 2;
+    let fresh: Vec<ExtendedQuery> = (0..cfg.measured)
+        .map(|k| {
+            let d = &domains[k % domains.len()];
+            let value = d.values[(warmup_value_ceiling + k) % d.values.len()].clone();
+            let dice = OlapOp::Dice {
+                constraints: vec![(d.dim.clone(), ValueSelector::one(value))],
+            };
+            rdfcube_core::apply(&base, &dice)
+        })
+        .collect::<Result<_, _>>()
+        .expect("fresh variants build");
+
+    // Both sessions see the identical instance (identical dictionary
+    // encodings) and the identical warmup traffic at the same budget.
+    let mut reactive = OlapSession::with_budget(instance.clone(), cfg.budget_bytes);
+    let mut advised = OlapSession::with_budget(instance, cfg.budget_bytes);
+    for &i in &warmup {
+        reactive
+            .answer_query(pool[i].clone())
+            .expect("warmup answers");
+        advised
+            .answer_query(pool[i].clone())
+            .expect("warmup answers");
+    }
+
+    let report = advised.advise().expect("advise runs");
+
+    let r0 = reactive.catalog().counters();
+    let a0 = advised.catalog().counters();
+    let mut reactive_nanos = Vec::with_capacity(cfg.measured);
+    let mut advised_nanos = Vec::with_capacity(cfg.measured);
+    let mut cells_identical = true;
+    for eq in &fresh {
+        let t = Instant::now();
+        let (rh, _) = reactive.answer_query(eq.clone()).expect("measured answers");
+        reactive_nanos.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        let (ah, _) = advised.answer_query(eq.clone()).expect("measured answers");
+        advised_nanos.push(t.elapsed().as_nanos() as u64);
+        cells_identical &= advised.answer(ah).same_cells(reactive.answer(rh));
+    }
+    let delta = |after: rdfcube_core::CatalogCounters, before: rdfcube_core::CatalogCounters| {
+        rdfcube_core::CatalogCounters {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            evictions: after.evictions - before.evictions,
+            rehydrations: after.rehydrations - before.rehydrations,
+            refreshes: after.refreshes - before.refreshes,
+        }
+    };
+    AdvisorRun {
+        reactive_nanos,
+        advised_nanos,
+        report,
+        reactive_counters: delta(reactive.catalog().counters(), r0),
+        advised_counters: delta(advised.catalog().counters(), a0),
+        cells_identical,
+    }
+}
+
 /// The SLICE used across E1: bind `dage` to one mid-domain value.
 pub fn e1_slice_op() -> OlapOp {
     OlapOp::Slice {
@@ -370,6 +549,24 @@ mod tests {
                 .unwrap();
             assert!(f.session.answer(h).same_cells(&scratch));
         }
+    }
+
+    #[test]
+    fn advisor_protocol_runs_in_miniature() {
+        let cfg = AdvisorProtocolConfig {
+            triples: 4_000,
+            budget_bytes: 64 << 10,
+            warmup_pool: 12,
+            warmup_len: 40,
+            measured: 6,
+            ..Default::default()
+        };
+        let run = advisor_protocol(&cfg);
+        assert!(run.cells_identical, "advised answers must match reactive");
+        assert_eq!(run.reactive_nanos.len(), 6);
+        assert_eq!(run.advised_nanos.len(), 6);
+        assert!(run.report.log_queries >= 40, "warmup was logged");
+        assert!(run.report.shapes >= 1);
     }
 
     #[test]

@@ -32,15 +32,17 @@
 //! in planning (with a recompute surcharge).
 
 use crate::answer::Cube;
+use crate::cost::ExplainedStrategy;
 use crate::error::CoreError;
 use crate::extended::{ExtendedQuery, Sigma};
 use crate::pres::PartialResult;
+use crate::session::Strategy;
 use crate::signature::{BodySignature, ViewKey, ViewSignature};
 use rdfcube_engine::VarId;
 use rdfcube_rdf::fx::FxHashMap;
 use rdfcube_rdf::Graph;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// How a target query can be soundly derived from a materialized source
 /// cube (the applicability side of Propositions 1–3; costing is separate).
@@ -229,6 +231,124 @@ struct AtomicCounters {
     refreshes: AtomicU64,
 }
 
+/// Per-[`ViewKey`] access counters. Unlike an entry's own `hits`/
+/// `last_touch` (which the eviction sweep decays), these accumulate over
+/// the catalog's whole lifetime and — like [`CubeStats`] — survive payload
+/// eviction, so a hot family stays recognizably hot even while its cubes
+/// are cold on disk. They are bumped on *every* probe of the family
+/// (duplicate hits, derivation hits, and misses alike), not just at
+/// registration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyStats {
+    /// Queries that probed this family (hits and misses).
+    pub accesses: u64,
+    /// Catalog clock value of the most recent probe.
+    pub last_touch: u64,
+}
+
+/// One distinct query shape recorded in the catalog's query log: the
+/// extended query, its signature, and what the planner last did with it.
+/// Shapes are deduplicated the way [`crate::session`]'s duplicate check
+/// works — same family, same canonical dimensions, same Σ — so repeated
+/// traffic bumps `count` instead of growing the log.
+#[derive(Debug, Clone)]
+pub struct LoggedQuery {
+    eq: Arc<ExtendedQuery>,
+    sig: ViewSignature,
+    strategy: Strategy,
+    estimated_cost: f64,
+    scratch_cost: f64,
+    measured_nanos: u64,
+    count: u64,
+    last_seen: u64,
+}
+
+impl LoggedQuery {
+    /// The logged extended query (a representative of the shape).
+    pub fn query(&self) -> &ExtendedQuery {
+        &self.eq
+    }
+
+    /// The logged query behind its shared pointer.
+    pub fn query_arc(&self) -> Arc<ExtendedQuery> {
+        Arc::clone(&self.eq)
+    }
+
+    /// The shape's view signature (family key + canonical dimensions).
+    pub fn signature(&self) -> &ViewSignature {
+        &self.sig
+    }
+
+    /// The strategy the planner chose the last time this shape was asked.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The planner's cost estimate for that strategy (abstract row
+    /// touches).
+    pub fn estimated_cost(&self) -> f64 {
+        self.estimated_cost
+    }
+
+    /// The from-scratch estimate the chosen strategy was compared against.
+    pub fn scratch_cost(&self) -> f64 {
+        self.scratch_cost
+    }
+
+    /// Wall-clock nanoseconds the last answer of this shape took,
+    /// end to end (the cheap measured cost the advisor can sanity-check
+    /// estimates against).
+    pub fn measured_nanos(&self) -> u64 {
+        self.measured_nanos
+    }
+
+    /// How many times this exact shape was asked.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Catalog clock value of the most recent ask.
+    pub fn last_seen(&self) -> u64 {
+        self.last_seen
+    }
+}
+
+/// Distinct shapes the query log retains full queries for. Past the cap,
+/// new shapes still count toward [`KeyStats`] (frequency feeds eviction)
+/// but are not remembered individually — the advisor works from a bounded
+/// sample of the head of the workload, which is exactly where Zipf-skewed
+/// benefit lives.
+const MAX_LOGGED_SHAPES: usize = 1024;
+
+/// The query log: every `answer_query`/`transform` probe lands here.
+/// Lives behind a `Mutex` inside the catalog so the shared plane's
+/// read-locked serving paths can record through `&self`.
+#[derive(Debug, Default)]
+struct QueryLog {
+    shapes: Vec<LoggedQuery>,
+    index: FxHashMap<ViewKey, Vec<usize>>,
+    key_stats: FxHashMap<ViewKey, KeyStats>,
+    /// Total queries recorded (including shapes past the cap).
+    total: u64,
+    /// [`Self::total`] at the time of the last advisor run.
+    advised_at: u64,
+}
+
+/// A point-in-time summary of the catalog's access statistics: the
+/// cumulative counters plus the per-family frequency counters the query
+/// log maintains.
+#[derive(Debug, Clone)]
+pub struct CatalogStats {
+    /// Cumulative hit/miss/eviction/rehydration/refresh counters.
+    pub counters: CatalogCounters,
+    /// Total queries recorded in the log.
+    pub logged_queries: u64,
+    /// Distinct query shapes the log retains.
+    pub distinct_shapes: usize,
+    /// Per-family access counters, hottest first.
+    pub key_stats: Vec<(ViewKey, KeyStats)>,
+}
+
 /// The signature-indexed, budget-aware store of materialized cubes.
 #[derive(Debug)]
 pub struct CubeCatalog {
@@ -239,6 +359,7 @@ pub struct CubeCatalog {
     peak_resident_bytes: usize,
     clock: AtomicU64,
     counters: AtomicCounters,
+    log: Mutex<QueryLog>,
 }
 
 impl Default for CubeCatalog {
@@ -258,6 +379,7 @@ impl CubeCatalog {
             peak_resident_bytes: 0,
             clock: AtomicU64::new(0),
             counters: AtomicCounters::default(),
+            log: Mutex::new(QueryLog::default()),
         }
     }
 
@@ -333,6 +455,115 @@ impl CubeCatalog {
     /// Records a fallback to from-scratch evaluation.
     pub fn record_miss(&self) {
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn lock_log(&self) -> std::sync::MutexGuard<'_, QueryLog> {
+        self.log.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one answered query in the log: bumps the family's
+    /// [`KeyStats`] (every probe counts, hit or miss) and either bumps an
+    /// existing shape's frequency or remembers the new shape. Takes
+    /// `&self` so the shared plane's serving paths can record under their
+    /// read lock; the log's own mutex is held only for the bookkeeping.
+    pub fn record_query(
+        &self,
+        eq: &ExtendedQuery,
+        sig: &ViewSignature,
+        explained: &ExplainedStrategy,
+        measured_nanos: u64,
+    ) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut log = self.lock_log();
+        log.total += 1;
+        let ks = log.key_stats.entry(sig.key.clone()).or_default();
+        ks.accesses += 1;
+        ks.last_touch = now;
+        let found = log
+            .index
+            .get(&sig.key)
+            .into_iter()
+            .flatten()
+            .copied()
+            .find(|&i| {
+                let s = &log.shapes[i];
+                s.sig.dims == sig.dims && s.eq.sigma() == eq.sigma()
+            });
+        match found {
+            Some(i) => {
+                let s = &mut log.shapes[i];
+                s.count += 1;
+                s.last_seen = now;
+                s.strategy = explained.strategy;
+                s.estimated_cost = explained.estimated_cost;
+                s.scratch_cost = explained.scratch_cost;
+                s.measured_nanos = measured_nanos;
+            }
+            None if log.shapes.len() < MAX_LOGGED_SHAPES => {
+                let i = log.shapes.len();
+                log.index.entry(sig.key.clone()).or_default().push(i);
+                log.shapes.push(LoggedQuery {
+                    eq: Arc::new(eq.clone()),
+                    sig: sig.clone(),
+                    strategy: explained.strategy,
+                    estimated_cost: explained.estimated_cost,
+                    scratch_cost: explained.scratch_cost,
+                    measured_nanos,
+                    count: 1,
+                    last_seen: now,
+                });
+            }
+            None => {}
+        }
+    }
+
+    /// Total queries recorded in the log so far.
+    pub fn log_total(&self) -> u64 {
+        self.lock_log().total
+    }
+
+    /// [`Self::log_total`] as of the last [`Self::mark_advised`] — the
+    /// staleness baseline for [`crate::SharedSession::advise_if_stale`].
+    pub fn advised_log_total(&self) -> u64 {
+        self.lock_log().advised_at
+    }
+
+    /// Marks the current log position as advised (called by the advisor
+    /// after a selection run, successful or empty).
+    pub fn mark_advised(&mut self) {
+        let log = self.log.get_mut().unwrap_or_else(PoisonError::into_inner);
+        log.advised_at = log.total;
+    }
+
+    /// A snapshot of the distinct query shapes in the log (the advisor's
+    /// input). Cloning is cheap: queries travel behind `Arc`s.
+    pub fn logged_shapes(&self) -> Vec<LoggedQuery> {
+        self.lock_log().shapes.clone()
+    }
+
+    /// The access counters of one family (zero if never probed).
+    pub fn key_stats(&self, key: &ViewKey) -> KeyStats {
+        self.lock_log()
+            .key_stats
+            .get(key)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// A point-in-time summary: cumulative counters plus per-family
+    /// frequency counters, hottest families first.
+    pub fn stats(&self) -> CatalogStats {
+        let counters = self.counters();
+        let log = self.lock_log();
+        let mut key_stats: Vec<(ViewKey, KeyStats)> =
+            log.key_stats.iter().map(|(k, &s)| (k.clone(), s)).collect();
+        key_stats.sort_by_key(|(_, s)| std::cmp::Reverse(s.accesses));
+        CatalogStats {
+            counters,
+            logged_queries: log.total,
+            distinct_shapes: log.shapes.len(),
+            key_stats,
+        }
     }
 
     /// The entry at `idx`.
@@ -509,9 +740,26 @@ impl CubeCatalog {
     /// the budget indefinitely against the live working set. (Without
     /// decay, an entry with H accumulated hits stays unevictable for ~H
     /// clock ticks after its last use.)
+    ///
+    /// The per-entry score is additionally weighted by the entry's
+    /// *family heat* — the query log's [`KeyStats`] access count for its
+    /// [`ViewKey`], square-root damped so frequency informs rather than
+    /// dominates recency. An entry of a family the workload keeps probing
+    /// is evicted last (and so, symmetrically, a hot evicted payload is
+    /// the first the budget re-admits when it is rehydrated on touch).
     fn make_room(&mut self, incoming: usize, pinned: Option<usize>) {
         let Some(budget) = self.budget else { return };
         let clock = self.clock.load(Ordering::Relaxed);
+        let heat: Vec<f64> = {
+            let log = self.log.get_mut().unwrap_or_else(PoisonError::into_inner);
+            self.entries
+                .iter()
+                .map(|e| {
+                    let accesses = log.key_stats.get(&e.sig.key).map_or(0, |k| k.accesses);
+                    ((accesses + 1) as f64).sqrt()
+                })
+                .collect()
+        };
         let mut evicted_any = false;
         while self.resident_bytes + incoming > budget {
             let victim = self
@@ -519,14 +767,14 @@ impl CubeCatalog {
                 .iter()
                 .enumerate()
                 .filter(|&(i, e)| e.is_resident() && Some(i) != pinned)
-                .min_by(|(_, a), (_, b)| {
-                    let score = |e: &CatalogEntry| {
+                .min_by(|&(ia, a), &(ib, b)| {
+                    let score = |i: usize, e: &CatalogEntry| {
                         let hits = e.hits.load(Ordering::Relaxed);
                         let touched = e.last_touch.load(Ordering::Relaxed);
-                        (hits + 1) as f64 / (clock - touched + 1) as f64
+                        (hits + 1) as f64 / (clock - touched + 1) as f64 * heat[i]
                     };
-                    score(a)
-                        .partial_cmp(&score(b))
+                    score(ia, a)
+                        .partial_cmp(&score(ib, b))
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .map(|(i, _)| i);
@@ -548,8 +796,10 @@ impl CubeCatalog {
 /// Decides whether (and how) a cube with canonical dimensions `s_dims` and
 /// restriction `s_sigma` can answer a query with `t_dims`/`t_sigma`, given
 /// that classifier bodies, measures, aggregates and roots already match
-/// (the caller probed the [`ViewKey`] index).
-fn classify_derivation(
+/// (the caller probed the [`ViewKey`] index). `pub(crate)` so the advisor
+/// can classify derivations from *hypothetical* (not yet materialized)
+/// candidate views the same way the planner would.
+pub(crate) fn classify_derivation(
     s_dims: &[String],
     s_sigma: &Sigma,
     t_dims: &[String],
@@ -775,5 +1025,84 @@ mod tests {
             cat.entry(idx).classify(&coarse_sig, coarse.sigma()),
             Some(Derivation::DrillOut(vec![0]))
         );
+    }
+
+    #[test]
+    fn query_log_dedups_shapes_and_counts_accesses() {
+        let mut g = blog_world();
+        let eq = example_1(&mut g);
+        let sig = ViewSignature::of(eq.query());
+        let cat = CubeCatalog::new();
+        let explained = ExplainedStrategy::scratch(10.0, 0);
+
+        cat.record_query(&eq, &sig, &explained, 500);
+        cat.record_query(&eq, &sig, &explained, 700);
+        assert_eq!(cat.log_total(), 2);
+        let shapes = cat.logged_shapes();
+        assert_eq!(shapes.len(), 1, "identical shapes dedup");
+        assert_eq!(shapes[0].count(), 2);
+        assert_eq!(shapes[0].measured_nanos(), 700, "latest measurement kept");
+        assert_eq!(shapes[0].strategy(), Strategy::FromScratch);
+
+        // A differently-restricted shape of the same family is distinct,
+        // but the family's KeyStats accumulate across both.
+        let mut sigma = Sigma::all(2);
+        sigma.set(
+            0,
+            crate::extended::ValueSelector::one(rdfcube_rdf::Term::integer(35)),
+        );
+        let diced = ExtendedQuery::with_sigma(eq.query().clone(), sigma).unwrap();
+        cat.record_query(&diced, &sig, &explained, 100);
+        assert_eq!(cat.logged_shapes().len(), 2);
+        let ks = cat.key_stats(&sig.key);
+        assert_eq!(ks.accesses, 3);
+        assert!(ks.last_touch > 0);
+
+        let stats = cat.stats();
+        assert_eq!(stats.logged_queries, 3);
+        assert_eq!(stats.distinct_shapes, 2);
+        assert_eq!(stats.key_stats.len(), 1);
+        assert_eq!(stats.key_stats[0].1.accesses, 3);
+    }
+
+    #[test]
+    fn family_heat_shields_hot_families_from_eviction() {
+        let mut g = blog_world();
+        let eq = example_1(&mut g);
+        let (ans, pres) = materialize(&eq, &g);
+        let one_cube = ans.approx_bytes() + pres.approx_bytes();
+        let sig = ViewSignature::of(eq.query());
+
+        // A second family: same body, different aggregate.
+        let other = ExtendedQuery::from_query(
+            AnalyticalQuery::parse(
+                "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, ?x livesIn ?dcity",
+                "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?p, ?p postedOn ?v",
+                AggFunc::CountDistinct,
+                g.dict_mut(),
+            )
+            .unwrap(),
+        );
+        let (o_ans, o_pres) = materialize(&other, &g);
+
+        let mut cat = CubeCatalog::new();
+        let hot = cat.insert(eq.clone(), ans.clone(), pres.clone(), g.len());
+        let cold = cat.insert(other.clone(), o_ans, o_pres, g.len());
+        // The newest entry is pinned by set_budget; heat decides between
+        // `hot` and `cold`. Give `cold` the better recency AND an entry
+        // hit, so plain benefit-weighted LRU would evict `hot` — only the
+        // family-heat factor can save it.
+        cat.touch(cold);
+        let newest = cat.insert(eq.clone(), ans, pres, g.len());
+        let explained = ExplainedStrategy::scratch(10.0, 0);
+        for _ in 0..50 {
+            cat.record_query(&eq, &sig, &explained, 100);
+        }
+        let total = cat.resident_bytes();
+        assert!(total > one_cube);
+        cat.set_budget(Some(total - 1));
+        assert!(cat.entry(hot).is_resident(), "hot family survives");
+        assert!(!cat.entry(cold).is_resident(), "cold family evicted");
+        assert!(cat.entry(newest).is_resident(), "pinned entry kept");
     }
 }

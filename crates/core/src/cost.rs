@@ -29,7 +29,7 @@
 //! candidates competed, and whether the source had to be rehydrated after
 //! an eviction.
 
-use crate::catalog::{CatalogEntry, Derivation};
+use crate::catalog::{CatalogEntry, CubeStats, Derivation};
 use crate::extended::{ExtendedQuery, Sigma, ValueSelector};
 use crate::rewrite;
 use crate::session::{CubeHandle, Strategy};
@@ -140,7 +140,21 @@ pub fn derivation_cost(
     target: &ExtendedQuery,
     instance: &Graph,
 ) -> f64 {
-    let stats = source.stats();
+    derivation_cost_with_stats(d, source.stats(), source.query(), target, instance)
+}
+
+/// [`derivation_cost`] against explicit statistics instead of a catalog
+/// entry. The advisor uses this to cost derivations from *hypothetical*
+/// candidate views — ancestors it is considering materializing, whose
+/// `CubeStats` are estimated from their already-materialized family
+/// members rather than measured.
+pub fn derivation_cost_with_stats(
+    d: &Derivation,
+    stats: &CubeStats,
+    source_eq: &ExtendedQuery,
+    target: &ExtendedQuery,
+    instance: &Graph,
+) -> f64 {
     match d {
         Derivation::Dice => {
             let output =
@@ -159,7 +173,7 @@ pub fn derivation_cost(
             rewrite::drill_out_cost(stats.pres_rows) + output
         }
         Derivation::DrillIn(_) => {
-            let aux = rewrite::aux_rows_bound(source.query().query().classifier(), instance);
+            let aux = rewrite::aux_rows_bound(source_eq.query().classifier(), instance);
             rewrite::drill_in_cost(stats.pres_rows, aux)
         }
     }

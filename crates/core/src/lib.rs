@@ -28,7 +28,12 @@
 //!   strategy automatically;
 //! * [`shared`] — the concurrent query plane: a `Send + Sync`
 //!   [`SharedSession`] serving `answer_query`/`transform` to any number
-//!   of threads over the same `Arc`-shared instance and catalog.
+//!   of threads over the same `Arc`-shared instance and catalog;
+//! * [`advisor`] — workload-driven view selection: mines the catalog's
+//!   query log, enumerates candidate lattice ancestors, and greedily
+//!   pre-materializes the best benefit-per-byte set under the memory
+//!   budget ([`OlapSession::advise`] /
+//!   [`SharedSession::advise_if_stale`]).
 //!
 //! ## Quick example — the paper's Example 1 cube, sliced
 //!
@@ -57,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod anq;
 pub mod answer;
 pub mod aux_query;
@@ -72,11 +78,13 @@ pub mod session;
 pub mod shared;
 pub mod signature;
 
+pub use advisor::AdvisorReport;
 pub use anq::AnalyticalQuery;
 pub use answer::{answer, Cube};
 pub use aux_query::build_aux_query;
 pub use catalog::{
-    CatalogCounters, CatalogEntry, CubeCatalog, CubeSnapshot, CubeStats, Derivation,
+    CatalogCounters, CatalogEntry, CatalogStats, CubeCatalog, CubeSnapshot, CubeStats, Derivation,
+    KeyStats, LoggedQuery,
 };
 pub use cost::ExplainedStrategy;
 pub use error::CoreError;

@@ -381,6 +381,7 @@ impl OlapSession {
         &mut self,
         eq: ExtendedQuery,
     ) -> Result<(CubeHandle, ExplainedStrategy), CoreError> {
+        let start = std::time::Instant::now();
         let sig = ViewSignature::of(eq.query());
         // Deduplicate before planning, so the guarantee does not depend on
         // which candidate the cost model happens to pick (or reject): an
@@ -394,10 +395,11 @@ impl OlapSession {
             let rehydrated = self.catalog.ensure_resident(idx, &self.instance)?;
             self.catalog.touch(idx);
             self.catalog.record_hit();
-            return Ok((
-                CubeHandle(idx),
-                duplicate_explained(&self.catalog, idx, &eq, &self.instance, rehydrated),
-            ));
+            let explained =
+                duplicate_explained(&self.catalog, idx, &eq, &self.instance, rehydrated);
+            self.catalog
+                .record_query(&eq, &sig, &explained, start.elapsed().as_nanos() as u64);
+            return Ok((CubeHandle(idx), explained));
         }
         let (pick, mut explained) = plan_in(&self.catalog, &self.instance, &eq, &sig);
         let (ans, pres) = match pick {
@@ -416,9 +418,21 @@ impl OlapSession {
                 rewrite::from_scratch_with_pres(&eq, &self.instance)?
             }
         };
+        self.catalog
+            .record_query(&eq, &sig, &explained, start.elapsed().as_nanos() as u64);
         let watermark = self.instance.len();
         let idx = self.catalog.insert_signed(eq, sig, ans, pres, watermark);
         Ok((CubeHandle(idx), explained))
+    }
+
+    /// Runs one workload-driven view-selection cycle (see
+    /// [`crate::advisor`]): mines the catalog's query log, enumerates
+    /// candidate lattice ancestors of the logged shapes, and greedily
+    /// materializes the best benefit-per-byte set under the session's
+    /// memory budget. A no-op when the log has not grown since the last
+    /// run, so calling it repeatedly is idempotent.
+    pub fn advise(&mut self) -> Result<crate::advisor::AdvisorReport, CoreError> {
+        crate::advisor::advise_catalog(&mut self.catalog, &self.instance)
     }
 
     /// Plans `eq` without executing or materializing anything: probes the
@@ -495,6 +509,7 @@ impl OlapSession {
         dim: &str,
         via: &str,
     ) -> Result<(CubeHandle, ExplainedStrategy), CoreError> {
+        let start = std::time::Instant::now();
         let via_id = Arc::make_mut(&mut self.instance)
             .dict_mut()
             .encode_owned(rdfcube_rdf::Term::iri(via));
@@ -527,8 +542,17 @@ impl OlapSession {
         let (ans, pres) =
             rewrite::roll_up_from_pres(source_pres, dim_idx, via_id, &coarse_name, &self.instance)?;
         self.catalog.record_hit();
+        let new_sig = ViewSignature::of(new_eq.query());
+        self.catalog.record_query(
+            &new_eq,
+            &new_sig,
+            &explained,
+            start.elapsed().as_nanos() as u64,
+        );
         let watermark = self.instance.len();
-        let idx = self.catalog.insert(new_eq, ans, pres, watermark);
+        let idx = self
+            .catalog
+            .insert_signed(new_eq, new_sig, ans, pres, watermark);
         Ok((CubeHandle(idx), explained))
     }
 }

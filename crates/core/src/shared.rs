@@ -114,6 +114,13 @@ impl SharedSession {
         self.read().counters()
     }
 
+    /// A combined statistics snapshot: the counters plus the query log's
+    /// per-[`ViewKey`](crate::signature::ViewKey) access frequencies (see
+    /// [`CubeCatalog::stats`](crate::catalog::CubeCatalog::stats)).
+    pub fn stats(&self) -> crate::catalog::CatalogStats {
+        self.read().stats()
+    }
+
     /// Bytes of materialized payload currently resident.
     pub fn resident_bytes(&self) -> usize {
         self.read().resident_bytes()
@@ -195,10 +202,12 @@ impl SharedSession {
         &self,
         eq: ExtendedQuery,
     ) -> Result<(CubeHandle, ExplainedStrategy), CoreError> {
+        let start = std::time::Instant::now();
         let sig = ViewSignature::of(eq.query());
         // Duplicate fast path: served entirely under the read lock when
         // the entry is fresh and resident (the common case under steady
-        // traffic).
+        // traffic). The query log sits behind its own mutex, so recording
+        // works under the read lock too.
         let stale_duplicate = {
             let cat = self.read();
             match session::find_duplicate(&cat, &sig, &eq) {
@@ -209,6 +218,7 @@ impl SharedSession {
                         cat.record_hit();
                         let explained =
                             session::duplicate_explained(&cat, idx, &eq, &self.instance, false);
+                        cat.record_query(&eq, &sig, &explained, start.elapsed().as_nanos() as u64);
                         return Ok((CubeHandle(idx), explained));
                     }
                     Some(idx)
@@ -223,6 +233,7 @@ impl SharedSession {
             cat.record_hit();
             let explained =
                 session::duplicate_explained(&cat, idx, &eq, &self.instance, rehydrated);
+            cat.record_query(&eq, &sig, &explained, start.elapsed().as_nanos() as u64);
             return Ok((CubeHandle(idx), explained));
         }
 
@@ -285,6 +296,7 @@ impl SharedSession {
         // concurrent identical queries converge on one entry instead of
         // inserting N copies.
         let mut cat = self.write();
+        cat.record_query(&eq, &sig, &explained, start.elapsed().as_nanos() as u64);
         if let Some(idx) = session::find_duplicate(&cat, &sig, &eq) {
             cat.ensure_resident(idx, &self.instance)?;
             cat.touch(idx);
@@ -293,6 +305,32 @@ impl SharedSession {
         let watermark = self.instance.len();
         let idx = cat.insert_signed(eq, sig, ans, pres, watermark);
         Ok((CubeHandle(idx), explained))
+    }
+
+    /// Re-runs workload-driven view selection (see [`crate::advisor`])
+    /// when the query log has grown by at least `min_new_queries` since
+    /// the last run; returns `None` when it has not. Intended to be
+    /// called periodically from any serving thread — the staleness probe
+    /// is a read-lock peek, and only an actually-stale log pays for the
+    /// write lock (selection and materialization run under it, briefly
+    /// blocking concurrent queries, like any other materialization).
+    pub fn advise_if_stale(
+        &self,
+        min_new_queries: u64,
+    ) -> Result<Option<crate::advisor::AdvisorReport>, CoreError> {
+        let threshold = min_new_queries.max(1);
+        {
+            let cat = self.read();
+            if cat.log_total().saturating_sub(cat.advised_log_total()) < threshold {
+                return Ok(None);
+            }
+        }
+        let mut cat = self.write();
+        // Re-check: a racing thread may have advised while we waited.
+        if cat.log_total().saturating_sub(cat.advised_log_total()) < threshold {
+            return Ok(None);
+        }
+        crate::advisor::advise_catalog(&mut cat, &self.instance).map(Some)
     }
 
     /// Applies an OLAP operation to a materialized cube — the concurrent
@@ -322,6 +360,7 @@ impl SharedSession {
         dim: &str,
         via: &str,
     ) -> Result<(CubeHandle, ExplainedStrategy), CoreError> {
+        let start = std::time::Instant::now();
         // The dictionary is frozen during a shared epoch, so the mapping
         // property must already be interned (any property that actually
         // occurs in the instance is).
@@ -352,8 +391,15 @@ impl SharedSession {
             rewrite::roll_up_from_pres(snap.pres(), dim_idx, via_id, &coarse_name, &self.instance)?;
         let mut cat = self.write();
         cat.record_hit();
+        let new_sig = ViewSignature::of(new_eq.query());
+        cat.record_query(
+            &new_eq,
+            &new_sig,
+            &explained,
+            start.elapsed().as_nanos() as u64,
+        );
         let watermark = self.instance.len();
-        let idx = cat.insert(new_eq, ans, pres, watermark);
+        let idx = cat.insert_signed(new_eq, new_sig, ans, pres, watermark);
         Ok((CubeHandle(idx), explained))
     }
 }

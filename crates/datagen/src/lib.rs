@@ -8,7 +8,10 @@
 //!   **multi-valuedness**;
 //! * [`video`] — the Figure 3 / Example 6 video-hosting schema used by the
 //!   DRILL-IN benchmarks;
-//! * [`zipf`] — the skew sampler both use.
+//! * [`zipf`] — the skew sampler both use;
+//! * [`workload`] — Zipf-skewed query workloads of distinct-but-derivable
+//!   slice/dice/drill-out variants, for exercising the view-selection
+//!   advisor.
 //!
 //! All generation is deterministic per seed, so benchmark runs are
 //! reproducible and parser/writer round-trips can be golden-tested.
@@ -17,6 +20,7 @@
 
 pub mod blogger;
 pub mod video;
+pub mod workload;
 pub mod zipf;
 
 pub use blogger::{
@@ -24,4 +28,5 @@ pub use blogger::{
     EXAMPLE1_MEASURE, EXAMPLE4_MEASURE, LARGE_WORLD_TRIPLES,
 };
 pub use video::{generate_videos, VideoConfig, BROWSERS, EXAMPLE6_CLASSIFIER, EXAMPLE6_MEASURE};
+pub use workload::{variant_pool, zipf_sequence, zipf_workload, DimDomain};
 pub use zipf::Zipf;

@@ -12,7 +12,9 @@
 //!   OLAP operations, partial results, and the paper's three rewriting
 //!   algorithms behind an [`OlapSession`] whose signature-indexed,
 //!   cost-based cube catalog picks the cheapest sound strategy
-//!   automatically (optionally under a memory budget);
+//!   automatically (optionally under a memory budget), and whose
+//!   view-selection advisor mines the query log to pre-materialize the
+//!   best lattice ancestors per byte;
 //! * [`datagen`] — seeded workload generators for the paper's blogger and
 //!   video worlds.
 //!
@@ -66,9 +68,10 @@ pub use rdfcube_engine as engine;
 pub use rdfcube_rdf as rdf;
 
 pub use rdfcube_core::{
-    answer, apply, build_aux_query, AnalyticalQuery, AnalyticalSchema, CoreError, Cube,
-    CubeCatalog, CubeHandle, CubeSnapshot, ExplainedStrategy, ExtendedQuery, MaterializedCube,
-    OlapOp, OlapSession, PartialResult, SharedSession, Sigma, Strategy, ValueSelector,
+    answer, apply, build_aux_query, AdvisorReport, AnalyticalQuery, AnalyticalSchema, CoreError,
+    Cube, CubeCatalog, CubeHandle, CubeSnapshot, ExplainedStrategy, ExtendedQuery,
+    MaterializedCube, OlapOp, OlapSession, PartialResult, SharedSession, Sigma, Strategy,
+    ValueSelector,
 };
 pub use rdfcube_engine::{
     evaluate, evaluate_sparql, explain, parse_query, parse_sparql, set_eval_threads, AggFunc,

@@ -206,6 +206,97 @@ proptest! {
         }
     }
 
+    /// The view-selection advisor is sound under any byte budget. After a
+    /// warmup of distinct diced variants through a budgeted session:
+    ///
+    /// * whatever `advise()` materializes, resident bytes stay within the
+    ///   budget (modulo the catalog's single-oversized-cube pinning rule);
+    /// * a second `advise()` on the unchanged log is a no-op (idempotence);
+    /// * fresh never-warmed queries — derivable only from an unrestricted
+    ///   lattice ancestor — answer cell-identically to an unadvised
+    ///   reactive session at the same budget, and to from-scratch
+    ///   evaluation.
+    #[test]
+    fn advisor_budget_idempotence_and_soundness(
+        cfg in arb_config(0.0f64..0.5),
+        agg in arb_agg(),
+        budget_frac in 2usize..8,
+        n_warm in 3usize..8,
+    ) {
+        let mut instance = generate_instance(&cfg);
+        let q = AnalyticalQuery::parse(CLASSIFIER, MEASURE, agg, instance.dict_mut()).unwrap();
+        let base = ExtendedQuery::from_query(q);
+        let dice_city = |i: usize| OlapOp::Dice {
+            constraints: vec![(
+                "dcity".into(),
+                ValueSelector::OneOf(vec![Term::literal(format!("city{}", i % cfg.n_cities))]),
+            )],
+        };
+
+        // One diced cube's footprint, to scale the budget from "barely one
+        // cube" up to "most of the warmup fits".
+        let mut probe = OlapSession::new(instance.clone());
+        let (ph, _) = probe.answer_query(rdfcube::apply(&base, &dice_city(0)).unwrap()).unwrap();
+        let slice_bytes =
+            probe.cube(ph).answer().approx_bytes() + probe.cube(ph).pres().approx_bytes();
+        let budget = slice_bytes * budget_frac / 2;
+
+        let mut advised = OlapSession::with_budget(instance.clone(), budget);
+        let mut reactive = OlapSession::with_budget(instance, budget);
+        for i in 0..n_warm {
+            let eq = rdfcube::apply(&base, &dice_city(i)).unwrap();
+            advised.answer_query(eq.clone()).unwrap();
+            reactive.answer_query(eq).unwrap();
+        }
+
+        advised.advise().unwrap();
+        let cat = advised.catalog();
+        prop_assert!(
+            cat.resident_bytes() <= budget || cat.resident_len() == 1,
+            "advised catalog exceeded its budget: {} resident bytes across {} cubes (budget {budget})",
+            cat.resident_bytes(),
+            cat.resident_len(),
+        );
+
+        let len = advised.len();
+        let again = advised.advise().unwrap();
+        prop_assert_eq!(again.selected, 0, "re-advise on an unchanged log selected views");
+        prop_assert_eq!(again.considered, 0);
+        prop_assert_eq!(advised.len(), len, "re-advise materialized something");
+
+        // Fresh probes: a never-warmed age dice (the warmup only ever
+        // diced dcity) and a never-warmed city pair — derivable only from
+        // an unrestricted ancestor, whether or not the advisor built one.
+        let fresh_ops = [
+            OlapOp::Dice {
+                constraints: vec![("dage".into(), ValueSelector::OneOf(vec![Term::integer(18)]))],
+            },
+            OlapOp::Dice {
+                constraints: vec![(
+                    "dcity".into(),
+                    ValueSelector::OneOf(vec![
+                        Term::literal("city0"),
+                        Term::literal(format!("city{}", cfg.n_cities - 1)),
+                    ]),
+                )],
+            },
+        ];
+        for op in &fresh_ops {
+            let eq = rdfcube::apply(&base, op).unwrap();
+            let (ha, _) = advised.answer_query(eq.clone()).unwrap();
+            let (hr, _) = reactive.answer_query(eq).unwrap();
+            prop_assert!(
+                advised.answer(ha).same_cells(reactive.answer(hr)),
+                "advised and reactive sessions diverged for {op:?}"
+            );
+            let scratch = advised.cube(ha).query().answer(advised.instance()).unwrap();
+            prop_assert!(
+                advised.answer(ha).same_cells(&scratch),
+                "advised answer diverged from scratch for {op:?}"
+            );
+        }
+    }
+
     /// The session's automatically chosen strategy is sound for every
     /// operation, and it picks the rewriting (never from-scratch) for the
     /// four paper operations.
