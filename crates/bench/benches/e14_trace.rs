@@ -1,0 +1,79 @@
+//! E14 — observability overhead of the query-plane telemetry.
+//!
+//! Times the same end-to-end `answer()` path E9 measures on the
+//! ~100k-triple blogger world, in two configurations:
+//!
+//! * `answer_untraced_100k` — no trace collector installed; every span
+//!   site pays exactly one relaxed atomic load plus a branch (the
+//!   acceptance bar is ≤3% overhead versus E9's `answer_100k`);
+//! * `answer_traced_100k` — the run wrapped in
+//!   `trace_begin`/`trace_end`, so every span records wall time, row
+//!   counts and attributes into the thread-local collector (bar: ≤15%).
+//!
+//! The global metrics sink (BGP step/shard counters, delta-merge
+//! counters) is always on in both configurations — its relaxed
+//! `fetch_add`s are part of the untraced baseline by design.
+//!
+//! A separate `e14_smoke` group runs the traced pipeline on a small
+//! world with a minimal sample budget; CI executes only that group to
+//! guard the bench against bit-rot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfcube_bench::blogger_fixture;
+use rdfcube_core::answer;
+use rdfcube_obs::{trace_begin, trace_end};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = blogger_fixture(100_000, 0.1);
+    let n = f.instance.len();
+    let q = f.eq.query();
+
+    let mut group = c.benchmark_group("e14_trace");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_with_input(BenchmarkId::new("answer_untraced_100k", n), &n, |b, _| {
+        b.iter(|| black_box(answer(q, &f.instance).unwrap()))
+    });
+
+    group.bench_with_input(BenchmarkId::new("answer_traced_100k", n), &n, |b, _| {
+        b.iter(|| {
+            let began = trace_begin("answer_query");
+            let cube = black_box(answer(q, &f.instance).unwrap());
+            if began {
+                black_box(trace_end());
+            }
+            cube
+        })
+    });
+
+    group.finish();
+}
+
+fn smoke(c: &mut Criterion) {
+    let f = blogger_fixture(5_000, 0.1);
+    let q = f.eq.query();
+
+    let mut group = c.benchmark_group("e14_smoke");
+    group.sample_size(2);
+    group.warm_up_time(std::time::Duration::from_millis(50));
+    group.measurement_time(std::time::Duration::from_millis(200));
+
+    group.bench_function("answer_traced_5k", |b| {
+        b.iter(|| {
+            let began = trace_begin("answer_query");
+            let cube = black_box(answer(q, &f.instance).unwrap());
+            if began {
+                black_box(trace_end());
+            }
+            cube
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench, smoke);
+criterion_main!(benches);

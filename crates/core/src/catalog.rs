@@ -39,6 +39,7 @@ use crate::pres::PartialResult;
 use crate::session::Strategy;
 use crate::signature::{BodySignature, ViewKey, ViewSignature};
 use rdfcube_engine::VarId;
+use rdfcube_obs as obs;
 use rdfcube_rdf::fx::FxHashMap;
 use rdfcube_rdf::Graph;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -220,15 +221,52 @@ pub struct CatalogCounters {
     pub refreshes: u64,
 }
 
-/// Interior-mutable counter cells: hit/miss accounting happens on the
-/// concurrent read path of a shared catalog, where only `&self` is held.
-#[derive(Debug, Default)]
-struct AtomicCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    rehydrations: AtomicU64,
-    refreshes: AtomicU64,
+/// Registry-backed catalog metric handles. The same atomic cells serve
+/// [`CubeCatalog::counters`] (so existing counter semantics are exactly
+/// preserved) and the [`rdfcube_obs::Registry`] snapshot exporters — and
+/// because the shared plane's stats are pass-throughs to its catalog,
+/// `OlapSession` and `SharedSession` report identical metric names.
+/// Hit/miss accounting happens on the concurrent read path of a shared
+/// catalog, where only `&self` is held; every handle increment is one
+/// lock-free atomic RMW.
+#[derive(Debug)]
+struct CatalogMetrics {
+    /// Each catalog owns its registry, so two sessions in one process
+    /// never mix their counters.
+    registry: obs::Registry,
+    hits: obs::Counter,
+    misses: obs::Counter,
+    evictions: obs::Counter,
+    rehydrations: obs::Counter,
+    refreshes: obs::Counter,
+    resident_bytes: obs::Gauge,
+    peak_resident_bytes: obs::Gauge,
+    entries: obs::Gauge,
+    query_nanos: obs::Histogram,
+    advisor_runs: obs::Counter,
+    advisor_selected: obs::Counter,
+    advisor_materialized_bytes: obs::Gauge,
+}
+
+impl Default for CatalogMetrics {
+    fn default() -> Self {
+        let registry = obs::Registry::new();
+        CatalogMetrics {
+            hits: registry.counter("rdfcube_catalog_hits_total"),
+            misses: registry.counter("rdfcube_catalog_misses_total"),
+            evictions: registry.counter("rdfcube_catalog_evictions_total"),
+            rehydrations: registry.counter("rdfcube_catalog_rehydrations_total"),
+            refreshes: registry.counter("rdfcube_catalog_refreshes_total"),
+            resident_bytes: registry.gauge("rdfcube_catalog_resident_bytes"),
+            peak_resident_bytes: registry.gauge("rdfcube_catalog_peak_resident_bytes"),
+            entries: registry.gauge("rdfcube_catalog_entries"),
+            query_nanos: registry.histogram("rdfcube_query_nanos"),
+            advisor_runs: registry.counter("rdfcube_advisor_runs_total"),
+            advisor_selected: registry.counter("rdfcube_advisor_selected_total"),
+            advisor_materialized_bytes: registry.gauge("rdfcube_advisor_materialized_bytes"),
+            registry,
+        }
+    }
 }
 
 /// Per-[`ViewKey`] access counters. Unlike an entry's own `hits`/
@@ -358,7 +396,7 @@ pub struct CubeCatalog {
     resident_bytes: usize,
     peak_resident_bytes: usize,
     clock: AtomicU64,
-    counters: AtomicCounters,
+    metrics: CatalogMetrics,
     log: Mutex<QueryLog>,
 }
 
@@ -378,7 +416,7 @@ impl CubeCatalog {
             resident_bytes: 0,
             peak_resident_bytes: 0,
             clock: AtomicU64::new(0),
-            counters: AtomicCounters::default(),
+            metrics: CatalogMetrics::default(),
             log: Mutex::new(QueryLog::default()),
         }
     }
@@ -436,25 +474,44 @@ impl CubeCatalog {
         self.peak_resident_bytes
     }
 
-    /// Cumulative hit/miss/eviction/rehydration counters.
+    /// Cumulative hit/miss/eviction/rehydration counters (the same cells
+    /// the metrics registry exports — see [`Self::metrics_snapshot`]).
     pub fn counters(&self) -> CatalogCounters {
         CatalogCounters {
-            hits: self.counters.hits.load(Ordering::Relaxed),
-            misses: self.counters.misses.load(Ordering::Relaxed),
-            evictions: self.counters.evictions.load(Ordering::Relaxed),
-            rehydrations: self.counters.rehydrations.load(Ordering::Relaxed),
-            refreshes: self.counters.refreshes.load(Ordering::Relaxed),
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            evictions: self.metrics.evictions.get(),
+            rehydrations: self.metrics.rehydrations.get(),
+            refreshes: self.metrics.refreshes.get(),
         }
+    }
+
+    /// Lock-free snapshot of this catalog's metrics registry: the
+    /// hit/miss/eviction/rehydration/refresh counters, resident-bytes
+    /// gauges, the `rdfcube_query_nanos` latency histogram and the
+    /// advisor gauges, ready for the Prometheus/JSON exporters.
+    pub fn metrics_snapshot(&self) -> obs::Snapshot {
+        self.metrics.registry.snapshot()
+    }
+
+    /// Records a completed advisor run in the registry (run counter,
+    /// cumulative selections, materialized-bytes gauge).
+    pub(crate) fn record_advisor_run(&self, selected: u64, materialized_bytes: u64) {
+        self.metrics.advisor_runs.inc();
+        self.metrics.advisor_selected.add(selected);
+        self.metrics
+            .advisor_materialized_bytes
+            .set(materialized_bytes);
     }
 
     /// Records a reuse hit (the session calls this when a derivation ran).
     pub fn record_hit(&self) {
-        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        self.metrics.hits.inc();
     }
 
     /// Records a fallback to from-scratch evaluation.
     pub fn record_miss(&self) {
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.inc();
     }
 
     fn lock_log(&self) -> std::sync::MutexGuard<'_, QueryLog> {
@@ -474,6 +531,7 @@ impl CubeCatalog {
         measured_nanos: u64,
     ) {
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.query_nanos.record(measured_nanos);
         let mut log = self.lock_log();
         log.total += 1;
         let ks = log.key_stats.entry(sig.key.clone()).or_default();
@@ -647,6 +705,7 @@ impl CubeCatalog {
             hits: AtomicU64::new(0),
         });
         self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        self.sync_size_gauges();
         idx
     }
 
@@ -698,13 +757,24 @@ impl CubeCatalog {
         e.payload = Some(Arc::new(CubePayload { ans, pres }));
         e.watermark = watermark;
         if was_resident {
-            self.counters.refreshes.fetch_add(1, Ordering::Relaxed);
+            self.metrics.refreshes.inc();
         } else {
-            self.counters.rehydrations.fetch_add(1, Ordering::Relaxed);
+            self.metrics.rehydrations.inc();
         }
         self.resident_bytes += bytes;
         self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+        self.sync_size_gauges();
         Ok(true)
+    }
+
+    /// Mirrors the resident-set bookkeeping into the registry gauges;
+    /// called after every mutation that moves payload bytes.
+    fn sync_size_gauges(&self) {
+        self.metrics.resident_bytes.set(self.resident_bytes as u64);
+        self.metrics
+            .peak_resident_bytes
+            .set(self.peak_resident_bytes as u64);
+        self.metrics.entries.set(self.entries.len() as u64);
     }
 
     /// The resident entry touched most recently, if any.
@@ -781,7 +851,7 @@ impl CubeCatalog {
             let Some(victim) = victim else { break };
             self.entries[victim].payload = None;
             self.resident_bytes -= self.entries[victim].stats.bytes;
-            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            self.metrics.evictions.inc();
             evicted_any = true;
         }
         if evicted_any {
@@ -789,6 +859,7 @@ impl CubeCatalog {
                 let hits = e.hits.get_mut();
                 *hits /= 2;
             }
+            self.sync_size_gauges();
         }
     }
 }

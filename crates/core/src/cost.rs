@@ -195,6 +195,168 @@ fn dice_selectivity(sigma: &Sigma, dim_distinct: &[usize]) -> f64 {
         .product()
 }
 
+/// Calibration of the planner's abstract cost units against observed
+/// wall time, one row per strategy seen in the query log.
+///
+/// `nanos_per_unit` is Σ measured nanoseconds / Σ predicted cost over
+/// every logged shape the strategy served. If the cost model were
+/// perfectly calibrated, all strategies would share one rate; `drift`
+/// normalizes each rate against the [`Strategy::FromScratch`] baseline
+/// (or, when no from-scratch query was logged, against the cheapest
+/// rate), so a drift of 12 means the model over-charges that strategy's
+/// unit by ~12× relative to evaluation from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModelRow {
+    /// The strategy this row calibrates.
+    pub strategy: Strategy,
+    /// Distinct logged shapes that strategy served.
+    pub shapes: usize,
+    /// Total asks across those shapes.
+    pub queries: u64,
+    /// Σ of the planner's estimated cost over the shapes (abstract units).
+    pub predicted_cost: f64,
+    /// Σ of the measured wall time over the shapes (nanoseconds).
+    pub observed_nanos: u64,
+    /// Observed nanoseconds per predicted cost unit.
+    pub nanos_per_unit: f64,
+    /// `nanos_per_unit` relative to the baseline strategy's rate.
+    pub drift: f64,
+}
+
+/// Predicted-vs-observed cost comparison built from a catalog's query
+/// log (see [`CubeCatalog::logged_shapes`](crate::catalog::CubeCatalog::logged_shapes)).
+///
+/// Shapes whose estimate is non-finite or zero (duplicate hits are
+/// logged with cost 0) are skipped — they carry no calibration signal.
+#[derive(Debug, Clone, Default)]
+pub struct CostModelReport {
+    rows: Vec<CostModelRow>,
+}
+
+impl CostModelReport {
+    /// Builds the report from everything `catalog` has logged so far.
+    pub fn from_catalog(catalog: &crate::catalog::CubeCatalog) -> Self {
+        let mut by_strategy: Vec<(Strategy, usize, u64, f64, u64)> = Vec::new();
+        for shape in catalog.logged_shapes() {
+            let predicted = shape.estimated_cost();
+            if !predicted.is_finite() || predicted <= 0.0 || shape.measured_nanos() == 0 {
+                continue;
+            }
+            let entry = match by_strategy.iter_mut().find(|r| r.0 == shape.strategy()) {
+                Some(entry) => entry,
+                None => {
+                    by_strategy.push((shape.strategy(), 0, 0, 0.0, 0));
+                    by_strategy.last_mut().expect("just pushed")
+                }
+            };
+            entry.1 += 1;
+            entry.2 += shape.count();
+            entry.3 += predicted;
+            entry.4 += shape.measured_nanos();
+        }
+        let mut rows: Vec<CostModelRow> = by_strategy
+            .into_iter()
+            .map(
+                |(strategy, shapes, queries, predicted_cost, observed_nanos)| CostModelRow {
+                    strategy,
+                    shapes,
+                    queries,
+                    predicted_cost,
+                    observed_nanos,
+                    nanos_per_unit: observed_nanos as f64 / predicted_cost,
+                    drift: 1.0,
+                },
+            )
+            .collect();
+        let baseline = rows
+            .iter()
+            .find(|r| r.strategy == Strategy::FromScratch)
+            .map(|r| r.nanos_per_unit)
+            .or_else(|| {
+                rows.iter()
+                    .map(|r| r.nanos_per_unit)
+                    .min_by(|a, b| a.total_cmp(b))
+            });
+        if let Some(base) = baseline.filter(|b| *b > 0.0) {
+            for row in &mut rows {
+                row.drift = row.nanos_per_unit / base;
+            }
+        }
+        rows.sort_by(|a, b| b.drift.total_cmp(&a.drift));
+        CostModelReport { rows }
+    }
+
+    /// The per-strategy calibration rows, worst drift first.
+    pub fn rows(&self) -> &[CostModelRow] {
+        &self.rows
+    }
+
+    /// True when the log held no shape with a usable (finite, positive)
+    /// estimate.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Largest drift factor across strategies (1.0 when empty).
+    pub fn max_drift(&self) -> f64 {
+        self.rows.first().map_or(1.0, |r| r.drift)
+    }
+}
+
+impl fmt::Display for CostModelReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rows.is_empty() {
+            return writeln!(f, "cost model: no calibratable queries logged");
+        }
+        writeln!(
+            f,
+            "{:<36} {:>7} {:>8} {:>14} {:>14} {:>12} {:>8}",
+            "strategy", "shapes", "queries", "pred cost", "obs nanos", "ns/unit", "drift"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<36} {:>7} {:>8} {:>14.0} {:>14} {:>12.1} {:>7.1}x",
+                row.strategy.to_string(),
+                row.shapes,
+                row.queries,
+                row.predicted_cost,
+                row.observed_nanos,
+                row.nanos_per_unit,
+                row.drift
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders an `EXPLAIN ANALYZE` block: the planner's verdict (what
+/// [`ExplainedStrategy`] displays) followed by the observed span tree of
+/// the traced run — per-stage wall time, row counts and bytes.
+///
+/// Pair with [`OlapSession::answer_traced`](crate::session::OlapSession::answer_traced)
+/// or [`SharedSession::answer_traced`](crate::shared::SharedSession::answer_traced):
+///
+/// ```text
+/// EXPLAIN ANALYZE
+/// plan: selection-on-ans [est 120, scratch est 4100, 2 candidate(s)]
+/// answer_query 1.2ms
+/// ├─ plan 80µs [candidates=2]
+/// └─ derive 1.0ms rows 840→120
+/// stage coverage: 96% of 1.2ms
+/// ```
+pub fn explain_analyze(explained: &ExplainedStrategy, trace: &rdfcube_obs::QueryTrace) -> String {
+    let mut out = String::new();
+    out.push_str("EXPLAIN ANALYZE\n");
+    out.push_str(&format!("plan: {explained}\n"));
+    if trace.spans().is_empty() {
+        out.push_str("(no trace recorded)\n");
+    } else {
+        out.push_str(&trace.render());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

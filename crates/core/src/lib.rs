@@ -86,7 +86,7 @@ pub use catalog::{
     CatalogCounters, CatalogEntry, CatalogStats, CubeCatalog, CubeSnapshot, CubeStats, Derivation,
     KeyStats, LoggedQuery,
 };
-pub use cost::ExplainedStrategy;
+pub use cost::{explain_analyze, CostModelReport, CostModelRow, ExplainedStrategy};
 pub use error::CoreError;
 pub use extended::{CompiledSelector, CompiledSigma, ExtendedQuery, Sigma, ValueSelector};
 pub use olap::{apply, OlapOp};

@@ -60,9 +60,20 @@ impl PartialResult {
     /// order (the paper's illustrative `newk()` returning 1, 2, 3…).
     pub fn compute(eq: &ExtendedQuery, instance: &Graph) -> Result<Self, CoreError> {
         let q = eq.query();
-        let c_rel = eq.classifier_relation(instance)?;
-        let m_rel = evaluate(instance, q.measure(), Semantics::Bag)?;
+        let c_rel = {
+            let sp = rdfcube_obs::span("classifier");
+            let rel = eq.classifier_relation(instance)?;
+            sp.rows(instance.len() as u64, rel.len() as u64);
+            rel
+        };
+        let m_rel = {
+            let sp = rdfcube_obs::span("measure");
+            let rel = evaluate(instance, q.measure(), Semantics::Bag)?;
+            sp.rows(instance.len() as u64, rel.len() as u64);
+            rel
+        };
 
+        let sp = rdfcube_obs::span("key_join");
         // m^k(I): key every measure tuple, grouped by fact for the join.
         let mut by_fact: FxHashMap<TermId, Vec<(u32, TermId)>> = FxHashMap::default();
         for (i, row) in m_rel.rows().enumerate() {
@@ -91,6 +102,10 @@ impl PartialResult {
                 pres.keys.push(key);
                 pres.values.push(value);
             }
+        }
+        if sp.active() {
+            sp.rows((c_rel.len() + m_rel.len()) as u64, pres.len() as u64);
+            sp.bytes(pres.approx_bytes() as u64);
         }
         Ok(pres)
     }
@@ -206,6 +221,7 @@ impl PartialResult {
     pub fn to_cube(&self, dict: &Dictionary) -> Result<Cube, CoreError> {
         let n = self.n_dims;
         let rows = self.len();
+        let sp = rdfcube_obs::span("group_aggregate");
         let mut cells = Vec::new();
         if rows > 0 {
             let dims_of = |i: usize| &self.dims[i * n..(i + 1) * n];
@@ -227,7 +243,15 @@ impl PartialResult {
                 start = end;
             }
         }
-        Ok(Cube::from_cells(self.dim_names.clone(), self.agg, cells))
+        sp.rows(rows as u64, cells.len() as u64);
+        drop(sp);
+        let sp = rdfcube_obs::span("cube_build");
+        let cube = Cube::from_cells(self.dim_names.clone(), self.agg, cells);
+        if sp.active() {
+            sp.rows(cube.len() as u64, cube.len() as u64);
+            sp.bytes(cube.approx_bytes() as u64);
+        }
+        Ok(cube)
     }
 
     /// Canonical sorted row list for test comparisons.

@@ -42,6 +42,7 @@ use crate::rewrite;
 use crate::shared::SharedSession;
 use crate::signature::{query_signature, BodySignature, ViewSignature};
 use rdfcube_engine::AggFunc;
+use rdfcube_obs::{self as obs, QueryTrace};
 use rdfcube_rdf::{Graph, Term};
 use std::fmt;
 use std::sync::Arc;
@@ -382,6 +383,7 @@ impl OlapSession {
         eq: ExtendedQuery,
     ) -> Result<(CubeHandle, ExplainedStrategy), CoreError> {
         let start = std::time::Instant::now();
+        let plan_span = obs::span("plan");
         let sig = ViewSignature::of(eq.query());
         // Deduplicate before planning, so the guarantee does not depend on
         // which candidate the cost model happens to pick (or reject): an
@@ -392,18 +394,34 @@ impl OlapSession {
         // which also recomputes cells whose watermark the instance grew
         // past — repeated traffic can never be served stale cells.)
         if let Some(idx) = find_duplicate(&self.catalog, &sig, &eq) {
-            let rehydrated = self.catalog.ensure_resident(idx, &self.instance)?;
-            self.catalog.touch(idx);
-            self.catalog.record_hit();
-            let explained =
-                duplicate_explained(&self.catalog, idx, &eq, &self.instance, rehydrated);
+            drop(plan_span);
+            let rehydrated;
+            let explained;
+            {
+                let sp = obs::span("duplicate");
+                rehydrated = self.catalog.ensure_resident(idx, &self.instance)?;
+                self.catalog.touch(idx);
+                self.catalog.record_hit();
+                explained =
+                    duplicate_explained(&self.catalog, idx, &eq, &self.instance, rehydrated);
+                if sp.active() {
+                    sp.attr("rehydrated", u64::from(rehydrated));
+                }
+            }
+            record_strategy_span(&explained);
             self.catalog
                 .record_query(&eq, &sig, &explained, start.elapsed().as_nanos() as u64);
             return Ok((CubeHandle(idx), explained));
         }
         let (pick, mut explained) = plan_in(&self.catalog, &self.instance, &eq, &sig);
+        if plan_span.active() {
+            plan_span.attr("candidates", explained.candidates as u64);
+        }
+        drop(plan_span);
+        record_strategy_span(&explained);
         let (ans, pres) = match pick {
             Some((source_idx, d)) => {
+                let sp = obs::span("derive");
                 explained.rehydrated = self.catalog.ensure_resident(source_idx, &self.instance)?;
                 let derived = self.derive(source_idx, &eq, &d)?;
                 // Count the hit (and the source's LRU/benefit credit) only
@@ -411,18 +429,66 @@ impl OlapSession {
                 // rewrite must not inflate counters or eviction scores.
                 self.catalog.touch(source_idx);
                 self.catalog.record_hit();
+                if sp.active() {
+                    sp.detail(|| explained.strategy.to_string());
+                    let source_cells = self
+                        .catalog
+                        .get_entry(source_idx)
+                        .map_or(0, |e| e.stats().ans_cells as u64);
+                    sp.rows(source_cells, derived.0.len() as u64);
+                    sp.attr("rehydrated", u64::from(explained.rehydrated));
+                }
                 derived
             }
             None => {
+                let sp = obs::span("from_scratch");
                 self.catalog.record_miss();
-                rewrite::from_scratch_with_pres(&eq, &self.instance)?
+                let computed = rewrite::from_scratch_with_pres(&eq, &self.instance)?;
+                if sp.active() {
+                    sp.rows(computed.1.len() as u64, computed.0.len() as u64);
+                }
+                computed
             }
         };
         self.catalog
             .record_query(&eq, &sig, &explained, start.elapsed().as_nanos() as u64);
         let watermark = self.instance.len();
+        let sp = obs::span("materialize");
+        if sp.active() {
+            sp.rows(ans.len() as u64, ans.len() as u64);
+            sp.bytes((ans.approx_bytes() + pres.approx_bytes()) as u64);
+        }
         let idx = self.catalog.insert_signed(eq, sig, ans, pres, watermark);
+        drop(sp);
         Ok((CubeHandle(idx), explained))
+    }
+
+    /// [`Self::answer_query`] under a structured trace: brackets the call
+    /// in a [`QueryTrace`] whose span tree records where the answer's
+    /// time, rows and bytes went (`plan → strategy → derive/from_scratch
+    /// (→ BGP steps, join, group-aggregate, cube build) → materialize`),
+    /// returned alongside the usual handle and [`ExplainedStrategy`].
+    /// Render it with [`QueryTrace::render`] or
+    /// [`crate::explain_analyze`].
+    ///
+    /// Only this call is traced: concurrent queries on other threads (and
+    /// untraced queries on this one) pay a single atomic-load branch per
+    /// instrumented stage. If a trace is already active on this thread,
+    /// the outer trace wins and the returned trace is empty.
+    pub fn answer_traced(
+        &mut self,
+        eq: ExtendedQuery,
+    ) -> Result<(CubeHandle, ExplainedStrategy, QueryTrace), CoreError> {
+        let began = obs::trace_begin("answer_query");
+        let result = self.answer_query(eq);
+        let trace = if began {
+            obs::sink().traces.inc();
+            obs::trace_end().unwrap_or_default()
+        } else {
+            QueryTrace::default()
+        };
+        let (handle, explained) = result?;
+        Ok((handle, explained, trace))
     }
 
     /// Runs one workload-driven view-selection cycle (see
@@ -503,6 +569,32 @@ impl OlapSession {
         self.answer_query(new_eq)
     }
 
+    /// [`Self::transform`] under a structured trace, the way
+    /// [`Self::answer_traced`] wraps [`Self::answer_query`]. The trace is
+    /// empty if another trace is already active on this thread.
+    pub fn transform_traced(
+        &mut self,
+        handle: CubeHandle,
+        op: &OlapOp,
+    ) -> Result<(CubeHandle, ExplainedStrategy, QueryTrace), CoreError> {
+        let began = obs::trace_begin("answer_query");
+        let result = self.transform(handle, op);
+        let trace = if began {
+            obs::sink().traces.inc();
+            obs::trace_end().unwrap_or_default()
+        } else {
+            QueryTrace::default()
+        };
+        let (new_handle, explained) = result?;
+        Ok((new_handle, explained, trace))
+    }
+
+    /// Lock-free snapshot of the session catalog's metrics registry (see
+    /// [`CubeCatalog::metrics_snapshot`]).
+    pub fn metrics_snapshot(&self) -> rdfcube_obs::Snapshot {
+        self.catalog.metrics_snapshot()
+    }
+
     fn roll_up(
         &mut self,
         handle: CubeHandle,
@@ -539,8 +631,15 @@ impl OlapSession {
             catalog_hit: true,
             rehydrated,
         };
+        record_strategy_span(&explained);
+        let sp = obs::span("derive");
         let (ans, pres) =
             rewrite::roll_up_from_pres(source_pres, dim_idx, via_id, &coarse_name, &self.instance)?;
+        if sp.active() {
+            sp.detail(|| explained.strategy.to_string());
+            sp.rows(source_pres.len() as u64, ans.len() as u64);
+        }
+        drop(sp);
         self.catalog.record_hit();
         let new_sig = ViewSignature::of(new_eq.query());
         self.catalog.record_query(
@@ -550,10 +649,35 @@ impl OlapSession {
             start.elapsed().as_nanos() as u64,
         );
         let watermark = self.instance.len();
+        let sp = obs::span("materialize");
+        if sp.active() {
+            sp.rows(ans.len() as u64, ans.len() as u64);
+            sp.bytes((ans.approx_bytes() + pres.approx_bytes()) as u64);
+        }
         let idx = self
             .catalog
             .insert_signed(new_eq, new_sig, ans, pres, watermark);
+        drop(sp);
         Ok((CubeHandle(idx), explained))
+    }
+}
+
+/// Emits the zero-duration `strategy` marker span carrying the planner's
+/// decision, so every trace records the chosen strategy (and its cost
+/// evidence) as a span the shape tests can match against the returned
+/// [`ExplainedStrategy`]. A no-op branch when untraced.
+pub(crate) fn record_strategy_span(explained: &ExplainedStrategy) {
+    let sp = obs::span("strategy");
+    if sp.active() {
+        sp.detail(|| explained.strategy.to_string());
+        if explained.estimated_cost.is_finite() {
+            sp.attr("estimated_cost", explained.estimated_cost as u64);
+        }
+        if explained.scratch_cost.is_finite() {
+            sp.attr("scratch_cost", explained.scratch_cost as u64);
+        }
+        sp.attr("candidates", explained.candidates as u64);
+        sp.attr("catalog_hit", u64::from(explained.catalog_hit));
     }
 }
 

@@ -121,6 +121,13 @@ impl SharedSession {
         self.read().stats()
     }
 
+    /// A point-in-time snapshot of this session's metrics registry —
+    /// the same names and values [`OlapSession::metrics_snapshot`]
+    /// reports, so both planes can be scraped uniformly.
+    pub fn metrics_snapshot(&self) -> rdfcube_obs::Snapshot {
+        self.read().metrics_snapshot()
+    }
+
     /// Bytes of materialized payload currently resident.
     pub fn resident_bytes(&self) -> usize {
         self.read().resident_bytes()
@@ -203,6 +210,7 @@ impl SharedSession {
         eq: ExtendedQuery,
     ) -> Result<(CubeHandle, ExplainedStrategy), CoreError> {
         let start = std::time::Instant::now();
+        let plan_span = rdfcube_obs::span("plan");
         let sig = ViewSignature::of(eq.query());
         // Duplicate fast path: served entirely under the read lock when
         // the entry is fresh and resident (the common case under steady
@@ -214,10 +222,14 @@ impl SharedSession {
                 Some(idx) => {
                     let e = cat.entry(idx);
                     if e.is_resident() && e.is_fresh(&self.instance) {
+                        drop(plan_span);
+                        let sp = rdfcube_obs::span("duplicate");
                         cat.touch(idx);
                         cat.record_hit();
                         let explained =
                             session::duplicate_explained(&cat, idx, &eq, &self.instance, false);
+                        drop(sp);
+                        session::record_strategy_span(&explained);
                         cat.record_query(&eq, &sig, &explained, start.elapsed().as_nanos() as u64);
                         return Ok((CubeHandle(idx), explained));
                     }
@@ -227,12 +239,19 @@ impl SharedSession {
             }
         };
         if let Some(idx) = stale_duplicate {
+            drop(plan_span);
+            let sp = rdfcube_obs::span("duplicate");
             let mut cat = self.write();
             let rehydrated = cat.ensure_resident(idx, &self.instance)?;
             cat.touch(idx);
             cat.record_hit();
             let explained =
                 session::duplicate_explained(&cat, idx, &eq, &self.instance, rehydrated);
+            if sp.active() {
+                sp.attr("rehydrated", u64::from(rehydrated));
+            }
+            drop(sp);
+            session::record_strategy_span(&explained);
             cat.record_query(&eq, &sig, &explained, start.elapsed().as_nanos() as u64);
             return Ok((CubeHandle(idx), explained));
         }
@@ -254,9 +273,15 @@ impl SharedSession {
             });
             (planned, explained)
         };
+        if plan_span.active() {
+            plan_span.attr("candidates", explained.candidates as u64);
+        }
+        drop(plan_span);
+        session::record_strategy_span(&explained);
 
         let (ans, pres) = match planned {
             Some((source_idx, d, snap)) => {
+                let sp = rdfcube_obs::span("derive");
                 let (snap, rehydrated) = match snap {
                     Some(snap) => (snap, false),
                     None => {
@@ -269,6 +294,7 @@ impl SharedSession {
                     }
                 };
                 explained.rehydrated = rehydrated;
+                let source_cells = snap.answer().len() as u64;
                 let derived = session::derive_with(
                     &self.instance,
                     snap.query(),
@@ -277,6 +303,13 @@ impl SharedSession {
                     &eq,
                     &d,
                 )?;
+                if sp.active() {
+                    let strategy = explained.strategy;
+                    sp.detail(move || strategy.to_string());
+                    sp.rows(source_cells, derived.0.len() as u64);
+                    sp.attr("rehydrated", u64::from(rehydrated));
+                }
+                drop(sp);
                 // Credit the source only once the derivation succeeded,
                 // exactly as the mutation plane does.
                 let cat = self.read();
@@ -285,7 +318,12 @@ impl SharedSession {
                 derived
             }
             None => {
+                let sp = rdfcube_obs::span("from_scratch");
                 let computed = rewrite::from_scratch_with_pres(&eq, &self.instance)?;
+                if sp.active() {
+                    sp.rows(computed.1.len() as u64, computed.0.len() as u64);
+                }
+                drop(sp);
                 self.read().record_miss();
                 computed
             }
@@ -302,9 +340,38 @@ impl SharedSession {
             cat.touch(idx);
             return Ok((CubeHandle(idx), explained));
         }
+        let sp = rdfcube_obs::span("materialize");
         let watermark = self.instance.len();
+        if sp.active() {
+            sp.rows(ans.len() as u64, ans.len() as u64);
+            sp.bytes((ans.approx_bytes() + pres.approx_bytes()) as u64);
+        }
         let idx = cat.insert_signed(eq, sig, ans, pres, watermark);
+        drop(sp);
         Ok((CubeHandle(idx), explained))
+    }
+
+    /// Like [`Self::answer_query`], but records a structured
+    /// [`QueryTrace`](rdfcube_obs::QueryTrace) of the evaluation —
+    /// the concurrent counterpart of [`OlapSession::answer_traced`].
+    ///
+    /// Tracing is thread-local: it adds no locking and does not change
+    /// the lock structure of the underlying evaluation. Concurrent
+    /// untraced queries on other threads are unaffected.
+    pub fn answer_traced(
+        &self,
+        eq: ExtendedQuery,
+    ) -> Result<(CubeHandle, ExplainedStrategy, rdfcube_obs::QueryTrace), CoreError> {
+        let began = rdfcube_obs::trace_begin("answer_query");
+        let result = self.answer_query(eq);
+        let trace = if began {
+            rdfcube_obs::sink().traces.inc();
+            rdfcube_obs::trace_end().unwrap_or_default()
+        } else {
+            rdfcube_obs::QueryTrace::default()
+        };
+        let (handle, explained) = result?;
+        Ok((handle, explained, trace))
     }
 
     /// Re-runs workload-driven view selection (see [`crate::advisor`])

@@ -234,6 +234,21 @@ fn build_plans(bgp: &Bgp, order: &[usize], pre_bound: &FxHashMap<VarId, TermId>)
     plans
 }
 
+/// Shard-level execution statistics one step reports back to the
+/// coordinating thread: worker threads never touch the tracer's
+/// thread-local state, so these counts travel by return value and the
+/// coordinator attaches them to its own span / the global sink. Both
+/// fields stay 0 on non-shard-partitioned paths (flat store, chunked
+/// fallback, serial kernel).
+#[derive(Debug, Clone, Copy, Default)]
+struct StepExec {
+    /// Shards whose indexes this step actually probed.
+    shards_probed: u32,
+    /// Shards skipped because the step's constant shape matches nothing
+    /// there.
+    shards_skipped: u32,
+}
+
 /// Runs one compiled step: probes the index under every current row and
 /// appends the extended rows to `next` — fanning out across worker threads
 /// when the table is large enough and [`set_eval_threads`] allows.
@@ -243,30 +258,34 @@ fn build_plans(bgp: &Bgp, order: &[usize], pre_bound: &FxHashMap<VarId, TermId>)
 /// to contiguous row chunks when the graph is flat, holds unmerged delta
 /// triples, or the step's subject is a constant (which routes every probe
 /// to one shard anyway). All paths produce bit-identical tables.
-fn run_step(graph: &Graph, plan: &StepPlan, current: &BindingTable, next: &mut BindingTable) {
+fn run_step(
+    graph: &Graph,
+    plan: &StepPlan,
+    current: &BindingTable,
+    next: &mut BindingTable,
+) -> StepExec {
     next.clear();
     let threads = eval_threads();
     if threads > 1 && current.rows >= PAR_MIN_ROWS {
         if graph.shard_count() > 1 && !graph.has_pending_delta() {
             match plan.probe[0] {
                 Probe::Bound(slot) => {
-                    run_step_sharded_bound(graph, plan, current, slot, next);
-                    return;
+                    return run_step_sharded_bound(graph, plan, current, slot, next);
                 }
                 Probe::Free => {
-                    run_step_sharded_scan(graph, plan, current, next);
-                    return;
+                    return run_step_sharded_scan(graph, plan, current, next);
                 }
                 Probe::Const(_) => {}
             }
         }
         run_step_chunked(graph, plan, current, threads, next);
-        return;
+        return StepExec::default();
     }
     // Most steps keep or grow the row count; pre-sizing to the current
     // arena avoids repeated doubling in the match closure.
     next.data.reserve(current.data.len());
     run_step_range(graph, plan, current, 0, current.rows, next);
+    StepExec::default()
 }
 
 /// The step's constant-only shape: probe positions holding query constants
@@ -326,12 +345,16 @@ fn run_step_sharded_bound(
     current: &BindingTable,
     slot: usize,
     next: &mut BindingTable,
-) {
+) -> StepExec {
     let n = graph.shard_count();
     let shape = const_shape(plan);
     let active: Vec<bool> = (0..n)
         .map(|w| graph.count_matching_in_shard(w, shape) > 0)
         .collect();
+    let exec = StepExec {
+        shards_probed: active.iter().filter(|&&a| a).count() as u32,
+        shards_skipped: active.iter().filter(|&&a| !a).count() as u32,
+    };
     let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); n];
     for i in 0..current.rows {
         let w = graph.shard_of(current.row(i)[slot]);
@@ -399,6 +422,7 @@ fn run_step_sharded_bound(
             next.rows += produced;
         }
     }
+    exec
 }
 
 /// Sharded parallel path for steps whose subject is a fresh variable: the
@@ -414,13 +438,17 @@ fn run_step_sharded_scan(
     plan: &StepPlan,
     current: &BindingTable,
     next: &mut BindingTable,
-) {
+) -> StepExec {
     let shape = const_shape(plan);
     let active: Vec<usize> = (0..graph.shard_count())
         .filter(|&w| graph.count_matching_in_shard(w, shape) > 0)
         .collect();
+    let exec = StepExec {
+        shards_probed: active.len() as u32,
+        shards_skipped: (graph.shard_count() - active.len()) as u32,
+    };
     if active.is_empty() {
-        return;
+        return exec;
     }
     let stride = current.stride;
     let mut results: Vec<(Vec<u32>, BindingTable)> = Vec::with_capacity(active.len());
@@ -461,7 +489,7 @@ fn run_step_sharded_scan(
         let (_, part) = results.pop().expect("one result");
         next.rows = part.rows;
         next.data = part.data;
-        return;
+        return exec;
     }
     // Arena slots holding each triple position's value in an extended row
     // (writes cover first occurrences; eq-check positions mirror them).
@@ -530,6 +558,7 @@ fn run_step_sharded_scan(
             }
         }
     }
+    exec
 }
 
 /// Extends the rows `lo..hi` of `current` through `plan`, appending to
@@ -708,8 +737,12 @@ fn evaluate_steps(
         current.data[v.index()] = c;
     }
     let mut next = BindingTable::new(stride);
-    for plan in &plans {
-        run_step(graph, plan, &current, &mut next);
+    let sink = rdfcube_obs::sink();
+    for (step, plan) in plans.iter().enumerate() {
+        let sp = rdfcube_obs::span("bgp_step");
+        let rows_in = current.rows as u64;
+        let exec = run_step(graph, plan, &current, &mut next);
+        let rows_matched = next.rows as u64;
         // Filters whose variable binds at this step fire right after it.
         if !filters.is_empty() {
             let active: Vec<&crate::filter::FilterExpr> = filters
@@ -720,6 +753,19 @@ fn evaluate_steps(
                 next.retain(|row| active.iter().all(|f| f.admits(row[f.var().index()], dict)));
             }
         }
+        let rows_out = next.rows as u64;
+        sink.bgp_steps.inc();
+        sink.step_rows.add(rows_out);
+        sink.shard_probes.add(exec.shards_probed as u64);
+        sink.shards_skipped.add(exec.shards_skipped as u64);
+        if sp.active() {
+            sp.rows(rows_in, rows_out);
+            sp.attr("rows_matched", rows_matched);
+            sp.attr("shards_probed", exec.shards_probed as u64);
+            sp.attr("shards_skipped", exec.shards_skipped as u64);
+            sp.detail(|| format!("pattern #{}", order[step]));
+        }
+        drop(sp);
         std::mem::swap(&mut current, &mut next);
         if current.is_empty() {
             break;

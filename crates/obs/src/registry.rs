@@ -1,0 +1,685 @@
+//! A lock-free metrics registry: named atomic counters, gauges and
+//! log₂-bucketed histograms with Prometheus-text and JSON snapshot
+//! exporters.
+//!
+//! ## Concurrency contract
+//!
+//! * **Increment path** — [`Counter::inc`], [`Gauge::set`],
+//!   [`Histogram::record`] are single atomic RMW operations on cells the
+//!   handle owns through an [`Arc`]. No lock, no allocation, no registry
+//!   access.
+//! * **Snapshot path** — [`Registry::snapshot`] walks the slot array
+//!   guarded only by an `Acquire` load of the publication cursor and
+//!   per-slot [`OnceLock`] reads. No lock is taken; writers are never
+//!   stalled by a reader.
+//! * **Registration path** — [`Registry::counter`] & friends are the one
+//!   *cold* path and serialize on a `Mutex` so that duplicate names
+//!   dedupe to the same cell. Register once, cache the handle, increment
+//!   forever.
+//!
+//! ## Torn-read freedom
+//!
+//! A histogram records `sum`, then its bucket, then `count` with
+//! `Release` ordering; a snapshot reads `count` first with `Acquire`.
+//! Any recording racing with a snapshot is therefore either fully
+//! visible or surplus: the invariant `Σ buckets ≥ count ∧ sum ≥
+//! exact-sum-at-count` always holds, and after all writers quiesce the
+//! three agree exactly. The 8-thread suite in `tests/concurrency.rs`
+//! checks both the mid-flight invariant and the quiescent equality.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum number of distinct metrics one [`Registry`] can export.
+///
+/// Registrations past the cap still return working handles; the cells
+/// simply never appear in snapshots (and a debug assertion fires so the
+/// overflow is caught in tests).
+pub const REGISTRY_CAPACITY: usize = 256;
+
+/// Number of log₂ buckets in a [`Histogram`]: bucket 0 holds the value
+/// 0 and bucket `b` holds values in `[2^(b-1), 2^b - 1]`, so the full
+/// `u64` range is covered.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// What a registered metric measures; decides how exporters render it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value that can move both ways.
+    Gauge,
+    /// Log₂-bucketed distribution of recorded values.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A monotonically increasing counter. Cloning shares the cell;
+/// incrementing is one relaxed `fetch_add`.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry: counts, exports nowhere.
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value. Cloning shares the cell; all operations are
+/// single atomic instructions.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`, saturating at 0.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared cells behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Index of the log₂ bucket holding `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `b` (`u64::MAX` for the last bucket).
+fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, row counts, bytes). Recording is three relaxed-or-release
+/// `fetch_add`s — no lock, no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    ///
+    /// `count` is bumped *last*, with `Release`: a snapshot that reads
+    /// `count` first (`Acquire`) therefore sees at least that many
+    /// samples already folded into `sum` and `buckets` — reads can be
+    /// surplus but never torn.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.core.sum.fetch_add(v, Ordering::Relaxed);
+        self.core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Release);
+    }
+
+    /// Consistent point-in-time view (see [`Histogram::record`] for the
+    /// ordering that keeps it tear-free).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.core.count.load(Ordering::Acquire);
+        let buckets = std::array::from_fn(|i| self.core.buckets[i].load(Ordering::Relaxed));
+        let sum = self.core.sum.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Number of samples fully recorded when the snapshot was taken.
+    pub count: u64,
+    /// Sum of all samples (covers *at least* the `count` samples).
+    pub sum: u64,
+    /// Per-bucket sample counts; `Σ buckets ≥ count` always.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`); an upper estimate within 2× of the true value.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(b);
+            }
+        }
+        u64::MAX
+    }
+}
+
+enum MetricData {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl MetricData {
+    fn kind(&self) -> MetricKind {
+        match self {
+            MetricData::Counter(_) => MetricKind::Counter,
+            MetricData::Gauge(_) => MetricKind::Gauge,
+            MetricData::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind().as_str())
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    name: String,
+    data: MetricData,
+}
+
+/// A fixed-capacity, lock-free-on-the-hot-path metrics registry.
+///
+/// See the [module docs](self) for the concurrency contract. Each
+/// [`crate::Registry`] is independent — the catalog of every session owns
+/// one, and the process-global engine/storage counters live in
+/// [`crate::sink`]'s registry — so metrics from two sessions never
+/// collide.
+#[derive(Debug)]
+pub struct Registry {
+    slots: Box<[OnceLock<Slot>]>,
+    /// Slots `[0, claimed)` are fully initialized; published with
+    /// `Release` after the `OnceLock` is set, read with `Acquire`.
+    claimed: AtomicUsize,
+    register: Mutex<()>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with [`REGISTRY_CAPACITY`] slots.
+    pub fn new() -> Self {
+        Registry {
+            slots: (0..REGISTRY_CAPACITY).map(|_| OnceLock::new()).collect(),
+            claimed: AtomicUsize::new(0),
+            register: Mutex::new(()),
+        }
+    }
+
+    /// Register (or look up) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register_slot(name, MetricKind::Counter) {
+            Some(MetricData::Counter(cell)) => Counter { cell: cell.clone() },
+            _ => Counter::detached(),
+        }
+    }
+
+    /// Register (or look up) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register_slot(name, MetricKind::Gauge) {
+            Some(MetricData::Gauge(cell)) => Gauge { cell: cell.clone() },
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Register (or look up) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.register_slot(name, MetricKind::Histogram) {
+            Some(MetricData::Histogram(core)) => Histogram { core: core.clone() },
+            _ => Histogram::detached(),
+        }
+    }
+
+    /// Cold path: find `name` or claim the next free slot for it.
+    /// Returns `None` (→ detached handle) on capacity overflow or when
+    /// `name` is already registered with a different kind.
+    fn register_slot(&self, name: &str, kind: MetricKind) -> Option<&MetricData> {
+        let _guard = self
+            .register
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let claimed = self.claimed.load(Ordering::Acquire);
+        for slot in self.slots[..claimed].iter() {
+            if let Some(s) = slot.get() {
+                if s.name == name {
+                    if s.data.kind() == kind {
+                        return Some(&s.data);
+                    }
+                    debug_assert!(
+                        false,
+                        "metric {name:?} re-registered as {kind:?} (was {:?})",
+                        s.data.kind()
+                    );
+                    return None;
+                }
+            }
+        }
+        if claimed >= self.slots.len() {
+            debug_assert!(false, "metrics registry full registering {name:?}");
+            return None;
+        }
+        let data = match kind {
+            MetricKind::Counter => MetricData::Counter(Arc::new(AtomicU64::new(0))),
+            MetricKind::Gauge => MetricData::Gauge(Arc::new(AtomicU64::new(0))),
+            MetricKind::Histogram => MetricData::Histogram(Arc::new(HistogramCore::default())),
+        };
+        let slot = Slot {
+            name: name.to_string(),
+            data,
+        };
+        let stored = self.slots[claimed].set(slot);
+        debug_assert!(stored.is_ok(), "slot {claimed} claimed twice");
+        self.claimed.store(claimed + 1, Ordering::Release);
+        self.slots[claimed].get().map(|s| &s.data)
+    }
+
+    /// Lock-free point-in-time view of every registered metric, in
+    /// registration order. Safe to call concurrently with any number of
+    /// writers; histogram entries obey the tear-free invariant described
+    /// in the [module docs](self).
+    pub fn snapshot(&self) -> Snapshot {
+        let claimed = self.claimed.load(Ordering::Acquire);
+        let mut entries = Vec::with_capacity(claimed);
+        for slot in self.slots[..claimed].iter() {
+            let Some(s) = slot.get() else { continue };
+            let value = match &s.data {
+                MetricData::Counter(c) => SnapshotValue::Counter(c.load(Ordering::Relaxed)),
+                MetricData::Gauge(g) => SnapshotValue::Gauge(g.load(Ordering::Relaxed)),
+                MetricData::Histogram(h) => {
+                    SnapshotValue::Histogram(Box::new(Histogram { core: h.clone() }.snapshot()))
+                }
+            };
+            entries.push(MetricValue {
+                name: s.name.clone(),
+                value,
+            });
+        }
+        Snapshot { entries }
+    }
+}
+
+/// One metric's value inside a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricValue {
+    /// The name it was registered under.
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+/// The value part of a [`MetricValue`].
+#[derive(Debug, Clone)]
+pub enum SnapshotValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram reading (boxed: a snapshot carries 64 buckets).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl SnapshotValue {
+    fn kind(&self) -> MetricKind {
+        match self {
+            SnapshotValue::Counter(_) => MetricKind::Counter,
+            SnapshotValue::Gauge(_) => MetricKind::Gauge,
+            SnapshotValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A point-in-time view of a [`Registry`], ready to export.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All metric readings, in registration order.
+    pub entries: Vec<MetricValue>,
+}
+
+impl Snapshot {
+    /// Look up a reading by name.
+    pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// Counter reading by name (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(SnapshotValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge reading by name (0 when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(SnapshotValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram reading by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(SnapshotValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Registered metric names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// Concatenate two snapshots (e.g. the global sink's plus a
+    /// session's). Entries keep their order; duplicate names are kept
+    /// as-is.
+    pub fn merged(mut self, other: Snapshot) -> Snapshot {
+        self.entries.extend(other.entries);
+        self
+    }
+
+    /// Render in the Prometheus text exposition format. Histograms emit
+    /// cumulative `_bucket{le=…}` series up to the highest non-empty
+    /// bucket, plus `_sum` and `_count`.
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for entry in &self.entries {
+            let name = &entry.name;
+            let _ = writeln!(out, "# TYPE {name} {}", entry.value.kind().as_str());
+            match &entry.value {
+                SnapshotValue::Counter(v) | SnapshotValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                SnapshotValue::Histogram(h) => {
+                    let last = h
+                        .buckets
+                        .iter()
+                        .rposition(|&n| n > 0)
+                        .map_or(0, |b| (b + 1).min(HISTOGRAM_BUCKETS - 1));
+                    let mut cumulative = 0u64;
+                    for b in 0..=last {
+                        cumulative += h.buckets[b];
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                            bucket_upper_bound(b)
+                        );
+                    }
+                    let total: u64 = h.buckets.iter().sum();
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object keyed by metric name. Histogram buckets
+    /// are `[upper_bound, count]` pairs for non-empty buckets only
+    /// (counts are per-bucket, not cumulative).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n  \"{}\": {{\"type\": \"{}\", ",
+                json_escape(&entry.name),
+                entry.value.kind().as_str()
+            );
+            match &entry.value {
+                SnapshotValue::Counter(v) | SnapshotValue::Gauge(v) => {
+                    let _ = write!(out, "\"value\": {v}}}");
+                }
+                SnapshotValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"count\": {}, \"sum\": {}, \"buckets\": [",
+                        h.count, h.sum
+                    );
+                    let mut first = true;
+                    for (b, &n) in h.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        first = false;
+                        let _ = write!(out, "[{}, {n}]", bucket_upper_bound(b));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for b in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper_bound(b)), b);
+            assert_eq!(bucket_index(bucket_upper_bound(b) + 1), b + 1);
+        }
+    }
+
+    #[test]
+    fn registration_dedupes_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("ops_total");
+        let b = reg.counter("ops_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counter("ops_total"), 3);
+        assert_eq!(reg.snapshot().entries.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_reports_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(42);
+        let h = reg.histogram("h");
+        h.record(0);
+        h.record(100);
+        h.record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), 7);
+        assert_eq!(snap.gauge("g"), 42);
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 200);
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 3);
+        assert!((hs.mean() - 200.0 / 3.0).abs() < 1e-9);
+        assert!(hs.approx_quantile(0.99) >= 100);
+    }
+
+    #[test]
+    fn gauge_sub_saturates() {
+        let g = Gauge::detached();
+        g.set(5);
+        g.sub(7);
+        assert_eq!(g.get(), 0);
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn exporters_render_every_metric() {
+        let reg = Registry::new();
+        reg.counter("hits_total").add(4);
+        reg.gauge("resident_bytes").set(1024);
+        reg.histogram("latency_nanos").record(1500);
+        let snap = reg.snapshot();
+        let prom = snap.to_prometheus_text();
+        assert!(prom.contains("# TYPE hits_total counter"));
+        assert!(prom.contains("hits_total 4"));
+        assert!(prom.contains("resident_bytes 1024"));
+        assert!(prom.contains("latency_nanos_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("latency_nanos_sum 1500"));
+        assert!(prom.contains("latency_nanos_count 1"));
+        let json = snap.to_json();
+        assert!(json.contains("\"hits_total\": {\"type\": \"counter\", \"value\": 4}"));
+        assert!(json.contains("\"count\": 1, \"sum\": 1500"));
+    }
+
+    #[test]
+    fn merged_concatenates() {
+        let a = Registry::new();
+        a.counter("a").inc();
+        let b = Registry::new();
+        b.counter("b").inc();
+        let merged = a.snapshot().merged(b.snapshot());
+        assert_eq!(merged.counter("a"), 1);
+        assert_eq!(merged.counter("b"), 1);
+    }
+}

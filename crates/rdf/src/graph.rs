@@ -267,6 +267,11 @@ impl Graph {
         let before = self.len;
         let n = self.shards.len();
         let work = batch.len() + self.pending_delta_len();
+        if work > 0 {
+            let sink = rdfcube_obs::sink();
+            sink.delta_merges.inc();
+            sink.delta_merge_rows.add(work as u64);
+        }
         if n == 1 {
             self.shards[0].merge_batch(batch);
         } else {

@@ -3,7 +3,8 @@
 //! Mimics an analyst drilling around a dataset: start broad, dice to a
 //! cohort, drop a dimension, pull in another — every step answered from the
 //! previous step's materialized results where the paper's propositions
-//! allow, with the chosen strategy reported. Ends with a consistency audit
+//! allow, with the chosen strategy reported together with the traced
+//! per-stage wall times of each answer. Ends with a consistency audit
 //! re-checking every materialized cube against from-scratch evaluation.
 //!
 //! Run with: `cargo run --release --example olap_pipeline`
@@ -24,11 +25,21 @@ fn main() {
     let mut session = OlapSession::new(instance);
 
     let mut step = 0usize;
-    let mut log =
-        |label: &str, strategy: &dyn std::fmt::Display, cells: usize, took: std::time::Duration| {
-            step += 1;
-            println!("{step:>2}. {label:<44} {cells:>6} cells  {took:>10?}  {strategy}");
-        };
+    let mut log = |label: &str,
+                   strategy: &dyn std::fmt::Display,
+                   cells: usize,
+                   took: std::time::Duration,
+                   trace: &QueryTrace| {
+        step += 1;
+        println!("{step:>2}. {label:<44} {cells:>6} cells  {took:>10?}  {strategy}");
+        // The observed side of the explanation: per-stage wall times,
+        // row counts and bytes from the traced run.
+        if !trace.spans().is_empty() {
+            for line in trace.render().lines() {
+                println!("      {line}");
+            }
+        }
+    };
 
     let t0 = Instant::now();
     let q0 = session
@@ -44,11 +55,12 @@ fn main() {
         &Strategy::FromScratch,
         session.answer(q0).len(),
         t0.elapsed(),
+        &QueryTrace::default(),
     );
 
     let t0 = Instant::now();
-    let (q1, s1) = session
-        .transform(
+    let (q1, s1, t1) = session
+        .transform_traced(
             q0,
             &OlapOp::Dice {
                 constraints: vec![("dage".into(), ValueSelector::IntRange { lo: 25, hi: 45 })],
@@ -60,11 +72,12 @@ fn main() {
         &s1,
         session.answer(q1).len(),
         t0.elapsed(),
+        &t1,
     );
 
     let t0 = Instant::now();
-    let (q2, s2) = session
-        .transform(
+    let (q2, s2, t2) = session
+        .transform_traced(
             q1,
             &OlapOp::Dice {
                 constraints: vec![("dage".into(), ValueSelector::IntRange { lo: 30, hi: 40 })],
@@ -76,11 +89,12 @@ fn main() {
         &s2,
         session.answer(q2).len(),
         t0.elapsed(),
+        &t2,
     );
 
     let t0 = Instant::now();
-    let (q3, s3) = session
-        .transform(
+    let (q3, s3, t3) = session
+        .transform_traced(
             q2,
             &OlapOp::DrillOut {
                 dims: vec!["dcity".into()],
@@ -92,11 +106,12 @@ fn main() {
         &s3,
         session.answer(q3).len(),
         t0.elapsed(),
+        &t3,
     );
 
     let t0 = Instant::now();
-    let (q4, s4) = session
-        .transform(
+    let (q4, s4, t4) = session
+        .transform_traced(
             q3,
             &OlapOp::DrillIn {
                 var: "dcity".into(),
@@ -108,22 +123,24 @@ fn main() {
         &s4,
         session.answer(q4).len(),
         t0.elapsed(),
+        &t4,
     );
 
     let t0 = Instant::now();
-    let (q5, s5) = session
-        .transform(q4, &OlapOp::DrillIn { var: "p".into() })
+    let (q5, s5, t5) = session
+        .transform_traced(q4, &OlapOp::DrillIn { var: "p".into() })
         .expect("drill-in post");
     log(
         "drill-in: add the post dimension",
         &s5,
         session.answer(q5).len(),
         t0.elapsed(),
+        &t5,
     );
 
     let t0 = Instant::now();
-    let (q6, s6) = session
-        .transform(
+    let (q6, s6, t6) = session
+        .transform_traced(
             q5,
             &OlapOp::DrillOut {
                 dims: vec!["dage".into(), "p".into()],
@@ -135,6 +152,7 @@ fn main() {
         &s6,
         session.answer(q6).len(),
         t0.elapsed(),
+        &t6,
     );
 
     // A widening dice cannot be answered from the narrower q2 — but the
@@ -144,8 +162,8 @@ fn main() {
     // pre-catalog session, which only ever looked at the direct source,
     // had to fall back to from-scratch here.
     let t0 = Instant::now();
-    let (q7, s7) = session
-        .transform(
+    let (q7, s7, t7) = session
+        .transform_traced(
             q2,
             &OlapOp::Dice {
                 constraints: vec![("dage".into(), ValueSelector::IntRange { lo: 18, hi: 67 })],
@@ -157,6 +175,7 @@ fn main() {
         &s7,
         session.answer(q7).len(),
         t0.elapsed(),
+        &t7,
     );
     assert_eq!(s7, Strategy::SelectionOnAns);
     assert_eq!(s7.source, Some(q0), "served from the unrestricted base");

@@ -7,12 +7,15 @@
 //! measure and aggregate match a materialized cube (up to variable
 //! renaming and pattern order), costs every applicable rewriting against
 //! from-scratch evaluation, and runs the cheapest. Each answer comes back
-//! with an `ExplainedStrategy`: the chosen route, its cost estimate, the
-//! from-scratch estimate it beat, and whether the catalog hit at all.
+//! with an `ExplainedStrategy` — the chosen route, its cost estimate, the
+//! from-scratch estimate it beat, whether the catalog hit at all — and,
+//! when posed through `answer_traced`, a `QueryTrace` of the observed
+//! per-stage wall times, rendered here as `EXPLAIN ANALYZE`.
 //!
 //! Run with: `cargo run --release --example view_reuse`
 
 use rdfcube::datagen;
+use rdfcube::explain_analyze;
 use rdfcube::prelude::*;
 use std::time::Instant;
 
@@ -81,9 +84,10 @@ fn main() {
     for (label, eq) in queries {
         // Plan first (no materialization) to show the catalog's decision…
         let planned = session.explain_query(&eq);
-        // …then actually answer, and time both routes.
+        // …then actually answer — traced, so the observed per-stage wall
+        // times come back alongside the planner's verdict.
         let t0 = Instant::now();
-        let (h, strategy) = session.answer_query(eq).expect("query answered");
+        let (h, strategy, trace) = session.answer_traced(eq).expect("query answered");
         let took = t0.elapsed();
         let scratch_t0 = Instant::now();
         let scratch = session
@@ -102,10 +106,9 @@ fn main() {
             if planned.catalog_hit { "HIT" } else { "MISS" },
             planned.candidates,
         );
-        println!(
-            "  chosen: {} — estimated {:.0} row touches vs {:.0} from scratch",
-            strategy.strategy, strategy.estimated_cost, strategy.scratch_cost,
-        );
+        for line in explain_analyze(&strategy, &trace).lines() {
+            println!("  {line}");
+        }
         println!(
             "  answered in {took:?} (from scratch: {scratch_took:?}); \
              {} cells — verified equal\n",

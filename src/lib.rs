@@ -65,18 +65,20 @@ pub mod interp;
 pub use rdfcube_core as core;
 pub use rdfcube_datagen as datagen;
 pub use rdfcube_engine as engine;
+pub use rdfcube_obs as obs;
 pub use rdfcube_rdf as rdf;
 
 pub use rdfcube_core::{
-    answer, apply, build_aux_query, AdvisorReport, AnalyticalQuery, AnalyticalSchema, CoreError,
-    Cube, CubeCatalog, CubeHandle, CubeSnapshot, ExplainedStrategy, ExtendedQuery,
-    MaterializedCube, OlapOp, OlapSession, PartialResult, SharedSession, Sigma, Strategy,
-    ValueSelector,
+    answer, apply, build_aux_query, explain_analyze, AdvisorReport, AnalyticalQuery,
+    AnalyticalSchema, CoreError, CostModelReport, Cube, CubeCatalog, CubeHandle, CubeSnapshot,
+    ExplainedStrategy, ExtendedQuery, MaterializedCube, OlapOp, OlapSession, PartialResult,
+    SharedSession, Sigma, Strategy, ValueSelector,
 };
 pub use rdfcube_engine::{
     evaluate, evaluate_sparql, explain, parse_query, parse_sparql, set_eval_threads, AggFunc,
     AggValue, Bgp, EngineError, PlanStep, Relation, Semantics, SparqlQuery, SparqlResult,
 };
+pub use rdfcube_obs::{QueryTrace, Registry, Snapshot};
 pub use rdfcube_rdf::{
     parse_ntriples, parse_turtle, saturate, to_ntriples, Dictionary, Graph, Term, TermId, Triple,
     TriplePattern,
@@ -90,5 +92,6 @@ pub mod prelude {
     };
     pub use rdfcube_datagen::{BloggerConfig, VideoConfig};
     pub use rdfcube_engine::{evaluate, parse_query, AggFunc, AggValue, Semantics};
+    pub use rdfcube_obs::{QueryTrace, Snapshot};
     pub use rdfcube_rdf::{parse_ntriples, parse_turtle, saturate, to_ntriples, Graph, Term};
 }

@@ -1,0 +1,143 @@
+//! Trace-shape properties of the query-plane telemetry.
+//!
+//! For randomized blogger worlds and workloads, every trace returned by
+//! [`OlapSession::answer_traced`] must be structurally sound:
+//!
+//! * the span tree is rooted at `answer_query` and every span's parent
+//!   index points at an earlier span (a well-formed arena tree);
+//! * the `strategy` span's detail names exactly the strategy the
+//!   accompanying [`ExplainedStrategy`] reports;
+//! * every `bgp_step` span's surviving rows (`rows_out`) never exceed
+//!   the rows the pattern matched before post-filtering (`rows_matched`)
+//!   — row counts are monotone through filters;
+//! * the root's direct stage spans account for (almost) all of the
+//!   end-to-end wall time.
+
+use proptest::prelude::*;
+// Explicit import wins over the glob imports: `Strategy` here always
+// means proptest's trait, never the session's strategy enum.
+use proptest::strategy::Strategy;
+use rdfcube::datagen::{generate_instance, BloggerConfig};
+use rdfcube::prelude::*;
+
+const CLASSIFIER: &str = "c(?x, ?dage, ?dcity) :- ?x rdf:type Blogger, ?x hasAge ?dage, \
+     ?x livesIn ?dcity, ?x wrotePost ?p";
+const MEASURE: &str = "m(?x, ?v) :- ?x rdf:type Blogger, ?x wrotePost ?q, ?q hasWordCount ?v";
+
+fn arb_config() -> impl Strategy<Value = BloggerConfig> {
+    (20usize..150, 0.0f64..0.6, any::<u64>()).prop_map(|(n, multi, seed)| BloggerConfig {
+        n_bloggers: n,
+        multi_city_prob: multi,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Structural soundness checks shared by every traced answer.
+fn assert_trace_sound(explained: &ExplainedStrategy, trace: &QueryTrace) {
+    let spans = trace.spans();
+    assert!(!spans.is_empty(), "traced answer produced an empty trace");
+    let root = trace.root().unwrap();
+    assert_eq!(root.name, "answer_query");
+    assert!(root.parent.is_none());
+    for (i, span) in spans.iter().enumerate().skip(1) {
+        let parent = span
+            .parent
+            .unwrap_or_else(|| panic!("non-root span {:?} has no parent", span.name));
+        assert!(
+            parent < i,
+            "span {:?} points at a later parent — not a well-formed arena tree",
+            span.name
+        );
+    }
+    let strategy_span = trace
+        .find("strategy")
+        .expect("every traced answer records its strategy pick");
+    assert_eq!(strategy_span.detail, explained.strategy.to_string());
+    for step in trace.find_all("bgp_step") {
+        let matched = step
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "rows_matched")
+            .map(|(_, v)| *v)
+            .expect("bgp_step records rows_matched");
+        assert!(
+            step.rows_out <= matched,
+            "post-filter rows ({}) exceed matched rows ({})",
+            step.rows_out,
+            matched
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random worlds, random dice: the trace of every answer — the
+    /// from-scratch base and a derived dice — is structurally sound and
+    /// consistent with the planner's explanation.
+    #[test]
+    fn traced_answers_have_sound_shape(cfg in arb_config(), lo in 18i64..35, width in 1i64..20) {
+        let mut instance = generate_instance(&cfg);
+        let q = AnalyticalQuery::parse(CLASSIFIER, MEASURE, AggFunc::Count, instance.dict_mut())
+            .unwrap();
+        let eq = ExtendedQuery::from_query(q);
+        let mut s = OlapSession::new(instance);
+
+        let (h, explained, trace) = s.answer_traced(eq.clone()).unwrap();
+        assert_trace_sound(&explained, &trace);
+        prop_assert!(trace.find("from_scratch").is_some());
+
+        let dice = OlapOp::Dice {
+            constraints: vec![("dage".into(), ValueSelector::IntRange { lo, hi: lo + width })],
+        };
+        let (_, explained, trace) = s.transform_traced(h, &dice).unwrap();
+        assert_trace_sound(&explained, &trace);
+
+        // Re-asking the base query is a duplicate hit — still traced,
+        // still sound.
+        let (_, explained, trace) = s.answer_traced(eq).unwrap();
+        assert_trace_sound(&explained, &trace);
+        prop_assert!(trace.find("duplicate").is_some());
+    }
+}
+
+/// The root's direct stage spans must account for nearly all of the
+/// end-to-end wall time on the 100k blogger world (the acceptance bar
+/// is: stage sums within 10% of the traced total).
+#[test]
+fn stage_times_cover_end_to_end_wall_time() {
+    let cfg = BloggerConfig::with_approx_triples(100_000);
+    let mut instance = generate_instance(&cfg);
+    let q =
+        AnalyticalQuery::parse(CLASSIFIER, MEASURE, AggFunc::Count, instance.dict_mut()).unwrap();
+    let eq = ExtendedQuery::from_query(q);
+    let mut s = OlapSession::new(instance);
+    let (_, _, trace) = s.answer_traced(eq).unwrap();
+    let coverage = trace.stage_coverage();
+    assert!(
+        coverage >= 0.9,
+        "stage spans cover only {:.1}% of the traced wall time",
+        coverage * 100.0
+    );
+    assert!(coverage <= 1.0 + 1e-9, "stage spans exceed total time");
+}
+
+/// The shared plane's traces carry the same shape as the serial plane's.
+#[test]
+fn shared_plane_traces_are_sound() {
+    let cfg = BloggerConfig::with_approx_triples(5_000);
+    let mut instance = generate_instance(&cfg);
+    let q =
+        AnalyticalQuery::parse(CLASSIFIER, MEASURE, AggFunc::Count, instance.dict_mut()).unwrap();
+    let eq = ExtendedQuery::from_query(q);
+    let shared = OlapSession::new(instance).into_shared();
+
+    let (_, explained, trace) = shared.answer_traced(eq.clone()).unwrap();
+    assert_trace_sound(&explained, &trace);
+    assert!(trace.find("from_scratch").is_some());
+
+    let (_, explained, trace) = shared.answer_traced(eq).unwrap();
+    assert_trace_sound(&explained, &trace);
+    assert!(trace.find("duplicate").is_some());
+}
